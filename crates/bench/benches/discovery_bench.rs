@@ -1,0 +1,50 @@
+//! Criterion: schema-matcher scaling — the offline DRG-construction cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use autofeat_data::{Column, Table};
+use autofeat_discovery::{ColumnProfile, MinHash, SchemaMatcher};
+
+fn table(name: &str, n_rows: usize, n_cols: usize, offset: i64) -> Table {
+    let cols: Vec<(String, Column)> = (0..n_cols)
+        .map(|c| {
+            (
+                format!("col_{name}_{c}"),
+                Column::from_ints(
+                    (0..n_rows as i64).map(|i| Some(offset + i * (c as i64 + 1))).collect::<Vec<_>>(),
+                ),
+            )
+        })
+        .collect();
+    Table::new(name, cols).unwrap()
+}
+
+fn bench_profiles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000] {
+        let t = table("a", n, 8, 0);
+        group.bench_with_input(BenchmarkId::new("profile_8cols_rows", n), &n, |b, _| {
+            b.iter(|| black_box(ColumnProfile::build_all(&t)))
+        });
+    }
+    let a = ColumnProfile::build_all(&table("a", 5_000, 10, 0));
+    let bp = ColumnProfile::build_all(&table("b", 5_000, 10, 2_500));
+    let m = SchemaMatcher::paper_default();
+    group.bench_function("match_10x10_profiles", |b| {
+        b.iter(|| black_box(m.match_profiles(&a, &bp)))
+    });
+    group.bench_function("minhash_sketch_10k", |b| {
+        b.iter(|| {
+            black_box(MinHash::from_hashes(
+                128,
+                (0..10_000u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiles);
+criterion_main!(benches);

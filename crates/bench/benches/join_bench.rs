@@ -1,0 +1,55 @@
+//! Criterion: normalized-left-join scaling in rows and key multiplicity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use autofeat_data::join::left_join_normalized;
+use autofeat_data::{Column, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tables(n: usize, dup: usize) -> (Table, Table) {
+    let left = Table::new(
+        "l",
+        vec![
+            ("k", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+            ("x", Column::from_floats((0..n).map(|i| Some(i as f64)).collect::<Vec<_>>())),
+        ],
+    )
+    .unwrap();
+    let rkeys: Vec<Option<i64>> = (0..n as i64).flat_map(|k| vec![Some(k); dup]).collect();
+    let rvals: Vec<Option<f64>> = rkeys.iter().map(|k| k.map(|v| v as f64)).collect();
+    let right = Table::new(
+        "r",
+        vec![("k", Column::from_ints(rkeys)), ("v", Column::from_floats(rvals))],
+    )
+    .unwrap();
+    (left, right)
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("left_join_normalized");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let (l, r) = tables(n, 1);
+        group.bench_with_input(BenchmarkId::new("1to1_rows", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(left_join_normalized(&l, &r, "k", "k", "r", &mut rng).unwrap())
+            })
+        });
+    }
+    for &dup in &[1usize, 4, 16] {
+        let (l, r) = tables(5_000, dup);
+        group.bench_with_input(BenchmarkId::new("normalization_dup", dup), &dup, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(left_join_normalized(&l, &r, "k", "k", "r", &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Extension ablation (beyond the paper): **beam pruning** of the BFS
+//! frontier — the "more aggressive pruning strategies" the paper's
+//! future-work section anticipates for dense data lakes. Compares
+//! exhaustive level expansion with beams of several widths on the data-lake
+//! setting: joins evaluated, feature-selection time, and accuracy.
+//!
+//! ```text
+//! cargo run --release -p autofeat-bench --bin ablation_beam [-- --full]
+//! ```
+
+use autofeat_bench::{context_from_lake, specs, wants_full};
+use autofeat_core::{train_top_k, AutoFeat, AutoFeatConfig};
+use autofeat_ml::eval::ModelKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = wants_full(&args);
+    println!("Beam-pruning ablation — data-lake setting (LightGBM)\n");
+    println!(
+        "{:<12} {:>8} {:>9} {:>12} {:>10}",
+        "dataset", "beam", "#joins", "fs_time_s", "accuracy"
+    );
+    for spec in specs(full) {
+        let ctx = context_from_lake(&spec.build_lake());
+        for beam in [None, Some(16usize), Some(8), Some(4)] {
+            let cfg = AutoFeatConfig {
+                beam_width: beam,
+                seed: spec.seed,
+                ..AutoFeatConfig::paper()
+            };
+            let discovery = AutoFeat::new(cfg.clone()).discover(&ctx).expect("discovery");
+            let out = train_top_k(&ctx, &discovery, &[ModelKind::LightGbm], &cfg)
+                .expect("train");
+            println!(
+                "{:<12} {:>8} {:>9} {:>12.3} {:>10.3}",
+                spec.name,
+                beam.map(|b| b.to_string()).unwrap_or_else(|| "∞".into()),
+                discovery.n_joins_evaluated,
+                discovery.elapsed.as_secs_f64(),
+                out.result.mean_accuracy(),
+            );
+        }
+        println!();
+    }
+    println!("Expected shape: narrower beams evaluate fewer joins and run faster; accuracy");
+    println!("holds while the beam keeps the top-scored (signal-carrying) branches.");
+}

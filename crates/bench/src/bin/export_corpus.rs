@@ -1,0 +1,60 @@
+//! Export the synthetic evaluation corpus as CSV files — the analog of the
+//! paper repository's bundled dataset sources. Each Table II dataset gets a
+//! directory with its base table, satellites, and a `kfk_edges.csv`
+//! manifest; the data-lake variant (decoy columns included) goes to a
+//! `lake/` subdirectory.
+//!
+//! ```text
+//! cargo run --release -p autofeat-bench --bin export_corpus -- [out_dir] [--full]
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use autofeat_bench::{specs, wants_full};
+use autofeat_data::csv::write_csv;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_dir: PathBuf = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("corpus"));
+    let full = wants_full(&args);
+
+    for spec in specs(full) {
+        let dir = out_dir.join(spec.name);
+        fs::create_dir_all(&dir).expect("create dataset dir");
+
+        // Benchmark setting: snowflake + KFK manifest.
+        let sf = spec.build_snowflake();
+        for t in sf.all_tables() {
+            write_csv(t, dir.join(format!("{}.csv", t.name()))).expect("write table");
+        }
+        let mut manifest = String::from("parent_table,parent_column,child_table,child_column\n");
+        for e in &sf.kfk {
+            manifest.push_str(&format!(
+                "{},{},{},{}\n",
+                e.parent_table, e.parent_column, e.child_table, e.child_column
+            ));
+        }
+        fs::write(dir.join("kfk_edges.csv"), manifest).expect("write manifest");
+
+        // Data-lake setting: corrupted tables, no manifest.
+        let lake = spec.build_lake();
+        let lake_dir = dir.join("lake");
+        fs::create_dir_all(&lake_dir).expect("create lake dir");
+        for t in &lake.tables {
+            write_csv(t, lake_dir.join(format!("{}.csv", t.name()))).expect("write lake table");
+        }
+        println!(
+            "exported {:<12} {} tables + lake variant -> {}",
+            spec.name,
+            sf.all_tables().len(),
+            dir.display()
+        );
+    }
+    println!("\nLabel column: `target` in each base.csv; KFK edges in kfk_edges.csv.");
+}

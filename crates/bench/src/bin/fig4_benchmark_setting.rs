@@ -1,0 +1,37 @@
+//! Regenerates **Figure 4**: the *benchmark setting* (known KFK snowflake)
+//! comparison — runtime (total + feature-selection share), accuracy
+//! averaged over the four tree-based models, and the number of joined
+//! tables, for BASE / AutoFeat / ARDA / MAB / JoinAll / JoinAll+F on every
+//! dataset.
+//!
+//! ```text
+//! cargo run --release -p autofeat-bench --bin fig4_benchmark_setting [-- --full]
+//! ```
+
+use autofeat_bench::{
+    context_from_snowflake, print_header, print_result, run_all_methods, specs, wants_full,
+    MethodSet,
+};
+use autofeat_ml::eval::ModelKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = wants_full(&args);
+    println!("Figure 4 — benchmark setting (tree models: LightGBM, XGBoost, RF, ExtraTrees)\n");
+    print_header();
+    for spec in specs(full) {
+        let ctx = context_from_snowflake(&spec.build_snowflake());
+        let results = run_all_methods(
+            &ctx,
+            &ModelKind::tree_models(),
+            spec.seed,
+            MethodSet { join_all: true },
+        );
+        for r in &results {
+            print_result(spec.name, r);
+        }
+        println!();
+    }
+    println!("Expected shape (paper): AutoFeat's fs_time ≪ ARDA ≪ MAB; AutoFeat accuracy ≥");
+    println!("ARDA/MAB and ≈ JoinAll+F; JoinAll rows absent where Eq. 3 explodes (school).");
+}

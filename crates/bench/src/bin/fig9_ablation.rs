@@ -1,0 +1,43 @@
+//! Regenerates **Figure 9**: the ablation study over AutoFeat's metric
+//! configuration — {Spearman, Pearson} × {MRMR, JMI}, Spearman-only
+//! (redundancy off), and MRMR-only (relevance off) — reporting accuracy
+//! and total time per dataset.
+//!
+//! ```text
+//! cargo run --release -p autofeat-bench --bin fig9_ablation [-- --full]
+//! ```
+
+use autofeat_bench::{context_from_snowflake, specs, wants_full};
+use autofeat_core::{train_top_k, AutoFeat, AutoFeatConfig};
+use autofeat_ml::eval::ModelKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = wants_full(&args);
+    println!("Figure 9 — ablation over relevance/redundancy configurations (LightGBM)\n");
+    println!(
+        "{:<12} {:<15} {:>10} {:>12} {:>11}",
+        "dataset", "variant", "accuracy", "fs_time_s", "total_s"
+    );
+    for spec in specs(full) {
+        let ctx = context_from_snowflake(&spec.build_snowflake());
+        for (label, cfg) in AutoFeatConfig::ablation_variants() {
+            let cfg = AutoFeatConfig { top_k: 2, seed: spec.seed, ..cfg };
+            let discovery = AutoFeat::new(cfg.clone()).discover(&ctx).expect("discovery");
+            let out = train_top_k(&ctx, &discovery, &[ModelKind::LightGbm], &cfg)
+                .expect("train");
+            println!(
+                "{:<12} {:<15} {:>10.3} {:>12.3} {:>11.3}",
+                spec.name,
+                label,
+                out.result.mean_accuracy(),
+                discovery.elapsed.as_secs_f64(),
+                out.result.total_time.as_secs_f64(),
+            );
+        }
+        println!();
+    }
+    println!("Expected shape (paper): JMI variants ≥ 2x slower than AutoFeat; Spearman-MRMR");
+    println!("(AutoFeat proper) is the most efficient with minimal accuracy loss; MRMR-only");
+    println!("retains too many features (JoinAll-like behaviour on star schemata).");
+}

@@ -1,0 +1,48 @@
+//! Regenerates **Table II**: the dataset overview — paper shape vs. the
+//! generated synthetic analog, plus a BASE-model accuracy reference.
+//!
+//! ```text
+//! cargo run --release -p autofeat-bench --bin table2_datasets [-- --full]
+//! ```
+
+use autofeat_bench::{context_from_snowflake, specs, wants_full};
+use autofeat_core::baselines::run_base;
+use autofeat_ml::eval::ModelKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = wants_full(&args);
+
+    println!("Table II — overview of datasets used in evaluation");
+    println!(
+        "{:<12} {:>10} {:>9} {:>10} {:>9} {:>10} {:>10} {:>10} {:>10}",
+        "dataset",
+        "rows(pap)",
+        "rows",
+        "#join(pap)",
+        "#join",
+        "#feat(pap)",
+        "#feat",
+        "best(pap)",
+        "base_acc"
+    );
+    for spec in specs(full) {
+        let sf = spec.build_snowflake();
+        let ctx = context_from_snowflake(&sf);
+        let base = run_base(&ctx, &[ModelKind::RandomForest], spec.seed).expect("base runs");
+        println!(
+            "{:<12} {:>10} {:>9} {:>10} {:>9} {:>10} {:>10} {:>10.3} {:>10.3}",
+            spec.name,
+            spec.paper_rows,
+            spec.rows,
+            spec.paper_joinable_tables,
+            sf.satellites.len(),
+            spec.paper_features,
+            spec.features,
+            spec.paper_best_accuracy,
+            base.mean_accuracy(),
+        );
+    }
+    println!("\n(pap) columns are the values reported in the paper; unmarked columns are the");
+    println!("generated synthetic analog (large datasets scaled down — see DESIGN.md §2).");
+}

@@ -1,0 +1,57 @@
+//! The BASE baseline: the unaugmented base table, "assumed to be
+//! performing poorly on any ML model" — the floor every augmenter must
+//! beat.
+
+use std::time::{Duration, Instant};
+
+use autofeat_data::Result;
+use autofeat_ml::eval::ModelKind;
+
+use crate::context::SearchContext;
+use crate::report::MethodResult;
+use crate::train::evaluate_feature_set;
+
+/// Evaluate the bare base table.
+pub fn run_base(
+    ctx: &SearchContext,
+    models: &[ModelKind],
+    seed: u64,
+) -> Result<MethodResult> {
+    let t0 = Instant::now();
+    let features = ctx.base_features();
+    let refs: Vec<&str> = features.iter().map(String::as_str).collect();
+    let accs = evaluate_feature_set(ctx.base_table(), &refs, ctx.label(), models, seed)?;
+    Ok(MethodResult {
+        method: "BASE".into(),
+        accuracy_per_model: accs,
+        feature_selection_time: Duration::ZERO,
+        total_time: t0.elapsed(),
+        n_tables_joined: 0,
+        n_features: features.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofeat_data::{Column, Table};
+
+    #[test]
+    fn base_runs_and_reports_zero_joins() {
+        let n = 100i64;
+        let base = Table::new(
+            "base",
+            vec![
+                ("x", Column::from_floats((0..n).map(|i| Some(i as f64)).collect::<Vec<_>>())),
+                ("target", Column::from_ints((0..n).map(|i| Some(i % 2)).collect::<Vec<_>>())),
+            ],
+        )
+        .unwrap();
+        let ctx = SearchContext::from_kfk(vec![base], &[], "base", "target").unwrap();
+        let r = run_base(&ctx, &[ModelKind::RandomForest], 0).unwrap();
+        assert_eq!(r.method, "BASE");
+        assert_eq!(r.n_tables_joined, 0);
+        assert_eq!(r.feature_selection_time, Duration::ZERO);
+        assert_eq!(r.accuracy_per_model.len(), 1);
+    }
+}

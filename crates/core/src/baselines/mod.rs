@@ -1,0 +1,11 @@
+//! The baselines of §VII-B: BASE, ARDA, MAB, JoinAll and JoinAll+F.
+
+pub mod arda;
+pub mod base;
+pub mod join_all;
+pub mod mab;
+
+pub use arda::{run_arda, ArdaConfig};
+pub use base::run_base;
+pub use join_all::{run_join_all, JoinAllConfig};
+pub use mab::{run_mab, MabConfig};

@@ -1,0 +1,151 @@
+//! AutoFeat configuration (hyper-parameters of §VI/§VII).
+
+use autofeat_metrics::redundancy::RedundancyMethod;
+use autofeat_metrics::relevance::RelevanceMethod;
+
+/// Hyper-parameters of the AutoFeat pipeline.
+///
+/// Defaults follow the paper's evaluation: τ = 0.65, κ = 15, Spearman
+/// relevance, MRMR redundancy.
+#[derive(Debug, Clone)]
+pub struct AutoFeatConfig {
+    /// Null-value-ratio threshold τ: a join whose newly added columns have
+    /// completeness (fraction of non-null cells) below τ is pruned.
+    pub tau: f64,
+    /// Maximum features selected from one table (κ of *select-κ-best*).
+    pub kappa: usize,
+    /// Relevance measure; `None` disables the relevance analysis (ablation
+    /// "turn off relevance": every new feature passes straight to the
+    /// redundancy step).
+    pub relevance: Option<RelevanceMethod>,
+    /// Redundancy criterion; `None` disables the redundancy analysis
+    /// (ablation: all relevant features are kept).
+    pub redundancy: Option<RedundancyMethod>,
+    /// Number of top-ranked paths handed to model training.
+    pub top_k: usize,
+    /// Maximum join-path length explored.
+    pub max_path_length: usize,
+    /// Hard cap on the number of joins evaluated (guards dense data-lake
+    /// multigraphs where the acyclic path space explodes).
+    pub max_joins: usize,
+    /// Optional beam width: keep only the best-scored `b` frontier entries
+    /// per BFS level. `None` = exhaustive level expansion (the paper's
+    /// published algorithm); `Some(b)` is the "more aggressive pruning" its
+    /// future-work section proposes for dense lakes.
+    pub beam_width: Option<usize>,
+    /// Row cap for the stratified sample used during feature selection
+    /// (§VI: "we use stratified sampling to sample the base table at the
+    /// beginning of the process"). `None` = use all rows.
+    pub sample_rows: Option<usize>,
+    /// RNG seed (join normalization, sampling).
+    pub seed: u64,
+}
+
+impl Default for AutoFeatConfig {
+    fn default() -> Self {
+        AutoFeatConfig {
+            tau: 0.65,
+            kappa: 15,
+            relevance: Some(RelevanceMethod::Spearman),
+            redundancy: Some(RedundancyMethod::Mrmr),
+            top_k: 4,
+            max_path_length: 4,
+            max_joins: 2000,
+            beam_width: None,
+            sample_rows: Some(1000),
+            seed: 42,
+        }
+    }
+}
+
+impl AutoFeatConfig {
+    /// The paper's published configuration.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style τ override.
+    pub fn with_tau(mut self, tau: f64) -> Self {
+        self.tau = tau;
+        self
+    }
+
+    /// Builder-style κ override.
+    pub fn with_kappa(mut self, kappa: usize) -> Self {
+        self.kappa = kappa;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Ablation variants of Fig. 9, by name.
+    ///
+    /// Returns `(label, config)` pairs: Spearman-MRMR (AutoFeat proper),
+    /// Pearson-MRMR, Spearman-JMI, Pearson-JMI, Spearman-only, MRMR-only.
+    pub fn ablation_variants() -> Vec<(&'static str, AutoFeatConfig)> {
+        let base = AutoFeatConfig::default();
+        vec![
+            ("Spearman-MRMR", base.clone()),
+            (
+                "Pearson-MRMR",
+                AutoFeatConfig { relevance: Some(RelevanceMethod::Pearson), ..base.clone() },
+            ),
+            (
+                "Spearman-JMI",
+                AutoFeatConfig { redundancy: Some(RedundancyMethod::Jmi), ..base.clone() },
+            ),
+            (
+                "Pearson-JMI",
+                AutoFeatConfig {
+                    relevance: Some(RelevanceMethod::Pearson),
+                    redundancy: Some(RedundancyMethod::Jmi),
+                    ..base.clone()
+                },
+            ),
+            (
+                "Spearman-only",
+                AutoFeatConfig { redundancy: None, ..base.clone() },
+            ),
+            ("MRMR-only", AutoFeatConfig { relevance: None, ..base }),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = AutoFeatConfig::paper();
+        assert_eq!(c.tau, 0.65);
+        assert_eq!(c.kappa, 15);
+        assert_eq!(c.relevance, Some(RelevanceMethod::Spearman));
+        assert!(matches!(c.redundancy, Some(RedundancyMethod::Mrmr)));
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = AutoFeatConfig::default().with_tau(0.3).with_kappa(5).with_seed(9);
+        assert_eq!(c.tau, 0.3);
+        assert_eq!(c.kappa, 5);
+        assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn ablation_variants_cover_fig9() {
+        let v = AutoFeatConfig::ablation_variants();
+        assert_eq!(v.len(), 6);
+        let labels: Vec<&str> = v.iter().map(|(l, _)| *l).collect();
+        assert!(labels.contains(&"Spearman-MRMR"));
+        assert!(labels.contains(&"MRMR-only"));
+        let spearman_only = &v.iter().find(|(l, _)| *l == "Spearman-only").unwrap().1;
+        assert!(spearman_only.redundancy.is_none());
+        let mrmr_only = &v.iter().find(|(l, _)| *l == "MRMR-only").unwrap().1;
+        assert!(mrmr_only.relevance.is_none());
+    }
+}

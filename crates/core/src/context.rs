@@ -1,0 +1,200 @@
+//! The search context: tables + base/label + DRG.
+
+use std::collections::HashMap;
+
+use autofeat_data::{DataError, Result, Table};
+use autofeat_discovery::SchemaMatcher;
+use autofeat_graph::{Drg, DrgBuilder};
+
+/// Everything a discovery run needs: the dataset collection, the base table
+/// with its label column, and the joinability graph.
+#[derive(Debug, Clone)]
+pub struct SearchContext {
+    tables: HashMap<String, Table>,
+    base: String,
+    label: String,
+    drg: Drg,
+}
+
+impl SearchContext {
+    /// Build from tables, an explicit DRG, the base-table name, and the
+    /// label column.
+    pub fn new(
+        tables: Vec<Table>,
+        drg: Drg,
+        base: impl Into<String>,
+        label: impl Into<String>,
+    ) -> Result<Self> {
+        let base = base.into();
+        let label = label.into();
+        let map: HashMap<String, Table> =
+            tables.into_iter().map(|t| (t.name().to_string(), t)).collect();
+        let base_table = map.get(&base).ok_or_else(|| DataError::Invalid(format!(
+            "base table `{base}` not in the collection"
+        )))?;
+        if !base_table.has_column(&label) {
+            return Err(DataError::ColumnNotFound { table: base, column: label });
+        }
+        Ok(SearchContext { tables: map, base, label, drg: drg.clone() })
+    }
+
+    /// Build the *benchmark setting* context from tables plus known KFK
+    /// edges `(parent_table, parent_column, child_table, child_column)`.
+    pub fn from_kfk(
+        tables: Vec<Table>,
+        kfk: &[(String, String, String, String)],
+        base: impl Into<String>,
+        label: impl Into<String>,
+    ) -> Result<Self> {
+        let mut b = DrgBuilder::new();
+        for t in &tables {
+            b.add_table(t.name());
+        }
+        for (pt, pc, ct, cc) in kfk {
+            b.add_kfk(pt, pc, ct, cc);
+        }
+        SearchContext::new(tables, b.build(), base, label)
+    }
+
+    /// Build the *data-lake setting* context: run dataset discovery over
+    /// every table pair (the label column is hidden from the matcher).
+    pub fn from_discovery(
+        tables: Vec<Table>,
+        matcher: &SchemaMatcher,
+        base: impl Into<String>,
+        label: impl Into<String>,
+    ) -> Result<Self> {
+        let base = base.into();
+        let label = label.into();
+        let stripped: Vec<Table> = tables
+            .iter()
+            .map(|t| {
+                if t.name() == base {
+                    t.drop_columns(&[label.as_str()])
+                } else {
+                    t.clone()
+                }
+            })
+            .collect();
+        let refs: Vec<&Table> = stripped.iter().collect();
+        let drg = Drg::from_discovery(&refs, matcher);
+        SearchContext::new(tables, drg, base, label)
+    }
+
+    /// The base table.
+    pub fn base_table(&self) -> &Table {
+        &self.tables[&self.base]
+    }
+
+    /// The base table's name.
+    pub fn base_name(&self) -> &str {
+        &self.base
+    }
+
+    /// The label column name.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// A table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// All table names (unordered).
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Number of tables.
+    pub fn n_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The joinability graph.
+    pub fn drg(&self) -> &Drg {
+        &self.drg
+    }
+
+    /// Feature columns of the base table: everything except the label.
+    pub fn base_features(&self) -> Vec<String> {
+        self.base_table()
+            .column_names()
+            .into_iter()
+            .filter(|c| *c != self.label)
+            .map(String::from)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofeat_data::Column;
+
+    fn tables() -> Vec<Table> {
+        let base = Table::new(
+            "base",
+            vec![
+                ("k", Column::from_ints((0..20).map(Some).collect::<Vec<_>>())),
+                ("target", Column::from_ints((0..20).map(|i| Some(i % 2)).collect::<Vec<_>>())),
+            ],
+        )
+        .unwrap();
+        let ext = Table::new(
+            "ext",
+            vec![
+                ("k", Column::from_ints((0..20).map(Some).collect::<Vec<_>>())),
+                ("f", Column::from_floats((0..20).map(|i| Some(i as f64)).collect::<Vec<_>>())),
+            ],
+        )
+        .unwrap();
+        vec![base, ext]
+    }
+
+    #[test]
+    fn kfk_context_builds() {
+        let ctx = SearchContext::from_kfk(
+            tables(),
+            &[("base".into(), "k".into(), "ext".into(), "k".into())],
+            "base",
+            "target",
+        )
+        .unwrap();
+        assert_eq!(ctx.n_tables(), 2);
+        assert_eq!(ctx.drg().n_edges(), 1);
+        assert_eq!(ctx.base_features(), vec!["k".to_string()]);
+        assert_eq!(ctx.label(), "target");
+    }
+
+    #[test]
+    fn missing_base_rejected() {
+        let r = SearchContext::from_kfk(tables(), &[], "ghost", "target");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn missing_label_rejected() {
+        let r = SearchContext::from_kfk(tables(), &[], "base", "ghost");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn discovery_context_hides_label() {
+        let ctx = SearchContext::from_discovery(
+            tables(),
+            &SchemaMatcher::paper_default(),
+            "base",
+            "target",
+        )
+        .unwrap();
+        for e in ctx.drg().edges() {
+            assert_ne!(e.a_column, "target");
+            assert_ne!(e.b_column, "target");
+        }
+        // The shared key column must be rediscovered.
+        assert!(ctx.drg().n_edges() >= 1);
+        // Label survives in the stored base table.
+        assert!(ctx.base_table().has_column("target"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Join-path materialization: turn a [`JoinPath`] into an augmented table
+//! by replaying its hops as normalized left joins.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use autofeat_data::join::left_join_normalized;
+use autofeat_data::{DataError, Result, Table};
+use autofeat_graph::JoinPath;
+
+use crate::context::SearchContext;
+
+/// The column name a hop's left key has inside the intermediate table:
+/// base-table columns keep their names; columns joined in from table `t`
+/// were renamed to `t.col`.
+pub fn qualified_column(base_name: &str, table: &str, column: &str) -> String {
+    if table == base_name {
+        column.to_string()
+    } else {
+        format!("{table}.{column}")
+    }
+}
+
+/// Materialize a join path starting from `start` (usually the full base
+/// table, or a stratified sample of it during discovery). Replays each hop
+/// as a left join with cardinality normalization; right-hand columns get
+/// `table.` prefixes.
+pub fn materialize_path(
+    ctx: &SearchContext,
+    start: &Table,
+    path: &JoinPath,
+    seed: u64,
+) -> Result<Table> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut current = start.clone();
+    for hop in path.hops() {
+        let right = ctx.table(&hop.to_table).ok_or_else(|| {
+            DataError::Invalid(format!("table `{}` not in context", hop.to_table))
+        })?;
+        let left_key = qualified_column(ctx.base_name(), &hop.from_table, &hop.from_column);
+        let out = left_join_normalized(
+            &current,
+            right,
+            &left_key,
+            &hop.to_column,
+            &hop.to_table,
+            &mut rng,
+        )?;
+        current = out.table;
+    }
+    Ok(current)
+}
+
+/// Materialize a **join tree**: the union of several ranked paths rooted at
+/// the base table (the paper's output is "depicted as a join tree", Fig. 2,
+/// and its reported `#tables joined` exceeds any single chain's length).
+///
+/// Paths are replayed in the given (rank) order; a table already joined by
+/// an earlier path is not joined again — its columns are already present
+/// under the same `table.` prefix, so later hops can still use it as a
+/// stepping stone. Returns the joined table and the distinct non-base
+/// tables joined.
+pub fn materialize_tree(
+    ctx: &SearchContext,
+    start: &Table,
+    paths: &[&JoinPath],
+    seed: u64,
+) -> Result<(Table, Vec<String>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut current = start.clone();
+    let mut joined: Vec<String> = Vec::new();
+    for path in paths {
+        for hop in path.hops() {
+            if joined.contains(&hop.to_table) {
+                continue;
+            }
+            let right = ctx.table(&hop.to_table).ok_or_else(|| {
+                DataError::Invalid(format!("table `{}` not in context", hop.to_table))
+            })?;
+            let left_key = qualified_column(ctx.base_name(), &hop.from_table, &hop.from_column);
+            if !current.has_column(&left_key) {
+                // The stepping stone was never joined (its path prefix was
+                // pruned elsewhere); skip this branch.
+                break;
+            }
+            let out = left_join_normalized(
+                &current,
+                right,
+                &left_key,
+                &hop.to_column,
+                &hop.to_table,
+                &mut rng,
+            )?;
+            current = out.table;
+            joined.push(hop.to_table.clone());
+        }
+    }
+    Ok((current, joined))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofeat_data::{Column, Value};
+    use autofeat_graph::JoinHop;
+
+    fn ctx() -> SearchContext {
+        let base = Table::new(
+            "base",
+            vec![
+                ("a_id", Column::from_ints((0..10).map(Some).collect::<Vec<_>>())),
+                ("target", Column::from_ints((0..10).map(|i| Some(i % 2)).collect::<Vec<_>>())),
+            ],
+        )
+        .unwrap();
+        let a = Table::new(
+            "a",
+            vec![
+                ("a_id", Column::from_ints((0..10).map(Some).collect::<Vec<_>>())),
+                ("b_id", Column::from_ints((0..10).map(|i| Some(100 + i)).collect::<Vec<_>>())),
+                ("fa", Column::from_floats((0..10).map(|i| Some(i as f64)).collect::<Vec<_>>())),
+            ],
+        )
+        .unwrap();
+        let b = Table::new(
+            "b",
+            vec![
+                ("b_id", Column::from_ints((0..10).map(|i| Some(100 + i)).collect::<Vec<_>>())),
+                ("fb", Column::from_floats((0..10).map(|i| Some(i as f64 * 10.0)).collect::<Vec<_>>())),
+            ],
+        )
+        .unwrap();
+        SearchContext::from_kfk(
+            vec![base, a, b],
+            &[
+                ("base".into(), "a_id".into(), "a".into(), "a_id".into()),
+                ("a".into(), "b_id".into(), "b".into(), "b_id".into()),
+            ],
+            "base",
+            "target",
+        )
+        .unwrap()
+    }
+
+    fn hop(from: &str, fc: &str, to: &str, tc: &str) -> JoinHop {
+        JoinHop {
+            from_table: from.into(),
+            from_column: fc.into(),
+            to_table: to.into(),
+            to_column: tc.into(),
+            weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn one_hop_materializes() {
+        let c = ctx();
+        let path = JoinPath::from_hops(vec![hop("base", "a_id", "a", "a_id")]);
+        let t = materialize_path(&c, c.base_table(), &path, 0).unwrap();
+        assert_eq!(t.n_rows(), 10);
+        assert!(t.has_column("a.fa"));
+        assert_eq!(t.value("a.fa", 3).unwrap(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn two_hop_uses_qualified_intermediate_key() {
+        let c = ctx();
+        let path = JoinPath::from_hops(vec![
+            hop("base", "a_id", "a", "a_id"),
+            hop("a", "b_id", "b", "b_id"),
+        ]);
+        let t = materialize_path(&c, c.base_table(), &path, 0).unwrap();
+        assert!(t.has_column("b.fb"));
+        assert_eq!(t.value("b.fb", 5).unwrap(), Value::Float(50.0));
+    }
+
+    #[test]
+    fn empty_path_returns_start() {
+        let c = ctx();
+        let t = materialize_path(&c, c.base_table(), &JoinPath::empty(), 0).unwrap();
+        assert_eq!(&t, c.base_table());
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let c = ctx();
+        let path = JoinPath::from_hops(vec![hop("base", "a_id", "ghost", "x")]);
+        assert!(materialize_path(&c, c.base_table(), &path, 0).is_err());
+    }
+
+    #[test]
+    fn qualified_column_rules() {
+        assert_eq!(qualified_column("base", "base", "x"), "x");
+        assert_eq!(qualified_column("base", "a", "x"), "a.x");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = ctx();
+        let path = JoinPath::from_hops(vec![hop("base", "a_id", "a", "a_id")]);
+        let t1 = materialize_path(&c, c.base_table(), &path, 7).unwrap();
+        let t2 = materialize_path(&c, c.base_table(), &path, 7).unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn tree_union_joins_each_table_once() {
+        let c = ctx();
+        let p1 = JoinPath::from_hops(vec![hop("base", "a_id", "a", "a_id")]);
+        let p2 = JoinPath::from_hops(vec![
+            hop("base", "a_id", "a", "a_id"),
+            hop("a", "b_id", "b", "b_id"),
+        ]);
+        let (t, joined) = materialize_tree(&c, c.base_table(), &[&p1, &p2], 0).unwrap();
+        assert_eq!(joined, vec!["a".to_string(), "b".to_string()]);
+        assert!(t.has_column("a.fa"));
+        assert!(t.has_column("b.fb"));
+        // No duplicate-suffix columns: `a` joined exactly once.
+        assert!(!t.has_column("a.fa#2"));
+        assert_eq!(t.n_rows(), 10);
+    }
+
+    #[test]
+    fn tree_skips_branch_with_missing_stepping_stone() {
+        let c = ctx();
+        // A path whose first hop uses a key that does not exist.
+        let bad = JoinPath::from_hops(vec![hop("ghost", "x", "b", "b_id")]);
+        let (t, joined) = materialize_tree(&c, c.base_table(), &[&bad], 0).unwrap();
+        assert!(joined.is_empty());
+        assert_eq!(&t, c.base_table());
+    }
+}

@@ -1,0 +1,51 @@
+//! # autofeat-core
+//!
+//! The paper's primary contribution: **ranking-based transitive feature
+//! discovery over join paths** (Algorithms 1 & 2 of "AutoFeat: Transitive
+//! Feature Discovery over Join Paths", ICDE 2024), plus every baseline of
+//! its evaluation.
+//!
+//! ## The AutoFeat pipeline
+//!
+//! 1. A [`SearchContext`] bundles the data lake's
+//!    tables, the base table + label, and the Dataset Relation Graph (KFK
+//!    edges in the *benchmark setting*, discovered edges in the *data-lake
+//!    setting*).
+//! 2. [`AutoFeat::discover`](autofeat::AutoFeat) runs Algorithm 1: BFS over
+//!    the DRG, per-neighbour similarity-score pruning, left joins with
+//!    cardinality normalization, τ data-quality pruning, *select-κ-best*
+//!    relevance analysis (Spearman by default), streaming redundancy
+//!    analysis (MRMR by default) against the running selected set, and
+//!    Algorithm 2 path scoring — producing a ranked list of join paths with
+//!    their selected features.
+//! 3. [`train::train_top_k`] materializes the top-k paths at full scale,
+//!    trains the requested models, and returns the best path by accuracy.
+//!
+//! ## Baselines (§VII-B)
+//!
+//! * [`baselines::base`] — the unaugmented base table;
+//! * [`baselines::arda`] — ARDA's random-injection feature selection over a
+//!   single-hop star join;
+//! * [`baselines::mab`] — the multi-armed-bandit augmenter (UCB1 over
+//!   same-name join candidates, model-accuracy reward);
+//! * [`baselines::join_all`] — JoinAll / JoinAll+F with the Eq. 3
+//!   feasibility guard.
+
+pub mod autofeat;
+pub mod baselines;
+pub mod config;
+pub mod context;
+pub mod executor;
+pub mod ranking;
+pub mod report;
+pub mod train;
+pub mod tuning;
+
+pub use autofeat::{AutoFeat, DiscoveryResult, RankedPath};
+pub use config::AutoFeatConfig;
+pub use context::SearchContext;
+pub use executor::materialize_path;
+pub use ranking::compute_score;
+pub use report::MethodResult;
+pub use train::{train_top_k, TrainOutcome};
+pub use tuning::{tune, TuningGrid, TuningOutcome};

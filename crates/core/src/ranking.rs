@@ -1,0 +1,65 @@
+//! Algorithm 2: the join-path ranking score.
+//!
+//! The paper combines the relevance-analysis scores and the
+//! redundancy-analysis scores of the features a join contributed: each sum
+//! is "weighted by the cardinality of the selected subset" (i.e. averaged),
+//! and the final score is their combination. Empty subsets contribute zero,
+//! so a join that added nothing useful ranks at the bottom.
+
+/// Algorithm 2: combine relevance scores and redundancy (J) scores into one
+/// ranking score.
+///
+/// `score_rel` are the relevance scores of the features that survived the
+/// relevance analysis; `score_red` the J-scores of those that also survived
+/// the redundancy analysis. Returns
+/// `mean(score_rel) + mean(score_red)` (each term 0 for an empty set).
+pub fn compute_score(score_rel: &[f64], score_red: &[f64]) -> f64 {
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    mean(score_rel) + mean(score_red)
+}
+
+/// Cumulative path score: a multi-hop path is scored by the sum of its
+/// per-hop scores, so paths that keep contributing features keep climbing.
+pub fn accumulate(previous: f64, hop_score: f64) -> f64 {
+    previous + hop_score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sets_score_zero() {
+        assert_eq!(compute_score(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn relevance_only() {
+        assert!((compute_score(&[0.4, 0.6], &[]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn both_terms_add() {
+        let s = compute_score(&[0.5, 0.7], &[0.2]);
+        assert!((s - (0.6 + 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_good_features_do_not_dilute() {
+        // Averaging means two strong features beat one strong + one weak.
+        let strong = compute_score(&[0.9, 0.9], &[]);
+        let mixed = compute_score(&[0.9, 0.1], &[]);
+        assert!(strong > mixed);
+    }
+
+    #[test]
+    fn accumulation_is_additive() {
+        assert_eq!(accumulate(1.5, 0.5), 2.0);
+    }
+}

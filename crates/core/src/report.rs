@@ -1,0 +1,84 @@
+//! Result records shared by AutoFeat and the baselines — the rows behind
+//! Figs. 1, 4, 5, 6, 7.
+
+use std::time::Duration;
+
+use autofeat_ml::eval::ModelKind;
+
+/// One method's outcome on one dataset: what the paper's bar charts plot.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Method label ("AutoFeat", "BASE", "ARDA", "MAB", "JoinAll",
+    /// "JoinAll+F").
+    pub method: String,
+    /// Test accuracy per ML model.
+    pub accuracy_per_model: Vec<(ModelKind, f64)>,
+    /// Time spent assessing/choosing features (the contrasting bar segment
+    /// of Figs. 4/6).
+    pub feature_selection_time: Duration,
+    /// Total runtime including model training.
+    pub total_time: Duration,
+    /// Number of tables joined into the winning augmented table (the number
+    /// printed on the paper's bars).
+    pub n_tables_joined: usize,
+    /// Number of features the method selected for training.
+    pub n_features: usize,
+}
+
+impl MethodResult {
+    /// Mean accuracy across models (the paper averages "over all tested
+    /// tree-based ML algorithms").
+    pub fn mean_accuracy(&self) -> f64 {
+        if self.accuracy_per_model.is_empty() {
+            return 0.0;
+        }
+        self.accuracy_per_model.iter().map(|(_, a)| a).sum::<f64>()
+            / self.accuracy_per_model.len() as f64
+    }
+
+    /// Accuracy for one model, if evaluated.
+    pub fn accuracy_for(&self, kind: ModelKind) -> Option<f64> {
+        self.accuracy_per_model
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, a)| *a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> MethodResult {
+        MethodResult {
+            method: "AutoFeat".into(),
+            accuracy_per_model: vec![
+                (ModelKind::LightGbm, 0.9),
+                (ModelKind::RandomForest, 0.8),
+            ],
+            feature_selection_time: Duration::from_millis(120),
+            total_time: Duration::from_millis(500),
+            n_tables_joined: 3,
+            n_features: 7,
+        }
+    }
+
+    #[test]
+    fn mean_accuracy_averages() {
+        assert!((result().mean_accuracy() - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accuracy_is_zero() {
+        let mut r = result();
+        r.accuracy_per_model.clear();
+        assert_eq!(r.mean_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_lookup() {
+        let r = result();
+        assert_eq!(r.accuracy_for(ModelKind::LightGbm), Some(0.9));
+        assert_eq!(r.accuracy_for(ModelKind::Knn), None);
+    }
+}

@@ -1,0 +1,180 @@
+//! Dynamic hyper-parameter tuning — the paper's future-work proposal
+//! ("dynamic hyper-parameter tuning, allowing the algorithm to adapt to
+//! different data landscapes"). The tuner sweeps τ (and optionally κ) on a
+//! sampled context with a cheap validation model, then returns the
+//! configuration balancing accuracy against feature-selection time.
+
+use autofeat_data::Result;
+use autofeat_ml::eval::ModelKind;
+
+use crate::autofeat::AutoFeat;
+use crate::config::AutoFeatConfig;
+use crate::context::SearchContext;
+use crate::train::train_top_k;
+
+/// Tuning search space.
+#[derive(Debug, Clone)]
+pub struct TuningGrid {
+    /// τ values to try.
+    pub taus: Vec<f64>,
+    /// κ values to try.
+    pub kappas: Vec<usize>,
+    /// Accuracy tolerance: among configurations within `tolerance` of the
+    /// best accuracy, the fastest (most aggressively pruning) one wins.
+    pub tolerance: f64,
+    /// Validation model (cheap by default).
+    pub model: ModelKind,
+}
+
+impl Default for TuningGrid {
+    fn default() -> Self {
+        TuningGrid {
+            taus: vec![0.35, 0.5, 0.65, 0.8],
+            kappas: vec![5, 10, 15],
+            tolerance: 0.01,
+            model: ModelKind::LightGbm,
+        }
+    }
+}
+
+/// One grid point's outcome.
+#[derive(Debug, Clone)]
+pub struct TuningTrial {
+    /// τ used.
+    pub tau: f64,
+    /// κ used.
+    pub kappa: usize,
+    /// Validation accuracy of the best trained path.
+    pub accuracy: f64,
+    /// Feature-discovery seconds.
+    pub fs_secs: f64,
+}
+
+/// Result of a tuning sweep: the chosen configuration plus the full trace.
+#[derive(Debug, Clone)]
+pub struct TuningOutcome {
+    /// The winning configuration (base config with tuned τ/κ).
+    pub config: AutoFeatConfig,
+    /// All trials, in sweep order.
+    pub trials: Vec<TuningTrial>,
+}
+
+/// Sweep the grid and pick the τ/κ pair that is fastest among those within
+/// `tolerance` of the best observed accuracy.
+pub fn tune(
+    ctx: &SearchContext,
+    base: &AutoFeatConfig,
+    grid: &TuningGrid,
+) -> Result<TuningOutcome> {
+    assert!(!grid.taus.is_empty() && !grid.kappas.is_empty(), "empty grid");
+    let mut trials = Vec::with_capacity(grid.taus.len() * grid.kappas.len());
+    for &tau in &grid.taus {
+        for &kappa in &grid.kappas {
+            let cfg = AutoFeatConfig { tau, kappa, ..base.clone() };
+            let discovery = AutoFeat::new(cfg.clone()).discover(ctx)?;
+            let fs_secs = discovery.elapsed.as_secs_f64();
+            let out = train_top_k(ctx, &discovery, &[grid.model], &cfg)?;
+            trials.push(TuningTrial {
+                tau,
+                kappa,
+                accuracy: out.result.mean_accuracy(),
+                fs_secs,
+            });
+        }
+    }
+    let best_acc = trials
+        .iter()
+        .map(|t| t.accuracy)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let winner = trials
+        .iter()
+        .filter(|t| t.accuracy >= best_acc - grid.tolerance)
+        .min_by(|a, b| {
+            a.fs_secs
+                .partial_cmp(&b.fs_secs)
+                .expect("finite times")
+                // Prefer larger τ (more pruning) and smaller κ on ties.
+                .then_with(|| b.tau.partial_cmp(&a.tau).expect("finite"))
+                .then_with(|| a.kappa.cmp(&b.kappa))
+        })
+        .expect("at least one trial");
+    Ok(TuningOutcome {
+        config: AutoFeatConfig { tau: winner.tau, kappa: winner.kappa, ..base.clone() },
+        trials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofeat_data::{Column, Table};
+
+    fn ctx(n: usize) -> SearchContext {
+        let labels: Vec<i64> = (0..n as i64).map(|i| i % 2).collect();
+        let base = Table::new(
+            "base",
+            vec![
+                ("k", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+                ("target", Column::from_ints(labels.iter().copied().map(Some).collect::<Vec<_>>())),
+            ],
+        )
+        .unwrap();
+        let s1 = Table::new(
+            "s1",
+            vec![
+                ("k", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+                (
+                    "signal",
+                    Column::from_floats(labels.iter().map(|&l| Some(l as f64)).collect::<Vec<_>>()),
+                ),
+            ],
+        )
+        .unwrap();
+        SearchContext::from_kfk(
+            vec![base, s1],
+            &[("base".into(), "k".into(), "s1".into(), "k".into())],
+            "base",
+            "target",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tuner_covers_the_grid() {
+        let c = ctx(200);
+        let grid = TuningGrid {
+            taus: vec![0.3, 0.65],
+            kappas: vec![5, 15],
+            ..Default::default()
+        };
+        let out = tune(&c, &AutoFeatConfig::paper(), &grid).unwrap();
+        assert_eq!(out.trials.len(), 4);
+        assert!(grid.taus.contains(&out.config.tau));
+        assert!(grid.kappas.contains(&out.config.kappa));
+    }
+
+    #[test]
+    fn tuner_keeps_accuracy_on_easy_data() {
+        let c = ctx(300);
+        let out = tune(&c, &AutoFeatConfig::paper(), &TuningGrid::default()).unwrap();
+        let best = out
+            .trials
+            .iter()
+            .map(|t| t.accuracy)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let chosen = out
+            .trials
+            .iter()
+            .find(|t| t.tau == out.config.tau && t.kappa == out.config.kappa)
+            .unwrap();
+        assert!(chosen.accuracy >= best - 0.011);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty grid")]
+    fn empty_grid_panics() {
+        let c = ctx(50);
+        let grid = TuningGrid { taus: vec![], ..Default::default() };
+        let _ = tune(&c, &AutoFeatConfig::paper(), &grid);
+    }
+}

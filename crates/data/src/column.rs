@@ -1,0 +1,398 @@
+//! Typed, null-aware columns.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::{DataError, Result};
+use crate::value::{DType, Key, Value};
+
+/// A typed column of nullable values.
+///
+/// Each variant stores `Option<T>` per row; `None` is the SQL NULL. Float
+/// `NaN`s are normalized to `None` on insertion so that nulls have exactly
+/// one representation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integers.
+    Int(Vec<Option<i64>>),
+    /// 64-bit floats (never `NaN`; `NaN` is stored as `None`).
+    Float(Vec<Option<f64>>),
+    /// UTF-8 strings with cheap `Arc` clones.
+    Str(Vec<Option<Arc<str>>>),
+    /// Booleans.
+    Bool(Vec<Option<bool>>),
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn empty(dtype: DType) -> Self {
+        match dtype {
+            DType::Int => Column::Int(Vec::new()),
+            DType::Float => Column::Float(Vec::new()),
+            DType::Str => Column::Str(Vec::new()),
+            DType::Bool => Column::Bool(Vec::new()),
+        }
+    }
+
+    /// An empty column of the given type with pre-reserved capacity.
+    pub fn with_capacity(dtype: DType, cap: usize) -> Self {
+        match dtype {
+            DType::Int => Column::Int(Vec::with_capacity(cap)),
+            DType::Float => Column::Float(Vec::with_capacity(cap)),
+            DType::Str => Column::Str(Vec::with_capacity(cap)),
+            DType::Bool => Column::Bool(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Build an int column from an iterator of optional values.
+    pub fn from_ints<I: IntoIterator<Item = Option<i64>>>(iter: I) -> Self {
+        Column::Int(iter.into_iter().collect())
+    }
+
+    /// Build a float column; `NaN`s become nulls.
+    pub fn from_floats<I: IntoIterator<Item = Option<f64>>>(iter: I) -> Self {
+        Column::Float(
+            iter.into_iter()
+                .map(|v| v.filter(|f| !f.is_nan()))
+                .collect(),
+        )
+    }
+
+    /// Build a string column from anything string-like.
+    pub fn from_strs<S: AsRef<str>, I: IntoIterator<Item = Option<S>>>(iter: I) -> Self {
+        Column::Str(
+            iter.into_iter()
+                .map(|v| v.map(|s| Arc::from(s.as_ref())))
+                .collect(),
+        )
+    }
+
+    /// Build a bool column.
+    pub fn from_bools<I: IntoIterator<Item = Option<bool>>>(iter: I) -> Self {
+        Column::Bool(iter.into_iter().collect())
+    }
+
+    /// The column's data type.
+    pub fn dtype(&self) -> DType {
+        match self {
+            Column::Int(_) => DType::Int,
+            Column::Float(_) => DType::Float,
+            Column::Str(_) => DType::Str,
+            Column::Bool(_) => DType::Bool,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Bool(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of null entries.
+    pub fn null_count(&self) -> usize {
+        match self {
+            Column::Int(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Float(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Str(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Bool(v) => v.iter().filter(|x| x.is_none()).count(),
+        }
+    }
+
+    /// Fraction of null entries in `[0, 1]`; zero for an empty column.
+    pub fn null_ratio(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.null_count() as f64 / self.len() as f64
+        }
+    }
+
+    /// Get the value at `row` (panics if out of bounds — use
+    /// [`Column::try_get`] for a checked variant).
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            Column::Int(v) => v[row].map_or(Value::Null, Value::Int),
+            Column::Float(v) => v[row].map_or(Value::Null, Value::Float),
+            Column::Str(v) => v[row]
+                .as_ref()
+                .map_or(Value::Null, |s| Value::Str(Arc::clone(s))),
+            Column::Bool(v) => v[row].map_or(Value::Null, Value::Bool),
+        }
+    }
+
+    /// Checked access.
+    pub fn try_get(&self, row: usize) -> Result<Value> {
+        if row >= self.len() {
+            return Err(DataError::RowOutOfBounds { index: row, len: self.len() });
+        }
+        Ok(self.get(row))
+    }
+
+    /// Numeric view of a row: ints/floats/bools coerce to f64, strings and
+    /// nulls are `None`.
+    pub fn get_f64(&self, row: usize) -> Option<f64> {
+        match self {
+            Column::Int(v) => v[row].map(|i| i as f64),
+            Column::Float(v) => v[row],
+            Column::Bool(v) => v[row].map(|b| if b { 1.0 } else { 0.0 }),
+            Column::Str(_) => None,
+        }
+    }
+
+    /// Join key of a row (`None` when null).
+    pub fn key(&self, row: usize) -> Option<Key> {
+        self.get(row).key()
+    }
+
+    /// Append a value; coerces ints→floats into float columns, errors on any
+    /// other type mismatch. Nulls (and float NaNs) append as null.
+    pub fn push(&mut self, value: Value) -> Result<()> {
+        match (self, value) {
+            (col, Value::Null) => {
+                col.push_null();
+                Ok(())
+            }
+            (Column::Int(v), Value::Int(i)) => {
+                v.push(Some(i));
+                Ok(())
+            }
+            (Column::Float(v), Value::Float(f)) => {
+                v.push(if f.is_nan() { None } else { Some(f) });
+                Ok(())
+            }
+            (Column::Float(v), Value::Int(i)) => {
+                v.push(Some(i as f64));
+                Ok(())
+            }
+            (Column::Str(v), Value::Str(s)) => {
+                v.push(Some(s));
+                Ok(())
+            }
+            (Column::Bool(v), Value::Bool(b)) => {
+                v.push(Some(b));
+                Ok(())
+            }
+            (col, value) => Err(DataError::TypeMismatch {
+                expected: col.dtype().name(),
+                got: value.dtype().map_or("null", DType::name),
+            }),
+        }
+    }
+
+    /// Append a null.
+    pub fn push_null(&mut self) {
+        match self {
+            Column::Int(v) => v.push(None),
+            Column::Float(v) => v.push(None),
+            Column::Str(v) => v.push(None),
+            Column::Bool(v) => v.push(None),
+        }
+    }
+
+    /// Gather rows by index; `None` indices produce null rows (used for the
+    /// unmatched side of a left join).
+    pub fn take_opt(&self, indices: &[Option<usize>]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(
+                indices.iter().map(|ix| ix.and_then(|i| v[i])).collect(),
+            ),
+            Column::Float(v) => Column::Float(
+                indices.iter().map(|ix| ix.and_then(|i| v[i])).collect(),
+            ),
+            Column::Str(v) => Column::Str(
+                indices
+                    .iter()
+                    .map(|ix| ix.and_then(|i| v[i].clone()))
+                    .collect(),
+            ),
+            Column::Bool(v) => Column::Bool(
+                indices.iter().map(|ix| ix.and_then(|i| v[i])).collect(),
+            ),
+        }
+    }
+
+    /// Gather rows by index (all present).
+    pub fn take(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(indices.iter().map(|&i| v[i]).collect()),
+            Column::Float(v) => Column::Float(indices.iter().map(|&i| v[i]).collect()),
+            Column::Str(v) => Column::Str(indices.iter().map(|&i| v[i].clone()).collect()),
+            Column::Bool(v) => Column::Bool(indices.iter().map(|&i| v[i]).collect()),
+        }
+    }
+
+    /// Iterate values as [`Value`]s.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Number of distinct non-null keys.
+    pub fn distinct_count(&self) -> usize {
+        let mut seen: std::collections::HashSet<Key> = std::collections::HashSet::new();
+        for i in 0..self.len() {
+            if let Some(k) = self.key(i) {
+                seen.insert(k);
+            }
+        }
+        seen.len()
+    }
+
+    /// The most frequent non-null value (mode). Ties break toward the value
+    /// first encountered, making the result deterministic.
+    pub fn mode(&self) -> Option<Value> {
+        let mut counts: HashMap<Key, (usize, usize)> = HashMap::new(); // key -> (count, first row)
+        for i in 0..self.len() {
+            if let Some(k) = self.key(i) {
+                let e = counts.entry(k).or_insert((0, i));
+                e.0 += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .max_by(|a, b| a.1 .0.cmp(&b.1 .0).then(b.1 .1.cmp(&a.1 .1)))
+            .map(|(_, (_, row))| self.get(row))
+    }
+
+    /// Mean of the numeric view over non-null rows; `None` for string
+    /// columns or all-null columns.
+    pub fn mean(&self) -> Option<f64> {
+        if matches!(self, Column::Str(_)) {
+            return None;
+        }
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for i in 0..self.len() {
+            if let Some(x) = self.get_f64(i) {
+                sum += x;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// Extract the numeric view as a dense vector, with `f64::NAN` at nulls
+    /// and for string cells.
+    pub fn to_f64_lossy(&self) -> Vec<f64> {
+        (0..self.len())
+            .map(|i| self.get_f64(i).unwrap_or(f64::NAN))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_col() -> Column {
+        Column::from_ints([Some(1), None, Some(3), Some(3)])
+    }
+
+    #[test]
+    fn len_and_nulls() {
+        let c = int_col();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.null_count(), 1);
+        assert!((c.null_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_column_null_ratio_is_zero() {
+        assert_eq!(Column::empty(DType::Int).null_ratio(), 0.0);
+    }
+
+    #[test]
+    fn nan_is_normalized_to_null() {
+        let c = Column::from_floats([Some(1.0), Some(f64::NAN), None]);
+        assert_eq!(c.null_count(), 2);
+    }
+
+    #[test]
+    fn push_coerces_int_into_float_column() {
+        let mut c = Column::empty(DType::Float);
+        c.push(Value::Int(3)).unwrap();
+        assert_eq!(c.get(0), Value::Float(3.0));
+    }
+
+    #[test]
+    fn push_type_mismatch_errors() {
+        let mut c = Column::empty(DType::Int);
+        let err = c.push(Value::str("x")).unwrap_err();
+        assert!(matches!(err, DataError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn take_opt_inserts_nulls() {
+        let c = int_col();
+        let t = c.take_opt(&[Some(0), None, Some(2)]);
+        assert_eq!(t.get(0), Value::Int(1));
+        assert_eq!(t.get(1), Value::Null);
+        assert_eq!(t.get(2), Value::Int(3));
+    }
+
+    #[test]
+    fn take_preserves_order() {
+        let c = int_col();
+        let t = c.take(&[3, 0]);
+        assert_eq!(t.get(0), Value::Int(3));
+        assert_eq!(t.get(1), Value::Int(1));
+    }
+
+    #[test]
+    fn distinct_count_ignores_nulls() {
+        assert_eq!(int_col().distinct_count(), 2);
+    }
+
+    #[test]
+    fn mode_returns_most_frequent() {
+        assert_eq!(int_col().mode(), Some(Value::Int(3)));
+        assert_eq!(Column::empty(DType::Int).mode(), None);
+    }
+
+    #[test]
+    fn mode_all_null_is_none() {
+        let c = Column::from_ints([None, None]);
+        assert_eq!(c.mode(), None);
+    }
+
+    #[test]
+    fn mean_skips_nulls() {
+        let c = Column::from_floats([Some(1.0), None, Some(3.0)]);
+        assert_eq!(c.mean(), Some(2.0));
+        assert_eq!(Column::from_strs([Some("a")]).mean(), None);
+    }
+
+    #[test]
+    fn try_get_bounds() {
+        let c = int_col();
+        assert!(c.try_get(10).is_err());
+        assert_eq!(c.try_get(0).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn to_f64_lossy_marks_nulls_nan() {
+        let v = int_col().to_f64_lossy();
+        assert_eq!(v[0], 1.0);
+        assert!(v[1].is_nan());
+    }
+
+    #[test]
+    fn bool_numeric_view() {
+        let c = Column::from_bools([Some(true), Some(false), None]);
+        assert_eq!(c.get_f64(0), Some(1.0));
+        assert_eq!(c.get_f64(1), Some(0.0));
+        assert_eq!(c.get_f64(2), None);
+    }
+}

@@ -1,0 +1,258 @@
+//! Minimal CSV reader/writer with type inference.
+//!
+//! Supports RFC-4180-style quoting (`"..."` with `""` escapes), a header
+//! row, and per-column type inference over the full file: a column is `Int`
+//! if every non-empty cell parses as an integer, else `Float` if every cell
+//! parses as a float, else `Bool` if every cell is `true`/`false`, else
+//! `Str`. Empty cells are nulls.
+
+use std::fs;
+use std::path::Path;
+
+use crate::column::Column;
+use crate::error::{DataError, Result};
+use crate::table::Table;
+use crate::value::DType;
+
+/// Parse one CSV record (handles quotes); returns the fields.
+fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else {
+            match c {
+                '"' => {
+                    if cur.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        cur.push(c);
+                    }
+                }
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Csv { line: line_no, message: "unterminated quote".into() });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+fn infer_dtype(cells: &[Option<String>]) -> DType {
+    let mut all_int = true;
+    let mut all_float = true;
+    let mut all_bool = true;
+    let mut any = false;
+    for c in cells.iter().flatten() {
+        any = true;
+        if all_int && c.parse::<i64>().is_err() {
+            all_int = false;
+        }
+        if all_float && c.parse::<f64>().is_err() {
+            all_float = false;
+        }
+        if all_bool && !matches!(c.as_str(), "true" | "false" | "True" | "False") {
+            all_bool = false;
+        }
+        if !all_int && !all_float && !all_bool {
+            return DType::Str;
+        }
+    }
+    if !any {
+        // All-null column: default to string.
+        return DType::Str;
+    }
+    if all_int {
+        DType::Int
+    } else if all_float {
+        DType::Float
+    } else if all_bool {
+        DType::Bool
+    } else {
+        DType::Str
+    }
+}
+
+/// Parse CSV text into a table named `name`.
+pub fn read_csv_str(name: &str, text: &str) -> Result<Table> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.is_empty());
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| DataError::Csv { line: 0, message: "empty input".into() })?;
+    let headers = parse_record(header, 1)?;
+    let n_cols = headers.len();
+    let mut cells: Vec<Vec<Option<String>>> = vec![Vec::new(); n_cols];
+    for (i, line) in lines {
+        let rec = parse_record(line, i + 1)?;
+        if rec.len() != n_cols {
+            return Err(DataError::Csv {
+                line: i + 1,
+                message: format!("expected {n_cols} fields, got {}", rec.len()),
+            });
+        }
+        for (c, field) in rec.into_iter().enumerate() {
+            cells[c].push(if field.is_empty() { None } else { Some(field) });
+        }
+    }
+    let mut cols = Vec::with_capacity(n_cols);
+    for (h, col_cells) in headers.into_iter().zip(cells) {
+        let dtype = infer_dtype(&col_cells);
+        let col = match dtype {
+            DType::Int => Column::from_ints(
+                col_cells.iter().map(|c| c.as_ref().and_then(|s| s.parse().ok())),
+            ),
+            DType::Float => Column::from_floats(
+                col_cells.iter().map(|c| c.as_ref().and_then(|s| s.parse().ok())),
+            ),
+            DType::Bool => Column::from_bools(
+                col_cells
+                    .iter()
+                    .map(|c| c.as_ref().map(|s| matches!(s.as_str(), "true" | "True"))),
+            ),
+            DType::Str => Column::from_strs(col_cells.iter().map(|c| c.as_deref())),
+        };
+        cols.push((h, col));
+    }
+    Table::new(name, cols)
+}
+
+/// Read a CSV file into a table named after the file stem.
+pub fn read_csv(path: impl AsRef<Path>) -> Result<Table> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("table")
+        .to_string();
+    let text = fs::read_to_string(path)?;
+    read_csv_str(&name, &text)
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serialize a table to CSV text (header + rows; nulls as empty fields).
+pub fn write_csv_str(table: &Table) -> String {
+    let mut out = String::new();
+    let names = table.column_names();
+    out.push_str(
+        &names.iter().map(|n| escape(n)).collect::<Vec<_>>().join(","),
+    );
+    out.push('\n');
+    for r in 0..table.n_rows() {
+        let row: Vec<String> = (0..table.n_cols())
+            .map(|c| escape(&table.column_at(c).get(r).to_string()))
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a table to a CSV file.
+pub fn write_csv(table: &Table, path: impl AsRef<Path>) -> Result<()> {
+    fs::write(path, write_csv_str(table))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn roundtrip_basic_types() {
+        let csv = "id,score,name,flag\n1,0.5,alice,true\n2,1.5,bob,false\n";
+        let t = read_csv_str("t", csv).unwrap();
+        assert_eq!(t.column("id").unwrap().dtype(), DType::Int);
+        assert_eq!(t.column("score").unwrap().dtype(), DType::Float);
+        assert_eq!(t.column("name").unwrap().dtype(), DType::Str);
+        assert_eq!(t.column("flag").unwrap().dtype(), DType::Bool);
+        let back = read_csv_str("t", &write_csv_str(&t)).unwrap();
+        assert_eq!(back.value("name", 1).unwrap(), Value::str("bob"));
+        assert_eq!(back.n_rows(), 2);
+    }
+
+    #[test]
+    fn empty_cells_are_null() {
+        let t = read_csv_str("t", "a,b\n1,\n,2\n").unwrap();
+        assert_eq!(t.value("a", 1).unwrap(), Value::Null);
+        assert_eq!(t.value("b", 0).unwrap(), Value::Null);
+        assert_eq!(t.column("a").unwrap().null_count(), 1);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_escapes() {
+        let t = read_csv_str("t", "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(t.value("a", 0).unwrap(), Value::str("x,y"));
+        assert_eq!(t.value("b", 0).unwrap(), Value::str("he said \"hi\""));
+    }
+
+    #[test]
+    fn quoted_roundtrip() {
+        let t = read_csv_str("t", "a\n\"x,y\"\n").unwrap();
+        let again = read_csv_str("t", &write_csv_str(&t)).unwrap();
+        assert_eq!(again.value("a", 0).unwrap(), Value::str("x,y"));
+    }
+
+    #[test]
+    fn mixed_int_float_column_is_float() {
+        let t = read_csv_str("t", "a\n1\n2.5\n").unwrap();
+        assert_eq!(t.column("a").unwrap().dtype(), DType::Float);
+    }
+
+    #[test]
+    fn all_null_column_defaults_to_str() {
+        let t = read_csv_str("t", "a,b\n,1\n,2\n").unwrap();
+        assert_eq!(t.column("a").unwrap().dtype(), DType::Str);
+    }
+
+    #[test]
+    fn ragged_row_errors() {
+        let r = read_csv_str("t", "a,b\n1\n");
+        assert!(matches!(r, Err(DataError::Csv { line: 2, .. })));
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(read_csv_str("t", "a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(read_csv_str("t", "").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = read_csv_str("x", "a,b\n1,hello\n").unwrap();
+        let dir = std::env::temp_dir().join("autofeat_csv_test.csv");
+        write_csv(&t, &dir).unwrap();
+        let back = read_csv(&dir).unwrap();
+        assert_eq!(back.name(), "autofeat_csv_test");
+        assert_eq!(back.value("b", 0).unwrap(), Value::str("hello"));
+        std::fs::remove_file(dir).ok();
+    }
+}

@@ -1,0 +1,224 @@
+//! Encoding tables into numeric form for metrics and ML.
+//!
+//! * [`label_encode`] maps string/bool columns to dense integer codes
+//!   (deterministic: codes assigned by first appearance).
+//! * [`to_matrix`] extracts a column-major `f64` matrix plus a label vector,
+//!   the input format of the `autofeat-ml` learners and `autofeat-metrics`
+//!   estimators. Nulls become `NaN` (impute first if that matters).
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::error::{DataError, Result};
+use crate::table::Table;
+use crate::value::Key;
+
+/// Label-encode one column: non-numeric values become integer codes in order
+/// of first appearance; numeric columns are returned unchanged.
+pub fn label_encode_column(col: &Column) -> Column {
+    match col {
+        Column::Int(_) | Column::Float(_) => col.clone(),
+        Column::Bool(v) => {
+            Column::Int(v.iter().map(|b| b.map(i64::from)).collect())
+        }
+        Column::Str(_) => {
+            let mut codes: HashMap<Key, i64> = HashMap::new();
+            let mut out: Vec<Option<i64>> = Vec::with_capacity(col.len());
+            for i in 0..col.len() {
+                match col.key(i) {
+                    None => out.push(None),
+                    Some(k) => {
+                        let next = codes.len() as i64;
+                        let code = *codes.entry(k).or_insert(next);
+                        out.push(Some(code));
+                    }
+                }
+            }
+            Column::Int(out)
+        }
+    }
+}
+
+/// Label-encode every non-numeric column of a table.
+pub fn label_encode(table: &Table) -> Result<Table> {
+    let mut t = table.clone();
+    let names: Vec<String> = table.column_names().iter().map(|s| s.to_string()).collect();
+    for name in names {
+        let col = table.column(&name)?;
+        if !col.dtype().is_numeric() {
+            t = t.replace_column(&name, label_encode_column(col))?;
+        }
+    }
+    Ok(t)
+}
+
+/// A column-major numeric matrix with named features and a label vector.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    /// Feature names, parallel to `cols`.
+    pub feature_names: Vec<String>,
+    /// Column-major data: `cols[j][i]` is feature `j` of row `i`. Nulls are
+    /// `NaN`.
+    pub cols: Vec<Vec<f64>>,
+    /// Integer class labels per row.
+    pub labels: Vec<i64>,
+    /// Number of rows.
+    pub n_rows: usize,
+}
+
+impl Matrix {
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of distinct label values.
+    pub fn n_classes(&self) -> usize {
+        let mut v: Vec<i64> = self.labels.clone();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+
+    /// Restrict to a subset of features by index.
+    pub fn select_features(&self, idx: &[usize]) -> Matrix {
+        Matrix {
+            feature_names: idx.iter().map(|&j| self.feature_names[j].clone()).collect(),
+            cols: idx.iter().map(|&j| self.cols[j].clone()).collect(),
+            labels: self.labels.clone(),
+            n_rows: self.n_rows,
+        }
+    }
+
+    /// Restrict to a subset of rows by index.
+    pub fn select_rows(&self, idx: &[usize]) -> Matrix {
+        Matrix {
+            feature_names: self.feature_names.clone(),
+            cols: self
+                .cols
+                .iter()
+                .map(|c| idx.iter().map(|&i| c[i]).collect())
+                .collect(),
+            labels: idx.iter().map(|&i| self.labels[i]).collect(),
+            n_rows: idx.len(),
+        }
+    }
+}
+
+/// Extract a numeric matrix from `table`.
+///
+/// `features` lists the columns to use (label-encoded when non-numeric);
+/// `label` is the class column (must not appear in `features`), encoded to
+/// integer codes. Rows whose label is null are dropped.
+pub fn to_matrix(table: &Table, features: &[&str], label: &str) -> Result<Matrix> {
+    if features.contains(&label) {
+        return Err(DataError::Invalid(format!(
+            "label column `{label}` must not be among the features"
+        )));
+    }
+    let label_col = label_encode_column(table.column(label)?);
+    // Keep rows with a non-null label.
+    let keep: Vec<usize> = (0..label_col.len())
+        .filter(|&i| label_col.get_f64(i).is_some())
+        .collect();
+    let labels: Vec<i64> = keep
+        .iter()
+        .map(|&i| label_col.get_f64(i).expect("filtered non-null") as i64)
+        .collect();
+
+    let mut cols = Vec::with_capacity(features.len());
+    let mut names = Vec::with_capacity(features.len());
+    for &f in features {
+        let col = label_encode_column(table.column(f)?);
+        cols.push(
+            keep.iter()
+                .map(|&i| col.get_f64(i).unwrap_or(f64::NAN))
+                .collect::<Vec<f64>>(),
+        );
+        names.push(f.to_string());
+    }
+    Ok(Matrix { feature_names: names, cols, labels, n_rows: keep.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                ("num", Column::from_floats([Some(1.0), Some(2.0), None, Some(4.0)])),
+                ("cat", Column::from_strs([Some("a"), Some("b"), Some("a"), None])),
+                ("flag", Column::from_bools([Some(true), Some(false), Some(true), Some(true)])),
+                ("y", Column::from_strs([Some("yes"), Some("no"), Some("yes"), None])),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn string_codes_by_first_appearance() {
+        let c = label_encode_column(&Column::from_strs([Some("b"), Some("a"), Some("b")]));
+        assert_eq!(c.get(0), Value::Int(0));
+        assert_eq!(c.get(1), Value::Int(1));
+        assert_eq!(c.get(2), Value::Int(0));
+    }
+
+    #[test]
+    fn bool_encoding() {
+        let c = label_encode_column(&Column::from_bools([Some(true), Some(false), None]));
+        assert_eq!(c.get(0), Value::Int(1));
+        assert_eq!(c.get(1), Value::Int(0));
+        assert_eq!(c.get(2), Value::Null);
+    }
+
+    #[test]
+    fn numeric_columns_untouched() {
+        let c = Column::from_floats([Some(1.5)]);
+        assert_eq!(label_encode_column(&c), c);
+    }
+
+    #[test]
+    fn table_encoding_leaves_numeric() {
+        let t = label_encode(&table()).unwrap();
+        assert_eq!(t.column("num").unwrap().dtype(), crate::value::DType::Float);
+        assert_eq!(t.column("cat").unwrap().dtype(), crate::value::DType::Int);
+    }
+
+    #[test]
+    fn matrix_drops_null_label_rows() {
+        let m = to_matrix(&table(), &["num", "cat", "flag"], "y").unwrap();
+        assert_eq!(m.n_rows, 3); // last row has null label
+        assert_eq!(m.labels, vec![0, 1, 0]);
+        assert_eq!(m.n_classes(), 2);
+        assert_eq!(m.n_features(), 3);
+    }
+
+    #[test]
+    fn matrix_nulls_become_nan() {
+        let m = to_matrix(&table(), &["num"], "y").unwrap();
+        assert!(m.cols[0][2].is_nan());
+    }
+
+    #[test]
+    fn label_in_features_rejected() {
+        assert!(to_matrix(&table(), &["y"], "y").is_err());
+    }
+
+    #[test]
+    fn select_features_and_rows() {
+        let m = to_matrix(&table(), &["num", "cat"], "y").unwrap();
+        let mf = m.select_features(&[1]);
+        assert_eq!(mf.feature_names, vec!["cat"]);
+        let mr = m.select_rows(&[0, 2]);
+        assert_eq!(mr.n_rows, 2);
+        assert_eq!(mr.labels, vec![0, 0]);
+    }
+
+    #[test]
+    fn missing_feature_errors() {
+        assert!(to_matrix(&table(), &["ghost"], "y").is_err());
+    }
+}

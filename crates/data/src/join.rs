@@ -1,0 +1,253 @@
+//! Left joins with join-cardinality normalization (§IV-B of the paper).
+//!
+//! AutoFeat only ever performs **left joins** so that the base table keeps
+//! its exact row count and label distribution. To prevent row duplication on
+//! 1:n and m:n joins, the right-hand table is first *normalized*: rows are
+//! grouped by the join column and one **random representative row** is kept
+//! per key (the strategy ARDA uses, which the AutoFeat paper adopts).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::column::Column;
+use crate::error::Result;
+use crate::table::Table;
+use crate::value::Key;
+
+/// Output of a left join: the joined table plus match statistics used by
+/// the data-quality pruning rule.
+#[derive(Debug, Clone)]
+pub struct JoinOutput {
+    /// The joined table. Left columns keep their names; right columns are
+    /// prefixed with `{prefix}.` and deduplicated with `#k` suffixes when
+    /// needed.
+    pub table: Table,
+    /// Number of left rows that found a match.
+    pub matched: usize,
+    /// Names of the columns contributed by the right table (post renaming).
+    pub right_columns: Vec<String>,
+}
+
+impl JoinOutput {
+    /// Fraction of left rows that found a match, in `[0, 1]`.
+    pub fn match_ratio(&self) -> f64 {
+        if self.table.n_rows() == 0 {
+            0.0
+        } else {
+            self.matched as f64 / self.table.n_rows() as f64
+        }
+    }
+}
+
+/// Build the key → representative-row map for the right table.
+///
+/// Groups rows by join key; for keys with multiple rows one representative is
+/// chosen uniformly at random (deterministic given the RNG), implementing the
+/// paper's join-cardinality normalization.
+fn representative_rows(right_key: &Column, rng: &mut StdRng) -> HashMap<Key, usize> {
+    let mut groups: HashMap<Key, Vec<usize>> = HashMap::new();
+    for row in 0..right_key.len() {
+        if let Some(k) = right_key.key(row) {
+            groups.entry(k).or_default().push(row);
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(k, rows)| {
+            let pick = if rows.len() == 1 { rows[0] } else { rows[rng.random_range(0..rows.len())] };
+            (k, pick)
+        })
+        .collect()
+}
+
+/// Choose a fresh name for a right-hand column in the join result.
+fn disambiguate(base: &str, taken: &dyn Fn(&str) -> bool) -> String {
+    if !taken(base) {
+        return base.to_string();
+    }
+    let mut k = 2usize;
+    loop {
+        let cand = format!("{base}#{k}");
+        if !taken(&cand) {
+            return cand;
+        }
+        k += 1;
+    }
+}
+
+/// Left join `left` with `right` on `left.left_key = right.right_key`,
+/// normalizing join cardinality so the result has exactly `left.n_rows()`
+/// rows.
+///
+/// Right-hand columns are renamed to `{prefix}.{col}` (idempotently — a
+/// column already carrying the prefix keeps it) and deduplicated against the
+/// left schema. Null keys on either side never match, so a join between
+/// unrelated columns yields an all-null right-hand side, which the τ pruning
+/// rule then discards.
+pub fn left_join_normalized(
+    left: &Table,
+    right: &Table,
+    left_key: &str,
+    right_key: &str,
+    prefix: &str,
+    rng: &mut StdRng,
+) -> Result<JoinOutput> {
+    let lk = left.column(left_key)?;
+    let rk = right.column(right_key)?;
+    let reps = representative_rows(rk, rng);
+
+    let n = left.n_rows();
+    let mut indices: Vec<Option<usize>> = Vec::with_capacity(n);
+    let mut matched = 0usize;
+    for row in 0..n {
+        let ix = lk.key(row).and_then(|k| reps.get(&k).copied());
+        if ix.is_some() {
+            matched += 1;
+        }
+        indices.push(ix);
+    }
+
+    // Assemble: all left columns, then all right columns (renamed).
+    let mut cols: Vec<(String, Column)> = Vec::with_capacity(left.n_cols() + right.n_cols());
+    for i in 0..left.n_cols() {
+        cols.push((left.field_at(i).name.clone(), left.column_at(i).clone()));
+    }
+    let mut right_columns = Vec::with_capacity(right.n_cols());
+    for i in 0..right.n_cols() {
+        let rname = &right.field_at(i).name;
+        let base = if rname.starts_with(&format!("{prefix}.")) {
+            rname.clone()
+        } else {
+            format!("{prefix}.{rname}")
+        };
+        let taken = |cand: &str| cols.iter().any(|(n, _)| n == cand);
+        let name = disambiguate(&base, &taken);
+        right_columns.push(name.clone());
+        cols.push((name, right.column_at(i).take_opt(&indices)));
+    }
+
+    let table = Table::new(left.name().to_string(), cols)?;
+    Ok(JoinOutput { table, matched, right_columns })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn left() -> Table {
+        Table::new(
+            "base",
+            vec![
+                ("id", Column::from_ints([Some(1), Some(2), Some(3), None])),
+                ("label", Column::from_bools([Some(true), Some(false), Some(true), Some(false)])),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn right() -> Table {
+        Table::new(
+            "ext",
+            vec![
+                ("key", Column::from_ints([Some(1), Some(1), Some(3), Some(9)])),
+                ("feat", Column::from_floats([Some(10.0), Some(20.0), Some(30.0), Some(99.0)])),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn preserves_left_row_count() {
+        let out = left_join_normalized(&left(), &right(), "id", "key", "ext", &mut rng()).unwrap();
+        assert_eq!(out.table.n_rows(), 4);
+    }
+
+    #[test]
+    fn unmatched_and_null_keys_get_nulls() {
+        let out = left_join_normalized(&left(), &right(), "id", "key", "ext", &mut rng()).unwrap();
+        // id=2 has no match; id=None never matches.
+        assert_eq!(out.table.value("ext.feat", 1).unwrap(), Value::Null);
+        assert_eq!(out.table.value("ext.feat", 3).unwrap(), Value::Null);
+        assert_eq!(out.matched, 2);
+        assert!((out.match_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_keys_are_normalized_to_one_representative() {
+        let out = left_join_normalized(&left(), &right(), "id", "key", "ext", &mut rng()).unwrap();
+        // id=1 matches exactly one of the two candidate rows (10.0 or 20.0),
+        // never duplicating the left row.
+        let v = out.table.value("ext.feat", 0).unwrap();
+        assert!(v == Value::Float(10.0) || v == Value::Float(20.0));
+        assert_eq!(out.table.n_rows(), 4);
+    }
+
+    #[test]
+    fn representative_choice_is_deterministic_per_seed() {
+        let a = left_join_normalized(&left(), &right(), "id", "key", "ext", &mut rng()).unwrap();
+        let b = left_join_normalized(&left(), &right(), "id", "key", "ext", &mut rng()).unwrap();
+        assert_eq!(a.table, b.table);
+    }
+
+    #[test]
+    fn right_columns_are_prefixed() {
+        let out = left_join_normalized(&left(), &right(), "id", "key", "ext", &mut rng()).unwrap();
+        assert_eq!(out.right_columns, vec!["ext.key".to_string(), "ext.feat".to_string()]);
+        assert!(out.table.has_column("ext.key"));
+        assert!(out.table.has_column("label"));
+    }
+
+    #[test]
+    fn self_join_disambiguates_names() {
+        let l = left();
+        let out1 = left_join_normalized(&l, &right(), "id", "key", "ext", &mut rng()).unwrap();
+        let out2 =
+            left_join_normalized(&out1.table, &right(), "id", "key", "ext", &mut rng()).unwrap();
+        assert!(out2.table.has_column("ext.feat"));
+        assert!(out2.table.has_column("ext.feat#2"));
+    }
+
+    #[test]
+    fn mismatched_types_yield_all_null_right_side() {
+        let r = Table::new(
+            "ext",
+            vec![
+                ("key", Column::from_strs([Some("a"), Some("b")])),
+                ("feat", Column::from_ints([Some(1), Some(2)])),
+            ],
+        )
+        .unwrap();
+        let out = left_join_normalized(&left(), &r, "id", "key", "ext", &mut rng()).unwrap();
+        assert_eq!(out.matched, 0);
+        assert_eq!(out.table.column("ext.feat").unwrap().null_count(), 4);
+    }
+
+    #[test]
+    fn int_joins_integral_float_keys() {
+        let r = Table::new(
+            "ext",
+            vec![
+                ("key", Column::from_floats([Some(1.0), Some(2.0)])),
+                ("feat", Column::from_ints([Some(100), Some(200)])),
+            ],
+        )
+        .unwrap();
+        let out = left_join_normalized(&left(), &r, "id", "key", "ext", &mut rng()).unwrap();
+        assert_eq!(out.table.value("ext.feat", 0).unwrap(), Value::Int(100));
+        assert_eq!(out.table.value("ext.feat", 1).unwrap(), Value::Int(200));
+    }
+
+    #[test]
+    fn missing_key_column_errors() {
+        assert!(left_join_normalized(&left(), &right(), "nope", "key", "p", &mut rng()).is_err());
+        assert!(left_join_normalized(&left(), &right(), "id", "nope", "p", &mut rng()).is_err());
+    }
+}

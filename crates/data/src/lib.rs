@@ -1,0 +1,42 @@
+//! # autofeat-data
+//!
+//! A small, dependency-light columnar table engine — the storage substrate of
+//! the AutoFeat reproduction (ICDE 2024, "AutoFeat: Transitive Feature
+//! Discovery over Join Paths").
+//!
+//! The paper manipulates pandas DataFrames; this crate provides the
+//! equivalent operations needed by the feature-discovery pipeline:
+//!
+//! * typed, null-aware columns ([`Column`]) and tables ([`Table`]);
+//! * CSV ingestion with type inference ([`csv`]);
+//! * **left joins with join-cardinality normalization** (§IV-B of the paper:
+//!   group by the join column and pick a random representative row so the
+//!   base-table row count and label distribution are preserved) — [`join`];
+//! * missing-value imputation with the most frequent value ([`impute`]);
+//! * stratified sampling and train/test splitting ([`sample`]);
+//! * label encoding / numeric-matrix extraction for the ML substrate
+//!   ([`encode`]);
+//! * data-quality statistics such as the null-value ratio used by the τ
+//!   pruning rule ([`stats`]).
+//!
+//! All randomized operations take an explicit [`rand::rngs::StdRng`] so that
+//! experiments are reproducible.
+
+pub mod column;
+pub mod csv;
+pub mod encode;
+pub mod error;
+pub mod impute;
+pub mod join;
+pub mod ops;
+pub mod sample;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use column::Column;
+pub use error::{DataError, Result};
+pub use schema::{Field, Schema};
+pub use table::Table;
+pub use value::{DType, Key, Value};

@@ -1,0 +1,193 @@
+//! Sampling: stratified sampling and train/test splitting.
+//!
+//! AutoFeat stratified-samples the base table before feature selection (§VI,
+//! "From Ranked Paths to Training ML Models") and uses an 80/20 train/test
+//! split for evaluation (§V-B).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use crate::error::{DataError, Result};
+use crate::table::Table;
+use crate::value::Key;
+
+/// Group row indices by the label column's key; rows with a null label form
+/// their own stratum keyed separately.
+fn strata(table: &Table, label: &str) -> Result<Vec<Vec<usize>>> {
+    let col = table.column(label)?;
+    let mut groups: HashMap<Option<Key>, Vec<usize>> = HashMap::new();
+    for row in 0..col.len() {
+        groups.entry(col.key(row)).or_default().push(row);
+    }
+    let mut v: Vec<(Option<Key>, Vec<usize>)> = groups.into_iter().collect();
+    // Deterministic order: by first row index of each stratum.
+    v.sort_by_key(|(_, rows)| rows[0]);
+    Ok(v.into_iter().map(|(_, rows)| rows).collect())
+}
+
+/// Stratified sample of approximately `frac * n_rows` rows, preserving the
+/// label distribution. Each stratum contributes `ceil(frac * |stratum|)`
+/// rows so small classes never vanish.
+pub fn stratified_sample(
+    table: &Table,
+    label: &str,
+    frac: f64,
+    rng: &mut StdRng,
+) -> Result<Table> {
+    if !(0.0..=1.0).contains(&frac) {
+        return Err(DataError::Invalid(format!("frac must be in [0,1], got {frac}")));
+    }
+    let mut picked: Vec<usize> = Vec::new();
+    for mut rows in strata(table, label)? {
+        let k = ((frac * rows.len() as f64).ceil() as usize).min(rows.len());
+        rows.shuffle(rng);
+        picked.extend_from_slice(&rows[..k]);
+    }
+    picked.sort_unstable();
+    Ok(table.take(&picked))
+}
+
+/// A train/test split of a table.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training partition.
+    pub train: Table,
+    /// Test partition.
+    pub test: Table,
+}
+
+/// Stratified train/test split: `test_frac` of each label stratum goes to
+/// the test set (at least one row per stratum stays in train when the
+/// stratum has ≥ 2 rows).
+pub fn train_test_split(
+    table: &Table,
+    label: &str,
+    test_frac: f64,
+    rng: &mut StdRng,
+) -> Result<Split> {
+    if !(0.0..1.0).contains(&test_frac) {
+        return Err(DataError::Invalid(format!(
+            "test_frac must be in [0,1), got {test_frac}"
+        )));
+    }
+    let mut train_idx = Vec::new();
+    let mut test_idx = Vec::new();
+    for mut rows in strata(table, label)? {
+        rows.shuffle(rng);
+        let mut k = (test_frac * rows.len() as f64).round() as usize;
+        if k >= rows.len() && rows.len() > 1 {
+            k = rows.len() - 1;
+        }
+        test_idx.extend_from_slice(&rows[..k]);
+        train_idx.extend_from_slice(&rows[k..]);
+    }
+    train_idx.sort_unstable();
+    test_idx.sort_unstable();
+    Ok(Split { train: table.take(&train_idx), test: table.take(&test_idx) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn table(n_pos: usize, n_neg: usize) -> Table {
+        let labels: Vec<Option<bool>> = (0..n_pos)
+            .map(|_| Some(true))
+            .chain((0..n_neg).map(|_| Some(false)))
+            .collect();
+        let ids: Vec<Option<i64>> = (0..(n_pos + n_neg) as i64).map(Some).collect();
+        Table::new(
+            "t",
+            vec![("id", Column::from_ints(ids)), ("y", Column::from_bools(labels))],
+        )
+        .unwrap()
+    }
+
+    fn count_true(t: &Table) -> usize {
+        let c = t.column("y").unwrap();
+        (0..c.len()).filter(|&i| c.get_f64(i) == Some(1.0)).count()
+    }
+
+    #[test]
+    fn stratified_sample_preserves_ratio() {
+        let t = table(80, 20);
+        let s = stratified_sample(&t, "y", 0.5, &mut rng()).unwrap();
+        assert_eq!(s.n_rows(), 50);
+        assert_eq!(count_true(&s), 40);
+    }
+
+    #[test]
+    fn small_strata_never_vanish() {
+        let t = table(99, 1);
+        let s = stratified_sample(&t, "y", 0.1, &mut rng()).unwrap();
+        assert!(count_true(&s) >= 10);
+        assert!(s.n_rows() > count_true(&s)); // the lone negative survives
+    }
+
+    #[test]
+    fn frac_one_returns_everything() {
+        let t = table(5, 5);
+        let s = stratified_sample(&t, "y", 1.0, &mut rng()).unwrap();
+        assert_eq!(s.n_rows(), 10);
+    }
+
+    #[test]
+    fn invalid_frac_rejected() {
+        let t = table(5, 5);
+        assert!(stratified_sample(&t, "y", 1.5, &mut rng()).is_err());
+        assert!(stratified_sample(&t, "y", -0.1, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn split_partitions_all_rows() {
+        let t = table(60, 40);
+        let s = train_test_split(&t, "y", 0.2, &mut rng()).unwrap();
+        assert_eq!(s.train.n_rows() + s.test.n_rows(), 100);
+        assert_eq!(s.test.n_rows(), 20);
+        assert_eq!(count_true(&s.test), 12);
+    }
+
+    #[test]
+    fn split_is_disjoint() {
+        let t = table(30, 30);
+        let s = train_test_split(&t, "y", 0.25, &mut rng()).unwrap();
+        let ids = |tab: &Table| -> Vec<i64> {
+            let c = tab.column("id").unwrap();
+            (0..c.len()).map(|i| c.get_f64(i).unwrap() as i64).collect()
+        };
+        let train_ids = ids(&s.train);
+        for id in ids(&s.test) {
+            assert!(!train_ids.contains(&id));
+        }
+    }
+
+    #[test]
+    fn tiny_strata_keep_a_train_row() {
+        let t = table(2, 2);
+        let s = train_test_split(&t, "y", 0.9, &mut rng()).unwrap();
+        assert!(count_true(&s.train) >= 1);
+    }
+
+    #[test]
+    fn split_deterministic_per_seed() {
+        let t = table(50, 50);
+        let a = train_test_split(&t, "y", 0.2, &mut rng()).unwrap();
+        let b = train_test_split(&t, "y", 0.2, &mut rng()).unwrap();
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn missing_label_errors() {
+        let t = table(3, 3);
+        assert!(train_test_split(&t, "nope", 0.2, &mut rng()).is_err());
+    }
+}

@@ -1,0 +1,480 @@
+//! Tables: named collections of equal-length columns.
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::error::{DataError, Result};
+use crate::schema::{Field, Schema};
+use crate::value::Value;
+
+/// An immutable-by-convention, in-memory table.
+///
+/// Column names are unique within a table. Most operations return new
+/// tables; columns are `Clone` (strings are `Arc`-backed) so projections are
+/// cheap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    fields: Vec<Field>,
+    columns: Vec<Column>,
+    index: HashMap<String, usize>,
+}
+
+impl Table {
+    /// Build a table from `(name, column)` pairs, validating uniqueness and
+    /// equal lengths.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<(impl Into<String>, Column)>,
+    ) -> Result<Self> {
+        let name = name.into();
+        let mut fields = Vec::with_capacity(columns.len());
+        let mut cols = Vec::with_capacity(columns.len());
+        let mut index = HashMap::with_capacity(columns.len());
+        let mut n_rows: Option<usize> = None;
+        for (cname, col) in columns {
+            let cname = cname.into();
+            if index.contains_key(&cname) {
+                return Err(DataError::DuplicateColumn { table: name, column: cname });
+            }
+            match n_rows {
+                None => n_rows = Some(col.len()),
+                Some(n) if n != col.len() => {
+                    return Err(DataError::LengthMismatch {
+                        expected: n,
+                        got: col.len(),
+                        column: cname,
+                    })
+                }
+                _ => {}
+            }
+            index.insert(cname.clone(), cols.len());
+            fields.push(Field::new(cname, col.dtype()));
+            cols.push(col);
+        }
+        Ok(Table { name, fields, columns: cols, index })
+    }
+
+    /// An empty table (zero columns, zero rows).
+    pub fn empty(name: impl Into<String>) -> Self {
+        Table {
+            name: name.into(),
+            fields: Vec::new(),
+            columns: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the table (builder style).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The schema (field list) of the table.
+    pub fn schema(&self) -> Schema {
+        Schema::new(self.fields.clone())
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Whether a column exists.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// A column by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        self.index
+            .get(name)
+            .map(|&i| &self.columns[i])
+            .ok_or_else(|| DataError::ColumnNotFound {
+                table: self.name.clone(),
+                column: name.to_string(),
+            })
+    }
+
+    /// A column by position.
+    pub fn column_at(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Field by position.
+    pub fn field_at(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// A single cell.
+    pub fn value(&self, column: &str, row: usize) -> Result<Value> {
+        self.column(column)?.try_get(row)
+    }
+
+    /// Project to a subset of columns, in the given order.
+    pub fn select(&self, names: &[&str]) -> Result<Table> {
+        let mut cols = Vec::with_capacity(names.len());
+        for &n in names {
+            cols.push((n.to_string(), self.column(n)?.clone()));
+        }
+        Table::new(self.name.clone(), cols)
+    }
+
+    /// Drop a set of columns (ignores names that do not exist).
+    pub fn drop_columns(&self, names: &[&str]) -> Table {
+        let keep: Vec<(String, Column)> = self
+            .fields
+            .iter()
+            .zip(&self.columns)
+            .filter(|(f, _)| !names.contains(&f.name.as_str()))
+            .map(|(f, c)| (f.name.clone(), c.clone()))
+            .collect();
+        Table::new(self.name.clone(), keep).expect("dropping columns preserves invariants")
+    }
+
+    /// Append a column.
+    pub fn with_column(&self, name: impl Into<String>, col: Column) -> Result<Table> {
+        let name = name.into();
+        if self.has_column(&name) {
+            return Err(DataError::DuplicateColumn { table: self.name.clone(), column: name });
+        }
+        if !self.columns.is_empty() && col.len() != self.n_rows() {
+            return Err(DataError::LengthMismatch {
+                expected: self.n_rows(),
+                got: col.len(),
+                column: name,
+            });
+        }
+        let mut t = self.clone();
+        t.index.insert(name.clone(), t.columns.len());
+        t.fields.push(Field::new(name, col.dtype()));
+        t.columns.push(col);
+        Ok(t)
+    }
+
+    /// Rename a column.
+    pub fn rename_column(&self, from: &str, to: impl Into<String>) -> Result<Table> {
+        let to = to.into();
+        let i = *self.index.get(from).ok_or_else(|| DataError::ColumnNotFound {
+            table: self.name.clone(),
+            column: from.to_string(),
+        })?;
+        if self.has_column(&to) && to != from {
+            return Err(DataError::DuplicateColumn { table: self.name.clone(), column: to });
+        }
+        let mut t = self.clone();
+        t.index.remove(from);
+        t.index.insert(to.clone(), i);
+        t.fields[i].name = to;
+        Ok(t)
+    }
+
+    /// Prefix every column name with `prefix` + `.` (used when joining so
+    /// right-hand columns stay distinguishable). Columns already containing
+    /// the prefix keep it once.
+    pub fn prefix_columns(&self, prefix: &str) -> Table {
+        let cols: Vec<(String, Column)> = self
+            .fields
+            .iter()
+            .zip(&self.columns)
+            .map(|(f, c)| {
+                let name = if f.name.starts_with(&format!("{prefix}.")) {
+                    f.name.clone()
+                } else {
+                    format!("{prefix}.{}", f.name)
+                };
+                (name, c.clone())
+            })
+            .collect();
+        Table::new(self.name.clone(), cols).expect("prefixing preserves invariants")
+    }
+
+    /// Gather rows by index into a new table.
+    pub fn take(&self, indices: &[usize]) -> Table {
+        let cols: Vec<(String, Column)> = self
+            .fields
+            .iter()
+            .zip(&self.columns)
+            .map(|(f, c)| (f.name.clone(), c.take(indices)))
+            .collect();
+        Table::new(self.name.clone(), cols).expect("take preserves invariants")
+    }
+
+    /// First `n` rows.
+    pub fn head(&self, n: usize) -> Table {
+        let n = n.min(self.n_rows());
+        let idx: Vec<usize> = (0..n).collect();
+        self.take(&idx)
+    }
+
+    /// A full row as values.
+    pub fn row(&self, i: usize) -> Result<Vec<Value>> {
+        if i >= self.n_rows() {
+            return Err(DataError::RowOutOfBounds { index: i, len: self.n_rows() });
+        }
+        Ok(self.columns.iter().map(|c| c.get(i)).collect())
+    }
+
+    /// Overall fraction of null cells across the whole table (zero when the
+    /// table has no cells).
+    pub fn null_ratio(&self) -> f64 {
+        let cells = self.n_rows() * self.n_cols();
+        if cells == 0 {
+            return 0.0;
+        }
+        let nulls: usize = self.columns.iter().map(Column::null_count).sum();
+        nulls as f64 / cells as f64
+    }
+
+    /// Replace a column's data in place (same length required).
+    pub fn replace_column(&self, name: &str, col: Column) -> Result<Table> {
+        let i = *self.index.get(name).ok_or_else(|| DataError::ColumnNotFound {
+            table: self.name.clone(),
+            column: name.to_string(),
+        })?;
+        if col.len() != self.n_rows() {
+            return Err(DataError::LengthMismatch {
+                expected: self.n_rows(),
+                got: col.len(),
+                column: name.to_string(),
+            });
+        }
+        let mut t = self.clone();
+        t.fields[i].dtype = col.dtype();
+        t.columns[i] = col;
+        Ok(t)
+    }
+}
+
+impl std::fmt::Display for Table {
+    /// Render the first rows as an aligned text table (up to 10 rows and 8
+    /// columns; wider/longer tables are elided with `…`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        const MAX_ROWS: usize = 10;
+        const MAX_COLS: usize = 8;
+        const MAX_WIDTH: usize = 18;
+        let n_cols = self.n_cols().min(MAX_COLS);
+        let n_rows = self.n_rows().min(MAX_ROWS);
+        let clip = |s: String| {
+            if s.len() > MAX_WIDTH {
+                format!("{}…", &s[..MAX_WIDTH - 1])
+            } else {
+                s
+            }
+        };
+        // Column widths from header + shown cells.
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(n_rows + 1);
+        let mut header: Vec<String> = (0..n_cols)
+            .map(|c| clip(self.fields[c].name.clone()))
+            .collect();
+        if self.n_cols() > MAX_COLS {
+            header.push("…".into());
+        }
+        cells.push(header);
+        for r in 0..n_rows {
+            let mut row: Vec<String> = (0..n_cols)
+                .map(|c| clip(self.columns[c].get(r).to_string()))
+                .collect();
+            if self.n_cols() > MAX_COLS {
+                row.push("…".into());
+            }
+            cells.push(row);
+        }
+        let widths: Vec<usize> = (0..cells[0].len())
+            .map(|c| cells.iter().map(|row| row[c].len()).max().unwrap_or(1))
+            .collect();
+        writeln!(f, "{} [{} rows x {} cols]", self.name, self.n_rows(), self.n_cols())?;
+        for (i, row) in cells.iter().enumerate() {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(cell, w)| format!("{cell:>w$}"))
+                .collect();
+            writeln!(f, "  {}", line.join("  "))?;
+            if i == 0 {
+                writeln!(f, "  {}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "))?;
+            }
+        }
+        if self.n_rows() > MAX_ROWS {
+            writeln!(f, "  … ({} more rows)", self.n_rows() - MAX_ROWS)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DType;
+
+    fn sample() -> Table {
+        Table::new(
+            "t",
+            vec![
+                ("id", Column::from_ints([Some(1), Some(2), Some(3)])),
+                ("x", Column::from_floats([Some(0.5), None, Some(1.5)])),
+                ("s", Column::from_strs([Some("a"), Some("b"), None])),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions() {
+        let t = sample();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_cols(), 3);
+        assert_eq!(t.column_names(), vec!["id", "x", "s"]);
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let r = Table::new(
+            "t",
+            vec![
+                ("a", Column::from_ints([Some(1)])),
+                ("a", Column::from_ints([Some(2)])),
+            ],
+        );
+        assert!(matches!(r, Err(DataError::DuplicateColumn { .. })));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let r = Table::new(
+            "t",
+            vec![
+                ("a", Column::from_ints([Some(1)])),
+                ("b", Column::from_ints([Some(1), Some(2)])),
+            ],
+        );
+        assert!(matches!(r, Err(DataError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn select_projects_in_order() {
+        let t = sample().select(&["s", "id"]).unwrap();
+        assert_eq!(t.column_names(), vec!["s", "id"]);
+    }
+
+    #[test]
+    fn select_missing_column_errors() {
+        assert!(sample().select(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn drop_columns_ignores_missing() {
+        let t = sample().drop_columns(&["x", "ghost"]);
+        assert_eq!(t.column_names(), vec!["id", "s"]);
+    }
+
+    #[test]
+    fn with_column_appends() {
+        let t = sample()
+            .with_column("y", Column::from_bools([Some(true), None, Some(false)]))
+            .unwrap();
+        assert_eq!(t.n_cols(), 4);
+        assert_eq!(t.column("y").unwrap().dtype(), DType::Bool);
+    }
+
+    #[test]
+    fn with_column_rejects_duplicates_and_bad_length() {
+        let t = sample();
+        assert!(t.with_column("id", Column::from_ints([Some(1), Some(2), Some(3)])).is_err());
+        assert!(t.with_column("z", Column::from_ints([Some(1)])).is_err());
+    }
+
+    #[test]
+    fn rename_column_works() {
+        let t = sample().rename_column("x", "feature_x").unwrap();
+        assert!(t.has_column("feature_x"));
+        assert!(!t.has_column("x"));
+        // Index still resolves after rename.
+        assert_eq!(t.column("feature_x").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn prefix_columns_is_idempotent() {
+        let t = sample().prefix_columns("t");
+        assert_eq!(t.column_names(), vec!["t.id", "t.x", "t.s"]);
+        let t2 = t.prefix_columns("t");
+        assert_eq!(t2.column_names(), vec!["t.id", "t.x", "t.s"]);
+    }
+
+    #[test]
+    fn take_and_head() {
+        let t = sample().take(&[2, 0]);
+        assert_eq!(t.value("id", 0).unwrap(), Value::Int(3));
+        let h = sample().head(2);
+        assert_eq!(h.n_rows(), 2);
+        // head larger than table is the whole table
+        assert_eq!(sample().head(10).n_rows(), 3);
+    }
+
+    #[test]
+    fn null_ratio_counts_all_cells() {
+        let t = sample();
+        // 2 nulls out of 9 cells
+        assert!((t.null_ratio() - 2.0 / 9.0).abs() < 1e-12);
+        assert_eq!(Table::empty("e").null_ratio(), 0.0);
+    }
+
+    #[test]
+    fn row_access() {
+        let t = sample();
+        let r = t.row(1).unwrap();
+        assert_eq!(r[0], Value::Int(2));
+        assert_eq!(r[1], Value::Null);
+        assert!(t.row(5).is_err());
+    }
+
+    #[test]
+    fn display_shows_header_and_rows() {
+        let s = sample().to_string();
+        assert!(s.contains("t [3 rows x 3 cols]"));
+        assert!(s.contains("id"));
+        assert!(s.contains("alice") || s.contains('a')); // cell content
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn display_elides_wide_and_long_tables() {
+        let cols: Vec<(String, Column)> = (0..12)
+            .map(|c| {
+                (
+                    format!("col{c}"),
+                    Column::from_ints((0..20).map(Some).collect::<Vec<_>>()),
+                )
+            })
+            .collect();
+        let t = Table::new("wide", cols).unwrap();
+        let s = t.to_string();
+        assert!(s.contains('…'));
+        assert!(s.contains("more rows"));
+    }
+
+    #[test]
+    fn replace_column_changes_dtype() {
+        let t = sample()
+            .replace_column("id", Column::from_strs([Some("a"), Some("b"), Some("c")]))
+            .unwrap();
+        assert_eq!(t.column("id").unwrap().dtype(), DType::Str);
+        assert!(sample().replace_column("id", Column::from_ints([Some(1)])).is_err());
+    }
+}

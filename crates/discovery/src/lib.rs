@@ -1,0 +1,34 @@
+//! # autofeat-discovery
+//!
+//! Dataset-discovery substrate: a schema/instance matcher standing in for
+//! **COMA** (as used by the paper via the Valentine framework, §IV and
+//! §VII-A) to build the joinability relationships of the Dataset Relation
+//! Graph in the *data-lake setting*.
+//!
+//! For every column pair across two tables the matcher combines:
+//!
+//! * **name similarity** — token-set Jaccard + Jaro-Winkler over normalized
+//!   identifiers ([`name_sim`]);
+//! * **instance similarity** — Jaccard / containment overlap of the value
+//!   sets, computable exactly or via MinHash sketches for large columns
+//!   ([`value_sim`]).
+//!
+//! The composite score is a weighted blend in `[0, 1]`; pairs scoring above
+//! a threshold (the paper uses **0.55**, chosen to "encourage spurious, but
+//! not irrelevant, connections") become candidate join edges. The DRG
+//! construction is explicitly independent of the concrete matcher — any
+//! scorer emitting a similarity in `[0,1]` plugs in.
+
+pub mod lsh;
+pub mod matcher;
+pub mod name_sim;
+pub mod profile;
+pub mod value_sim;
+
+pub use lsh::LshIndex;
+pub use matcher::{ColumnMatch, MatcherConfig, SchemaMatcher};
+pub use profile::ColumnProfile;
+pub use value_sim::MinHash;
+
+/// The similarity threshold the paper uses for the data-lake setting.
+pub const PAPER_THRESHOLD: f64 = 0.55;

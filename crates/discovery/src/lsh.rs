@@ -1,0 +1,172 @@
+//! LSH banding over MinHash sketches: find candidate joinable column pairs
+//! without scoring all `O(C²)` column combinations (the trick behind
+//! Lazo-style joinability discovery at data-lake scale).
+//!
+//! A sketch of `k` slots is cut into `b` bands of `r` rows (`k = b·r`);
+//! two columns collide when any band hashes identically. With Jaccard
+//! similarity `s`, the collision probability is `1 − (1 − s^r)^b` — an
+//! S-curve whose threshold is tuned by `(b, r)`.
+
+use std::collections::HashMap;
+
+use crate::profile::ColumnProfile;
+use crate::value_sim::stable_hash;
+
+/// An LSH index over column profiles.
+#[derive(Debug, Clone)]
+pub struct LshIndex {
+    bands: usize,
+    rows: usize,
+    /// (band, band-hash) → column ids.
+    buckets: HashMap<(usize, u64), Vec<usize>>,
+    n_columns: usize,
+}
+
+impl LshIndex {
+    /// Build an index with `bands × rows` ≤ sketch size.
+    pub fn new(bands: usize, rows: usize) -> Self {
+        assert!(bands >= 1 && rows >= 1, "bands and rows must be positive");
+        LshIndex { bands, rows, buckets: HashMap::new(), n_columns: 0 }
+    }
+
+    /// A default tuned for the paper's 0.55 threshold: with a 128-slot
+    /// sketch, 32 bands of 4 rows put the S-curve's steep section near
+    /// s ≈ (1/b)^(1/r) = (1/32)^(1/4) ≈ 0.42 — safely recalling everything
+    /// the 0.55 scorer would accept.
+    pub fn paper_default() -> Self {
+        LshIndex::new(32, 4)
+    }
+
+    /// Approximate Jaccard threshold of the S-curve midpoint.
+    pub fn threshold(&self) -> f64 {
+        (1.0 / self.bands as f64).powf(1.0 / self.rows as f64)
+    }
+
+    fn band_hashes(&self, profile: &ColumnProfile) -> Vec<u64> {
+        let mins = profile.sketch_slots();
+        let mut out = Vec::with_capacity(self.bands);
+        for b in 0..self.bands {
+            let start = b * self.rows;
+            if start + self.rows > mins.len() {
+                break;
+            }
+            let mut bytes = Vec::with_capacity(self.rows * 8);
+            for &m in &mins[start..start + self.rows] {
+                bytes.extend_from_slice(&m.to_le_bytes());
+            }
+            out.push(stable_hash(&bytes));
+        }
+        out
+    }
+
+    /// Insert a column profile under the caller's id.
+    pub fn insert(&mut self, id: usize, profile: &ColumnProfile) {
+        for (band, h) in self.band_hashes(profile).into_iter().enumerate() {
+            self.buckets.entry((band, h)).or_default().push(id);
+        }
+        self.n_columns += 1;
+    }
+
+    /// Candidate ids colliding with `profile` in at least one band
+    /// (deduplicated, ascending).
+    pub fn query(&self, profile: &ColumnProfile) -> Vec<usize> {
+        let mut out: Vec<usize> = Vec::new();
+        for (band, h) in self.band_hashes(profile).into_iter().enumerate() {
+            if let Some(ids) = self.buckets.get(&(band, h)) {
+                out.extend_from_slice(ids);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// All colliding id pairs in the index (i < j), deduplicated.
+    pub fn candidate_pairs(&self) -> Vec<(usize, usize)> {
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for ids in self.buckets.values() {
+            for (i, &a) in ids.iter().enumerate() {
+                for &b in &ids[i + 1..] {
+                    pairs.push(if a < b { (a, b) } else { (b, a) });
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+
+    /// Number of columns inserted.
+    pub fn len(&self) -> usize {
+        self.n_columns
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n_columns == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofeat_data::Column;
+
+    fn profile(name: &str, values: std::ops::Range<i64>) -> ColumnProfile {
+        let col = Column::from_ints(values.map(Some).collect::<Vec<_>>());
+        ColumnProfile::build("t", name, &col)
+    }
+
+    #[test]
+    fn identical_columns_always_collide() {
+        let a = profile("a", 0..500);
+        let b = profile("b", 0..500);
+        let mut idx = LshIndex::paper_default();
+        idx.insert(0, &a);
+        assert_eq!(idx.query(&b), vec![0]);
+    }
+
+    #[test]
+    fn disjoint_columns_rarely_collide() {
+        let a = profile("a", 0..500);
+        let b = profile("b", 10_000..10_500);
+        let mut idx = LshIndex::paper_default();
+        idx.insert(0, &a);
+        assert!(idx.query(&b).is_empty(), "disjoint sets should not collide");
+    }
+
+    #[test]
+    fn high_overlap_collides() {
+        // 80% overlap ⇒ Jaccard ≈ 2/3, far above the ~0.42 S-curve midpoint.
+        let a = profile("a", 0..1000);
+        let b = profile("b", 200..1200);
+        let mut idx = LshIndex::paper_default();
+        idx.insert(0, &a);
+        assert_eq!(idx.query(&b), vec![0]);
+    }
+
+    #[test]
+    fn candidate_pairs_enumerate_collisions() {
+        let mut idx = LshIndex::paper_default();
+        idx.insert(0, &profile("a", 0..300));
+        idx.insert(1, &profile("b", 0..300));
+        idx.insert(2, &profile("c", 50_000..50_300));
+        let pairs = idx.candidate_pairs();
+        assert!(pairs.contains(&(0, 1)));
+        assert!(!pairs.contains(&(0, 2)));
+        assert!(!pairs.contains(&(1, 2)));
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn threshold_formula() {
+        let idx = LshIndex::new(32, 4);
+        assert!((idx.threshold() - (1.0f64 / 32.0).powf(0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_bands_panics() {
+        LshIndex::new(0, 4);
+    }
+}

@@ -1,0 +1,225 @@
+//! The composite schema matcher (COMA substitute).
+//!
+//! For every cross-table column pair the matcher blends name similarity and
+//! instance (value-overlap) similarity into one score in `[0, 1]`; pairs
+//! above the configured threshold become candidate join edges for the DRG.
+
+use autofeat_data::Table;
+
+use crate::name_sim::name_similarity;
+use crate::profile::ColumnProfile;
+use crate::value_sim::{containment, jaccard};
+
+/// Matcher configuration.
+#[derive(Debug, Clone)]
+pub struct MatcherConfig {
+    /// Minimum composite score to report a match (paper: 0.55).
+    pub threshold: f64,
+    /// Weight of name similarity in the blend.
+    pub name_weight: f64,
+    /// Weight of instance similarity in the blend.
+    pub value_weight: f64,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        MatcherConfig {
+            threshold: crate::PAPER_THRESHOLD,
+            name_weight: 0.5,
+            value_weight: 0.5,
+        }
+    }
+}
+
+/// A scored column correspondence between two tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMatch {
+    /// Column in the left table.
+    pub left_column: String,
+    /// Column in the right table.
+    pub right_column: String,
+    /// Composite similarity score in `[0, 1]`.
+    pub score: f64,
+}
+
+/// The schema matcher.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaMatcher {
+    config: MatcherConfig,
+}
+
+impl SchemaMatcher {
+    /// Matcher with a custom configuration.
+    pub fn new(config: MatcherConfig) -> Self {
+        SchemaMatcher { config }
+    }
+
+    /// Matcher with the paper's 0.55 threshold.
+    pub fn paper_default() -> Self {
+        SchemaMatcher::default()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MatcherConfig {
+        &self.config
+    }
+
+    /// Instance similarity of two profiles: exact Jaccard blended with the
+    /// larger containment direction when exact sets are available, MinHash
+    /// estimate otherwise.
+    pub fn instance_similarity(&self, a: &ColumnProfile, b: &ColumnProfile) -> f64 {
+        match (&a.value_hashes, &b.value_hashes) {
+            (Some(ha), Some(hb)) => {
+                let j = jaccard(ha, hb);
+                let c = containment(ha, hb).max(containment(hb, ha));
+                // Containment catches FK⊂PK even when sizes differ a lot.
+                (j + c) / 2.0
+            }
+            _ => a.sketch.jaccard(&b.sketch),
+        }
+    }
+
+    /// Composite score of a column pair.
+    pub fn score_pair(&self, a: &ColumnProfile, b: &ColumnProfile) -> f64 {
+        if !a.is_joinable_candidate() || !b.is_joinable_candidate() {
+            return 0.0;
+        }
+        let name = name_similarity(&a.column, &b.column);
+        let inst = self.instance_similarity(a, b);
+        let w = self.config.name_weight + self.config.value_weight;
+        ((self.config.name_weight * name + self.config.value_weight * inst) / w).clamp(0.0, 1.0)
+    }
+
+    /// Match two pre-profiled tables; returns pairs scoring ≥ threshold,
+    /// sorted by descending score.
+    pub fn match_profiles(
+        &self,
+        left: &[ColumnProfile],
+        right: &[ColumnProfile],
+    ) -> Vec<ColumnMatch> {
+        let mut out = Vec::new();
+        for a in left {
+            for b in right {
+                let score = self.score_pair(a, b);
+                if score >= self.config.threshold {
+                    out.push(ColumnMatch {
+                        left_column: a.column.clone(),
+                        right_column: b.column.clone(),
+                        score,
+                    });
+                }
+            }
+        }
+        out.sort_by(|x, y| {
+            y.score
+                .partial_cmp(&x.score)
+                .expect("finite scores")
+                .then_with(|| x.left_column.cmp(&y.left_column))
+                .then_with(|| x.right_column.cmp(&y.right_column))
+        });
+        out
+    }
+
+    /// Match two tables directly (profiles them first).
+    pub fn match_tables(&self, left: &Table, right: &Table) -> Vec<ColumnMatch> {
+        let lp = ColumnProfile::build_all(left);
+        let rp = ColumnProfile::build_all(right);
+        self.match_profiles(&lp, &rp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofeat_data::{Column, Table};
+
+    fn applicants() -> Table {
+        Table::new(
+            "applicants",
+            vec![
+                ("applicant_id", Column::from_ints((0..50).map(Some).collect::<Vec<_>>())),
+                ("income", Column::from_floats((0..50).map(|i| Some(i as f64 * 1000.0)).collect::<Vec<_>>())),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn credit() -> Table {
+        Table::new(
+            "credit",
+            vec![
+                // Same key domain, similar name → strong match.
+                ("applicantId", Column::from_ints((0..50).map(Some).collect::<Vec<_>>())),
+                // Overlapping values but unrelated name → spurious edge.
+                ("credit_score", Column::from_ints((0..50).map(Some).collect::<Vec<_>>())),
+                ("notes", Column::from_strs((0..50).map(|i| Some(format!("n{i}"))).collect::<Vec<_>>())),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_the_true_key_pair_with_top_score() {
+        let m = SchemaMatcher::paper_default();
+        let matches = m.match_tables(&applicants(), &credit());
+        assert!(!matches.is_empty());
+        assert_eq!(matches[0].left_column, "applicant_id");
+        assert_eq!(matches[0].right_column, "applicantId");
+        assert!(matches[0].score > 0.9);
+    }
+
+    #[test]
+    fn spurious_value_overlap_also_surfaces() {
+        // The paper *wants* spurious-but-not-irrelevant edges at 0.55.
+        let m = SchemaMatcher::paper_default();
+        let matches = m.match_tables(&applicants(), &credit());
+        assert!(
+            matches
+                .iter()
+                .any(|c| c.left_column == "applicant_id" && c.right_column == "credit_score"),
+            "value-identical pair should pass the 0.55 threshold: {matches:?}"
+        );
+    }
+
+    #[test]
+    fn unrelated_string_column_does_not_match_keys() {
+        let m = SchemaMatcher::paper_default();
+        let matches = m.match_tables(&applicants(), &credit());
+        assert!(!matches
+            .iter()
+            .any(|c| c.right_column == "notes" && c.left_column == "applicant_id"));
+    }
+
+    #[test]
+    fn threshold_is_respected() {
+        let strict = SchemaMatcher::new(MatcherConfig { threshold: 0.99, ..Default::default() });
+        let matches = strict.match_tables(&applicants(), &credit());
+        assert!(matches.iter().all(|c| c.score >= 0.99));
+    }
+
+    #[test]
+    fn results_sorted_by_score() {
+        let m = SchemaMatcher::paper_default();
+        let matches = m.match_tables(&applicants(), &credit());
+        for w in matches.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn all_null_columns_never_match() {
+        let l = Table::new("l", vec![("k", Column::from_ints([None, None]))]).unwrap();
+        let r = Table::new("r", vec![("k", Column::from_ints([None, None]))]).unwrap();
+        let m = SchemaMatcher::paper_default();
+        assert!(m.match_tables(&l, &r).is_empty());
+    }
+
+    #[test]
+    fn score_pair_bounded() {
+        let t = applicants();
+        let ps = ColumnProfile::build_all(&t);
+        let m = SchemaMatcher::paper_default();
+        let s = m.score_pair(&ps[0], &ps[1]);
+        assert!((0.0..=1.0).contains(&s));
+    }
+}

@@ -1,0 +1,135 @@
+//! Column profiles: the per-column summaries the matcher scores against.
+
+use std::collections::HashSet;
+
+use autofeat_data::{Column, Table};
+
+use crate::value_sim::{hash_value, MinHash};
+
+/// Default MinHash sketch size.
+pub const DEFAULT_SKETCH_K: usize = 128;
+
+/// Cap on the exact value set retained per column; columns with more
+/// distinct values rely on the MinHash estimate instead.
+pub const EXACT_SET_CAP: usize = 100_000;
+
+/// A profile of one column: identity, type, and value-set summaries.
+#[derive(Debug, Clone)]
+pub struct ColumnProfile {
+    /// Owning table name.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+    /// Logical type.
+    pub dtype: autofeat_data::DType,
+    /// Fraction of nulls.
+    pub null_ratio: f64,
+    /// Number of distinct non-null values.
+    pub distinct: usize,
+    /// Exact hashes of distinct values (present iff `distinct <= EXACT_SET_CAP`).
+    pub value_hashes: Option<HashSet<u64>>,
+    /// MinHash sketch of the value set.
+    pub sketch: MinHash,
+}
+
+impl ColumnProfile {
+    /// Profile one column of a table.
+    pub fn build(table_name: &str, column_name: &str, col: &Column) -> Self {
+        let mut hashes: HashSet<u64> = HashSet::new();
+        let mut sketch = MinHash::new(DEFAULT_SKETCH_K);
+        for row in 0..col.len() {
+            if let Some(k) = col.key(row) {
+                let h = hash_value(&k);
+                if hashes.insert(h) {
+                    sketch.insert(h);
+                }
+            }
+        }
+        let distinct = hashes.len();
+        ColumnProfile {
+            table: table_name.to_string(),
+            column: column_name.to_string(),
+            dtype: col.dtype(),
+            null_ratio: col.null_ratio(),
+            distinct,
+            value_hashes: (distinct <= EXACT_SET_CAP).then_some(hashes),
+            sketch,
+        }
+    }
+
+    /// Profile every column of a table.
+    pub fn build_all(table: &Table) -> Vec<ColumnProfile> {
+        (0..table.n_cols())
+            .map(|i| {
+                ColumnProfile::build(
+                    table.name(),
+                    &table.field_at(i).name,
+                    table.column_at(i),
+                )
+            })
+            .collect()
+    }
+
+    /// The MinHash sketch's raw slots (for LSH banding).
+    pub fn sketch_slots(&self) -> &[u64] {
+        self.sketch.slots()
+    }
+
+    /// Whether this column looks like a feasible join key: it has at least
+    /// one distinct value and is not overwhelmingly null.
+    pub fn is_joinable_candidate(&self) -> bool {
+        self.distinct > 0 && self.null_ratio < 0.9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofeat_data::{Column, Table};
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                ("id", Column::from_ints([Some(1), Some(2), Some(2), None])),
+                ("name", Column::from_strs([Some("a"), Some("b"), Some("c"), Some("d")])),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn profile_counts_distinct_and_nulls() {
+        let t = table();
+        let p = ColumnProfile::build("t", "id", t.column("id").unwrap());
+        assert_eq!(p.distinct, 2);
+        assert!((p.null_ratio - 0.25).abs() < 1e-12);
+        assert!(p.value_hashes.is_some());
+        assert_eq!(p.value_hashes.as_ref().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn build_all_covers_every_column() {
+        let ps = ColumnProfile::build_all(&table());
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].column, "id");
+        assert_eq!(ps[1].table, "t");
+    }
+
+    #[test]
+    fn joinable_candidate_gate() {
+        let all_null = Column::from_ints([None, None]);
+        let p = ColumnProfile::build("t", "x", &all_null);
+        assert!(!p.is_joinable_candidate());
+        let ok = ColumnProfile::build("t", "id", table().column("id").unwrap());
+        assert!(ok.is_joinable_candidate());
+    }
+
+    #[test]
+    fn identical_columns_share_sketch() {
+        let c = Column::from_ints((0..100).map(Some).collect::<Vec<_>>());
+        let p1 = ColumnProfile::build("a", "x", &c);
+        let p2 = ColumnProfile::build("b", "y", &c);
+        assert_eq!(p1.sketch.jaccard(&p2.sketch), 1.0);
+    }
+}

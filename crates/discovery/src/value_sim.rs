@@ -1,0 +1,225 @@
+//! Instance-based (value-overlap) column similarity.
+//!
+//! Joinability is fundamentally about overlapping value sets (Def. IV.1:
+//! "their intersection is non-empty"). We provide exact Jaccard and
+//! containment over hashed value sets, plus a MinHash sketch (in the spirit
+//! of Lazo) for estimating Jaccard on large columns without materializing
+//! full sets.
+
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// Exact Jaccard similarity of two value-hash sets.
+pub fn jaccard(a: &HashSet<u64>, b: &HashSet<u64>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = (a.len() + b.len()) as f64 - inter;
+    inter / union
+}
+
+/// Containment of `a` in `b`: `|a ∩ b| / |a|`. Asymmetric — high when most
+/// of `a`'s values appear in `b` (the FK → PK direction).
+pub fn containment(a: &HashSet<u64>, b: &HashSet<u64>) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.intersection(b).count() as f64 / a.len() as f64
+}
+
+/// Stable 64-bit hash for sketching (FNV-1a — deterministic across runs,
+/// unlike `DefaultHasher` with random keys).
+pub fn stable_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Hash a displayable value into the sketch domain.
+pub fn hash_value<T: Hash>(v: &T) -> u64 {
+    // Hash through FNV via the std Hash trait with a deterministic state.
+    struct Fnv(u64);
+    impl Hasher for Fnv {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// A fixed-size MinHash sketch of a value set; the fraction of agreeing
+/// slots between two sketches is an unbiased estimate of Jaccard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinHash {
+    mins: Vec<u64>,
+    n_values: usize,
+}
+
+impl MinHash {
+    /// An empty sketch with `k` permutations.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "sketch size must be positive");
+        MinHash { mins: vec![u64::MAX; k], n_values: 0 }
+    }
+
+    /// Number of permutations.
+    pub fn k(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Number of values inserted (with multiplicity).
+    pub fn n_values(&self) -> usize {
+        self.n_values
+    }
+
+    /// The raw per-permutation minima (used by LSH banding).
+    pub fn slots(&self) -> &[u64] {
+        &self.mins
+    }
+
+    /// Insert one value hash.
+    pub fn insert(&mut self, value_hash: u64) {
+        self.n_values += 1;
+        for (i, slot) in self.mins.iter_mut().enumerate() {
+            // Derive the i-th permutation by mixing with an odd constant.
+            let h = value_hash
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15 ^ ((i as u64) << 1 | 1))
+                .rotate_left((i % 63) as u32 + 1);
+            if h < *slot {
+                *slot = h;
+            }
+        }
+    }
+
+    /// Build a sketch from an iterator of value hashes.
+    pub fn from_hashes<I: IntoIterator<Item = u64>>(k: usize, iter: I) -> Self {
+        let mut s = MinHash::new(k);
+        for h in iter {
+            s.insert(h);
+        }
+        s
+    }
+
+    /// Estimated Jaccard similarity with another sketch of the same size.
+    pub fn jaccard(&self, other: &MinHash) -> f64 {
+        assert_eq!(self.k(), other.k(), "sketch sizes must match");
+        if self.n_values == 0 && other.n_values == 0 {
+            return 0.0;
+        }
+        let agree = self
+            .mins
+            .iter()
+            .zip(&other.mins)
+            .filter(|(a, b)| a == b)
+            .count();
+        agree as f64 / self.k() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(values: impl IntoIterator<Item = u64>) -> HashSet<u64> {
+        values.into_iter().collect()
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        let a = set([1, 2, 3]);
+        let b = set([2, 3, 4]);
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        assert_eq!(jaccard(&set([]), &set([])), 0.0);
+        assert_eq!(jaccard(&a, &set([])), 0.0);
+    }
+
+    #[test]
+    fn containment_is_asymmetric() {
+        let fk = set([1, 2]);
+        let pk = set([1, 2, 3, 4]);
+        assert_eq!(containment(&fk, &pk), 1.0);
+        assert_eq!(containment(&pk, &fk), 0.5);
+        assert_eq!(containment(&set([]), &pk), 0.0);
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic_and_spread() {
+        assert_eq!(stable_hash(b"abc"), stable_hash(b"abc"));
+        assert_ne!(stable_hash(b"abc"), stable_hash(b"abd"));
+    }
+
+    #[test]
+    fn hash_value_matches_types() {
+        assert_eq!(hash_value(&42i64), hash_value(&42i64));
+        assert_ne!(hash_value(&42i64), hash_value(&43i64));
+        assert_eq!(hash_value(&"x"), hash_value(&"x"));
+    }
+
+    #[test]
+    fn minhash_identical_sets_estimate_one() {
+        let hashes: Vec<u64> = (0..500u64).map(|i| stable_hash(&i.to_le_bytes())).collect();
+        let a = MinHash::from_hashes(128, hashes.iter().copied());
+        let b = MinHash::from_hashes(128, hashes.iter().copied());
+        assert_eq!(a.jaccard(&b), 1.0);
+    }
+
+    #[test]
+    fn minhash_disjoint_sets_estimate_near_zero() {
+        let a = MinHash::from_hashes(128, (0..500u64).map(|i| stable_hash(&i.to_le_bytes())));
+        let b = MinHash::from_hashes(
+            128,
+            (1000..1500u64).map(|i| stable_hash(&i.to_le_bytes())),
+        );
+        assert!(a.jaccard(&b) < 0.1);
+    }
+
+    #[test]
+    fn minhash_estimates_half_overlap() {
+        let a = MinHash::from_hashes(256, (0..1000u64).map(|i| stable_hash(&i.to_le_bytes())));
+        let b = MinHash::from_hashes(
+            256,
+            (500..1500u64).map(|i| stable_hash(&i.to_le_bytes())),
+        );
+        // True Jaccard = 500/1500 ≈ 0.333.
+        let est = a.jaccard(&b);
+        assert!((est - 1.0 / 3.0).abs() < 0.12, "estimate {est}");
+    }
+
+    #[test]
+    fn minhash_duplicates_do_not_change_sketch() {
+        let mut a = MinHash::new(64);
+        let mut b = MinHash::new(64);
+        for i in 0..100u64 {
+            let h = stable_hash(&i.to_le_bytes());
+            a.insert(h);
+            b.insert(h);
+            b.insert(h); // duplicate
+        }
+        assert_eq!(a.jaccard(&b), 1.0);
+        assert_eq!(b.n_values(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "sketch sizes must match")]
+    fn mismatched_sketch_sizes_panic() {
+        MinHash::new(8).jaccard(&MinHash::new(16));
+    }
+
+    #[test]
+    fn empty_sketches_score_zero() {
+        assert_eq!(MinHash::new(8).jaccard(&MinHash::new(8)), 0.0);
+    }
+}

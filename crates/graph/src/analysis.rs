@@ -1,0 +1,190 @@
+//! DRG analysis utilities: Graphviz export, connectivity, and
+//! strongest-path queries (maximum joinability-confidence route between two
+//! datasets — useful when debugging why a path was preferred).
+
+use std::collections::BinaryHeap;
+use std::fmt::Write as _;
+
+use crate::drg::{Drg, EdgeProvenance, NodeId};
+use crate::path::{JoinHop, JoinPath};
+
+/// Render the DRG in Graphviz DOT format. KFK edges are solid, discovered
+/// edges dashed and labelled with their similarity score.
+pub fn to_dot(drg: &Drg) -> String {
+    let mut out = String::from("graph drg {\n  node [shape=box];\n");
+    for node in drg.nodes() {
+        let _ = writeln!(out, "  \"{}\";", drg.table_name(node));
+    }
+    for e in drg.edges() {
+        let style = match e.provenance {
+            EdgeProvenance::Kfk => "solid",
+            EdgeProvenance::Discovered => "dashed",
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" -- \"{}\" [label=\"{}={} ({:.2})\", style={}];",
+            drg.table_name(e.a),
+            drg.table_name(e.b),
+            e.a_column,
+            e.b_column,
+            e.weight,
+            style
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Number of connected components.
+pub fn connected_components(drg: &Drg) -> usize {
+    let n = drg.n_nodes();
+    let mut seen = vec![false; n];
+    let mut components = 0;
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        components += 1;
+        let mut stack = vec![NodeId(start)];
+        seen[start] = true;
+        while let Some(u) = stack.pop() {
+            for (v, _) in drg.neighbours(u) {
+                if !seen[v.0] {
+                    seen[v.0] = true;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    components
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    confidence: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.confidence
+            .partial_cmp(&other.confidence)
+            .expect("finite confidence")
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+/// The join path from `from` to `to` maximizing the product of edge
+/// weights (joinability confidence) — Dijkstra on `-log(weight)`.
+/// Returns `None` when unreachable.
+pub fn strongest_path(drg: &Drg, from: NodeId, to: NodeId) -> Option<JoinPath> {
+    let n = drg.n_nodes();
+    let mut best = vec![0.0f64; n];
+    let mut hop_in: Vec<Option<JoinHop>> = vec![None; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    best[from.0] = 1.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry { confidence: 1.0, node: from });
+    while let Some(HeapEntry { confidence, node }) = heap.pop() {
+        if confidence < best[node.0] {
+            continue;
+        }
+        if node == to {
+            break;
+        }
+        for (next, edge_ids) in drg.neighbours(node) {
+            for eid in edge_ids {
+                let e = drg.edge(eid);
+                let (_, from_col, to_col) =
+                    e.oriented_from(node).expect("incident edge");
+                let c = confidence * e.weight;
+                if c > best[next.0] {
+                    best[next.0] = c;
+                    prev[next.0] = Some(node);
+                    hop_in[next.0] = Some(JoinHop {
+                        from_table: drg.table_name(node).to_string(),
+                        from_column: from_col.to_string(),
+                        to_table: drg.table_name(next).to_string(),
+                        to_column: to_col.to_string(),
+                        weight: e.weight,
+                    });
+                    heap.push(HeapEntry { confidence: c, node: next });
+                }
+            }
+        }
+    }
+    if best[to.0] == 0.0 {
+        return None;
+    }
+    if from == to {
+        return Some(JoinPath::empty());
+    }
+    let mut hops = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        hops.push(hop_in[cur.0].clone().expect("path recorded"));
+        cur = prev[cur.0].expect("path recorded");
+    }
+    hops.reverse();
+    Some(JoinPath::from_hops(hops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drg::DrgBuilder;
+
+    fn graph() -> Drg {
+        let mut b = DrgBuilder::new();
+        b.add_kfk("a", "k1", "b", "k1");
+        b.add_discovered("b", "k2", "c", "k2", 0.5);
+        b.add_discovered("a", "k3", "c", "k3", 0.4);
+        b.add_table("island");
+        b.build()
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = graph();
+        let dot = to_dot(&g);
+        assert!(dot.contains("\"a\""));
+        assert!(dot.contains("\"island\""));
+        assert!(dot.contains("style=solid"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("(0.50)"));
+        assert!(dot.starts_with("graph drg {"));
+    }
+
+    #[test]
+    fn components_counted() {
+        assert_eq!(connected_components(&graph()), 2);
+    }
+
+    #[test]
+    fn strongest_path_picks_higher_product() {
+        let g = graph();
+        // a→c direct: 0.4; a→b→c: 1.0 × 0.5 = 0.5 ⇒ the two-hop route wins.
+        let p = strongest_path(&g, g.node("a").unwrap(), g.node("c").unwrap()).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!((p.weight_product() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let g = graph();
+        assert!(strongest_path(&g, g.node("a").unwrap(), g.node("island").unwrap()).is_none());
+    }
+
+    #[test]
+    fn self_path_is_empty() {
+        let g = graph();
+        let a = g.node("a").unwrap();
+        assert_eq!(strongest_path(&g, a, a), Some(JoinPath::empty()));
+    }
+}

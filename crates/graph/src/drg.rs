@@ -1,0 +1,461 @@
+//! The Dataset Relation Graph structure and builder.
+
+use std::collections::HashMap;
+
+use autofeat_data::Table;
+use autofeat_discovery::{ColumnProfile, SchemaMatcher};
+
+/// Node identifier (index into the DRG's table list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Edge identifier (index into the DRG's edge list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeId(pub usize);
+
+/// How an edge entered the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeProvenance {
+    /// A known key/foreign-key constraint (weight 1, Def. IV.1 case 1).
+    Kfk,
+    /// Discovered by a dataset-discovery algorithm (weight = similarity).
+    Discovered,
+}
+
+/// One undirected join opportunity between two datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinEdge {
+    /// First endpoint.
+    pub a: NodeId,
+    /// Second endpoint.
+    pub b: NodeId,
+    /// Join column on the `a` side.
+    pub a_column: String,
+    /// Join column on the `b` side.
+    pub b_column: String,
+    /// Similarity weight in `(0, 1]`.
+    pub weight: f64,
+    /// Edge provenance.
+    pub provenance: EdgeProvenance,
+}
+
+impl JoinEdge {
+    /// The opposite endpoint and the (from_col, to_col) orientation when
+    /// traversing this edge *from* `node`. `None` if `node` is not an
+    /// endpoint.
+    pub fn oriented_from(&self, node: NodeId) -> Option<(NodeId, &str, &str)> {
+        if node == self.a {
+            Some((self.b, &self.a_column, &self.b_column))
+        } else if node == self.b {
+            Some((self.a, &self.b_column, &self.a_column))
+        } else {
+            None
+        }
+    }
+}
+
+/// The Dataset Relation Graph (Def. IV.3): an undirected multigraph over
+/// datasets.
+#[derive(Debug, Clone, Default)]
+pub struct Drg {
+    tables: Vec<String>,
+    index: HashMap<String, NodeId>,
+    edges: Vec<JoinEdge>,
+    adjacency: Vec<Vec<EdgeId>>,
+}
+
+impl Drg {
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of (multi-)edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Node id of a table name.
+    pub fn node(&self, table: &str) -> Option<NodeId> {
+        self.index.get(table).copied()
+    }
+
+    /// Table name of a node.
+    pub fn table_name(&self, node: NodeId) -> &str {
+        &self.tables[node.0]
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.tables.len()).map(NodeId)
+    }
+
+    /// An edge by id.
+    pub fn edge(&self, id: EdgeId) -> &JoinEdge {
+        &self.edges[id.0]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[JoinEdge] {
+        &self.edges
+    }
+
+    /// Edge ids incident to a node.
+    pub fn incident(&self, node: NodeId) -> &[EdgeId] {
+        &self.adjacency[node.0]
+    }
+
+    /// Neighbours of a node, grouped per neighbouring table: returns
+    /// `(neighbour, edge ids connecting to it)` pairs in deterministic
+    /// (ascending node) order. Multiple edge ids per neighbour reflect the
+    /// multigraph's multiple join opportunities.
+    pub fn neighbours(&self, node: NodeId) -> Vec<(NodeId, Vec<EdgeId>)> {
+        let mut by_neighbour: HashMap<NodeId, Vec<EdgeId>> = HashMap::new();
+        for &eid in self.incident(node) {
+            let (other, _, _) = self.edges[eid.0]
+                .oriented_from(node)
+                .expect("adjacency lists only hold incident edges");
+            by_neighbour.entry(other).or_default().push(eid);
+        }
+        let mut v: Vec<(NodeId, Vec<EdgeId>)> = by_neighbour.into_iter().collect();
+        v.sort_by_key(|(n, _)| *n);
+        v
+    }
+
+    /// The similarity-score pruning rule of §IV-C: among the multi-edges to
+    /// one neighbour, keep only those tied at the maximum weight ("AutoFeat
+    /// selects the join column with the highest similarity score; when
+    /// multiple join columns share the same top score, each ... is an
+    /// individual join path").
+    pub fn best_edges(&self, edge_ids: &[EdgeId]) -> Vec<EdgeId> {
+        let max = edge_ids
+            .iter()
+            .map(|&e| self.edges[e.0].weight)
+            .fold(f64::NEG_INFINITY, f64::max);
+        edge_ids
+            .iter()
+            .copied()
+            .filter(|&e| (self.edges[e.0].weight - max).abs() < 1e-12)
+            .collect()
+    }
+}
+
+/// Incremental DRG builder.
+#[derive(Debug, Clone, Default)]
+pub struct DrgBuilder {
+    drg: Drg,
+}
+
+impl DrgBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        DrgBuilder::default()
+    }
+
+    /// Add (or get) a table node.
+    pub fn add_table(&mut self, name: impl Into<String>) -> NodeId {
+        let name = name.into();
+        if let Some(&id) = self.drg.index.get(&name) {
+            return id;
+        }
+        let id = NodeId(self.drg.tables.len());
+        self.drg.index.insert(name.clone(), id);
+        self.drg.tables.push(name);
+        self.drg.adjacency.push(Vec::new());
+        id
+    }
+
+    fn add_edge(&mut self, edge: JoinEdge) -> EdgeId {
+        let id = EdgeId(self.drg.edges.len());
+        self.drg.adjacency[edge.a.0].push(id);
+        if edge.b != edge.a {
+            self.drg.adjacency[edge.b.0].push(id);
+        }
+        self.drg.edges.push(edge);
+        id
+    }
+
+    /// Add a KFK edge (weight 1).
+    pub fn add_kfk(
+        &mut self,
+        table_a: &str,
+        column_a: &str,
+        table_b: &str,
+        column_b: &str,
+    ) -> EdgeId {
+        let a = self.add_table(table_a);
+        let b = self.add_table(table_b);
+        self.add_edge(JoinEdge {
+            a,
+            b,
+            a_column: column_a.to_string(),
+            b_column: column_b.to_string(),
+            weight: 1.0,
+            provenance: EdgeProvenance::Kfk,
+        })
+    }
+
+    /// Add a discovered edge with a similarity score.
+    pub fn add_discovered(
+        &mut self,
+        table_a: &str,
+        column_a: &str,
+        table_b: &str,
+        column_b: &str,
+        score: f64,
+    ) -> EdgeId {
+        let a = self.add_table(table_a);
+        let b = self.add_table(table_b);
+        self.add_edge(JoinEdge {
+            a,
+            b,
+            a_column: column_a.to_string(),
+            b_column: column_b.to_string(),
+            weight: score,
+            provenance: EdgeProvenance::Discovered,
+        })
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Drg {
+        self.drg
+    }
+}
+
+impl Drg {
+    /// Build a DRG from a dataset collection by running the schema matcher
+    /// over every table pair — the *data-lake setting* offline phase.
+    pub fn from_discovery(tables: &[&Table], matcher: &SchemaMatcher) -> Drg {
+        let mut b = DrgBuilder::new();
+        for t in tables {
+            b.add_table(t.name());
+        }
+        let profiles: Vec<Vec<ColumnProfile>> =
+            tables.iter().map(|t| ColumnProfile::build_all(t)).collect();
+        for i in 0..tables.len() {
+            for j in (i + 1)..tables.len() {
+                for m in matcher.match_profiles(&profiles[i], &profiles[j]) {
+                    b.add_discovered(
+                        tables[i].name(),
+                        &m.left_column,
+                        tables[j].name(),
+                        &m.right_column,
+                        m.score,
+                    );
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// LSH-accelerated discovery: instead of scoring all `O(C²)` column
+    /// pairs, only pairs colliding in the MinHash LSH index are scored.
+    /// Name-only matches (high name similarity, little value overlap) can
+    /// be missed — the trade the Lazo-style systems make; on key-like
+    /// columns (the ones worth joining on) recall is near-perfect.
+    pub fn from_discovery_lsh(tables: &[&Table], matcher: &SchemaMatcher) -> Drg {
+        use autofeat_discovery::LshIndex;
+        let mut b = DrgBuilder::new();
+        for t in tables {
+            b.add_table(t.name());
+        }
+        // Flatten all column profiles with their table index.
+        let mut flat: Vec<(usize, ColumnProfile)> = Vec::new();
+        for (ti, t) in tables.iter().enumerate() {
+            for p in ColumnProfile::build_all(t) {
+                flat.push((ti, p));
+            }
+        }
+        let mut index = LshIndex::paper_default();
+        for (cid, (_, p)) in flat.iter().enumerate() {
+            index.insert(cid, p);
+        }
+        for (a, bb) in index.candidate_pairs() {
+            let (ta, pa) = &flat[a];
+            let (tb, pb) = &flat[bb];
+            if ta == tb {
+                continue;
+            }
+            let score = matcher.score_pair(pa, pb);
+            if score >= matcher.config().threshold {
+                // Keep a stable orientation: lower table index first.
+                let (ti, pi, tj, pj) = if ta < tb { (ta, pa, tb, pb) } else { (tb, pb, ta, pa) };
+                b.add_discovered(
+                    tables[*ti].name(),
+                    &pi.column,
+                    tables[*tj].name(),
+                    &pj.column,
+                    score,
+                );
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Drg {
+        // base — a — c, base — b — c, plus a multi-edge base→a.
+        let mut b = DrgBuilder::new();
+        b.add_kfk("base", "a_id", "a", "id");
+        b.add_discovered("base", "a_alt", "a", "alt", 0.7);
+        b.add_kfk("base", "b_id", "b", "id");
+        b.add_kfk("a", "c_id", "c", "id");
+        b.add_kfk("b", "c_id", "c", "id");
+        b.build()
+    }
+
+    #[test]
+    fn nodes_and_edges_counted() {
+        let g = diamond();
+        assert_eq!(g.n_nodes(), 4);
+        assert_eq!(g.n_edges(), 5);
+    }
+
+    #[test]
+    fn add_table_is_idempotent() {
+        let mut b = DrgBuilder::new();
+        let t1 = b.add_table("x");
+        let t2 = b.add_table("x");
+        assert_eq!(t1, t2);
+        assert_eq!(b.build().n_nodes(), 1);
+    }
+
+    #[test]
+    fn neighbours_group_multi_edges() {
+        let g = diamond();
+        let base = g.node("base").unwrap();
+        let nbrs = g.neighbours(base);
+        assert_eq!(nbrs.len(), 2); // a and b
+        let a = g.node("a").unwrap();
+        let a_edges = &nbrs.iter().find(|(n, _)| *n == a).unwrap().1;
+        assert_eq!(a_edges.len(), 2); // KFK + discovered
+    }
+
+    #[test]
+    fn oriented_from_flips_columns() {
+        let g = diamond();
+        let base = g.node("base").unwrap();
+        let a = g.node("a").unwrap();
+        let e = g.edge(EdgeId(0));
+        let (to, from_col, to_col) = e.oriented_from(base).unwrap();
+        assert_eq!(to, a);
+        assert_eq!(from_col, "a_id");
+        assert_eq!(to_col, "id");
+        let (back, fc, tc) = e.oriented_from(a).unwrap();
+        assert_eq!(back, base);
+        assert_eq!(fc, "id");
+        assert_eq!(tc, "a_id");
+        assert_eq!(e.oriented_from(NodeId(99)), None);
+    }
+
+    #[test]
+    fn kfk_edges_have_weight_one() {
+        let g = diamond();
+        assert_eq!(g.edge(EdgeId(0)).weight, 1.0);
+        assert_eq!(g.edge(EdgeId(0)).provenance, EdgeProvenance::Kfk);
+        assert_eq!(g.edge(EdgeId(1)).provenance, EdgeProvenance::Discovered);
+    }
+
+    #[test]
+    fn best_edges_keeps_top_score_ties() {
+        let g = diamond();
+        let base = g.node("base").unwrap();
+        let a = g.node("a").unwrap();
+        let nbrs = g.neighbours(base);
+        let a_edges = &nbrs.iter().find(|(n, _)| *n == a).unwrap().1;
+        let best = g.best_edges(a_edges);
+        assert_eq!(best.len(), 1); // the KFK (1.0) beats the 0.7 discovery
+        assert_eq!(g.edge(best[0]).weight, 1.0);
+    }
+
+    #[test]
+    fn best_edges_tie_returns_all() {
+        let mut b = DrgBuilder::new();
+        b.add_discovered("x", "c1", "y", "d1", 0.8);
+        b.add_discovered("x", "c2", "y", "d2", 0.8);
+        let g = b.build();
+        let x = g.node("x").unwrap();
+        let nbrs = g.neighbours(x);
+        assert_eq!(g.best_edges(&nbrs[0].1).len(), 2);
+    }
+
+    #[test]
+    fn from_discovery_builds_multigraph() {
+        use autofeat_data::{Column, Table};
+        let t1 = Table::new(
+            "t1",
+            vec![("id", Column::from_ints((0..30).map(Some).collect::<Vec<_>>()))],
+        )
+        .unwrap();
+        let t2 = Table::new(
+            "t2",
+            vec![
+                ("id", Column::from_ints((0..30).map(Some).collect::<Vec<_>>())),
+                ("id_copy", Column::from_ints((0..30).map(Some).collect::<Vec<_>>())),
+            ],
+        )
+        .unwrap();
+        let g = Drg::from_discovery(&[&t1, &t2], &SchemaMatcher::paper_default());
+        assert_eq!(g.n_nodes(), 2);
+        assert!(g.n_edges() >= 2, "expected multi-edges, got {}", g.n_edges());
+        assert!(g.edges().iter().all(|e| e.provenance == EdgeProvenance::Discovered));
+    }
+
+    #[test]
+    fn unknown_table_lookup() {
+        assert_eq!(diamond().node("ghost"), None);
+    }
+
+    #[test]
+    fn lsh_discovery_finds_value_overlapping_edges() {
+        use autofeat_data::{Column, Table};
+        let t1 = Table::new(
+            "t1",
+            vec![("key", Column::from_ints((0..200).map(Some).collect::<Vec<_>>()))],
+        )
+        .unwrap();
+        let t2 = Table::new(
+            "t2",
+            vec![
+                ("key", Column::from_ints((0..200).map(Some).collect::<Vec<_>>())),
+                (
+                    "unrelated",
+                    Column::from_ints((90_000..90_200).map(Some).collect::<Vec<_>>()),
+                ),
+            ],
+        )
+        .unwrap();
+        let matcher = SchemaMatcher::paper_default();
+        let full = Drg::from_discovery(&[&t1, &t2], &matcher);
+        let lsh = Drg::from_discovery_lsh(&[&t1, &t2], &matcher);
+        // The shared-key edge must be present in both constructions.
+        let has_key_edge = |g: &Drg| {
+            g.edges()
+                .iter()
+                .any(|e| e.a_column == "key" && e.b_column == "key")
+        };
+        assert!(has_key_edge(&full));
+        assert!(has_key_edge(&lsh));
+        // LSH never invents edges the full matcher would reject.
+        assert!(lsh.n_edges() <= full.n_edges());
+    }
+
+    #[test]
+    fn lsh_discovery_skips_same_table_pairs() {
+        use autofeat_data::{Column, Table};
+        let t = Table::new(
+            "t",
+            vec![
+                ("a", Column::from_ints((0..100).map(Some).collect::<Vec<_>>())),
+                ("b", Column::from_ints((0..100).map(Some).collect::<Vec<_>>())),
+            ],
+        )
+        .unwrap();
+        let g = Drg::from_discovery_lsh(&[&t], &SchemaMatcher::paper_default());
+        assert_eq!(g.n_edges(), 0, "no self-table edges");
+    }
+}

@@ -1,0 +1,24 @@
+//! # autofeat-graph
+//!
+//! The **Dataset Relation Graph** (DRG) of §IV: an undirected, weighted
+//! *multigraph* whose nodes are datasets and whose (multi-)edges are join
+//! opportunities — KFK constraints ingested with weight 1, discovered
+//! relationships weighted by the matcher's similarity score.
+//!
+//! Provides:
+//!
+//! * the graph structure and builder ([`drg`]);
+//! * join paths and hops ([`path`]);
+//! * BFS level-order traversal and acyclic path enumeration
+//!   ([`traversal`]), including the `JoinAll` path-count formula (Eq. 3)
+//!   that explains why exhaustive joining is infeasible on dense graphs.
+
+pub mod analysis;
+pub mod drg;
+pub mod path;
+pub mod traversal;
+
+pub use analysis::{connected_components, strongest_path, to_dot};
+pub use drg::{Drg, DrgBuilder, EdgeId, EdgeProvenance, JoinEdge, NodeId};
+pub use path::{JoinHop, JoinPath};
+pub use traversal::{bfs_levels, enumerate_paths, join_all_path_count};

@@ -1,0 +1,177 @@
+//! Join paths: sequences of oriented join hops through the DRG.
+
+use std::fmt;
+
+/// One oriented hop of a join path: join `from_table.from_column` with
+/// `to_table.to_column`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinHop {
+    /// Left (already materialized) side's table of origin.
+    pub from_table: String,
+    /// Join column on the left side (name as in its table of origin).
+    pub from_column: String,
+    /// Right table being joined in.
+    pub to_table: String,
+    /// Join column in the right table.
+    pub to_column: String,
+    /// Similarity weight of the edge used.
+    pub weight: f64,
+}
+
+/// A directed join path of length ≥ 1 (Def. IV.4), starting at the base
+/// table. Paths are acyclic: each table appears at most once.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JoinPath {
+    hops: Vec<JoinHop>,
+}
+
+impl JoinPath {
+    /// The empty path (the base table alone).
+    pub fn empty() -> Self {
+        JoinPath::default()
+    }
+
+    /// Build from hops (assumed consistent).
+    pub fn from_hops(hops: Vec<JoinHop>) -> Self {
+        JoinPath { hops }
+    }
+
+    /// Extend with one more hop (returns a new path).
+    pub fn extended(&self, hop: JoinHop) -> JoinPath {
+        let mut hops = self.hops.clone();
+        hops.push(hop);
+        JoinPath { hops }
+    }
+
+    /// The hops in order.
+    pub fn hops(&self) -> &[JoinHop] {
+        &self.hops
+    }
+
+    /// Path length = number of joins.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Whether the path is empty (no joins).
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// The base table, if the path has any hop.
+    pub fn base_table(&self) -> Option<&str> {
+        self.hops.first().map(|h| h.from_table.as_str())
+    }
+
+    /// The table reached by the final hop.
+    pub fn last_table(&self) -> Option<&str> {
+        self.hops.last().map(|h| h.to_table.as_str())
+    }
+
+    /// Every table the path touches, base first, without duplicates.
+    pub fn tables(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = Vec::with_capacity(self.hops.len() + 1);
+        for h in &self.hops {
+            if !v.contains(&h.from_table.as_str()) {
+                v.push(&h.from_table);
+            }
+            if !v.contains(&h.to_table.as_str()) {
+                v.push(&h.to_table);
+            }
+        }
+        v
+    }
+
+    /// Whether the path already visits `table` (acyclicity check).
+    pub fn visits(&self, table: &str) -> bool {
+        self.hops
+            .iter()
+            .any(|h| h.from_table == table || h.to_table == table)
+    }
+
+    /// Product of hop weights — a crude joinability confidence for the
+    /// whole path.
+    pub fn weight_product(&self) -> f64 {
+        self.hops.iter().map(|h| h.weight).product()
+    }
+}
+
+impl fmt::Display for JoinPath {
+    /// Formats like the paper:
+    /// `Applicants.Applicant_ID -> Credit_profile.Credit_score -> ...`
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.hops.is_empty() {
+            return f.write_str("(empty path)");
+        }
+        for (i, h) in self.hops.iter().enumerate() {
+            if i == 0 {
+                write!(f, "{}.{}", h.from_table, h.from_column)?;
+            }
+            write!(f, " -> {}.{}", h.to_table, h.to_column)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(from: &str, fc: &str, to: &str, tc: &str, w: f64) -> JoinHop {
+        JoinHop {
+            from_table: from.into(),
+            from_column: fc.into(),
+            to_table: to.into(),
+            to_column: tc.into(),
+            weight: w,
+        }
+    }
+
+    fn two_hop() -> JoinPath {
+        JoinPath::from_hops(vec![
+            hop("applicants", "applicant_id", "credit", "credit_score", 0.8),
+            hop("credit", "credit_id", "loans", "credit_id", 1.0),
+        ])
+    }
+
+    #[test]
+    fn length_and_tables() {
+        let p = two_hop();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.base_table(), Some("applicants"));
+        assert_eq!(p.last_table(), Some("loans"));
+        assert_eq!(p.tables(), vec!["applicants", "credit", "loans"]);
+    }
+
+    #[test]
+    fn visits_detects_cycles() {
+        let p = two_hop();
+        assert!(p.visits("credit"));
+        assert!(p.visits("applicants"));
+        assert!(!p.visits("other"));
+    }
+
+    #[test]
+    fn extended_leaves_original_untouched() {
+        let p = JoinPath::empty();
+        let q = p.extended(hop("a", "x", "b", "y", 1.0));
+        assert!(p.is_empty());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let p = two_hop();
+        assert_eq!(
+            p.to_string(),
+            "applicants.applicant_id -> credit.credit_score -> loans.credit_id"
+        );
+        assert_eq!(JoinPath::empty().to_string(), "(empty path)");
+    }
+
+    #[test]
+    fn weight_product() {
+        assert!((two_hop().weight_product() - 0.8).abs() < 1e-12);
+        assert_eq!(JoinPath::empty().weight_product(), 1.0);
+    }
+}

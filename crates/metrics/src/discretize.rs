@@ -1,0 +1,221 @@
+//! Discretization of continuous features for entropy estimation.
+//!
+//! Mutual-information estimators operate on discrete codes. Continuous
+//! features are binned with equal-frequency binning by default (robust to
+//! skew); equal-width binning is available as an alternative. Missing values
+//! (`NaN`) map to `None` and are skipped pairwise by the estimators.
+
+/// A discretized feature: per-row bin codes (None = missing) and the number
+/// of bins actually used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Discretized {
+    /// Per-row bin code.
+    pub codes: Vec<Option<u32>>,
+    /// Number of distinct bins (codes are in `0..n_bins`).
+    pub n_bins: u32,
+}
+
+impl Discretized {
+    /// Build directly from integer-like codes (used for already-discrete
+    /// features such as class labels). Codes are compacted to `0..k`.
+    pub fn from_codes<I: IntoIterator<Item = Option<i64>>>(iter: I) -> Self {
+        let raw: Vec<Option<i64>> = iter.into_iter().collect();
+        let mut distinct: Vec<i64> = raw.iter().flatten().copied().collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let codes = raw
+            .iter()
+            .map(|v| {
+                v.map(|x| distinct.binary_search(&x).expect("value present") as u32)
+            })
+            .collect();
+        Discretized { codes, n_bins: distinct.len() as u32 }
+    }
+
+    /// Number of non-missing entries.
+    pub fn n_present(&self) -> usize {
+        self.codes.iter().filter(|c| c.is_some()).count()
+    }
+}
+
+/// Count of distinct finite values, capped at `cap + 1` for early exit.
+fn distinct_capped(values: &[f64], cap: usize) -> Vec<f64> {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    v.dedup();
+    let _ = cap;
+    v
+}
+
+/// Equal-frequency (quantile) binning into at most `n_bins` bins.
+///
+/// When the feature has ≤ `n_bins` distinct values it is treated as already
+/// discrete and each value gets its own bin. Identical values always share a
+/// bin (boundaries never split ties).
+pub fn discretize_equal_frequency(values: &[f64], n_bins: u32) -> Discretized {
+    assert!(n_bins >= 1, "n_bins must be >= 1");
+    let distinct = distinct_capped(values, n_bins as usize);
+    if distinct.is_empty() {
+        return Discretized { codes: vec![None; values.len()], n_bins: 0 };
+    }
+    if distinct.len() <= n_bins as usize {
+        // Already discrete: direct value → bin mapping.
+        let codes = values
+            .iter()
+            .map(|&x| {
+                if x.is_finite() {
+                    Some(distinct.partition_point(|&d| d < x) as u32)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        return Discretized { codes, n_bins: distinct.len() as u32 };
+    }
+
+    // Quantile boundaries over the sorted present values.
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = sorted.len();
+    let mut boundaries: Vec<f64> = Vec::with_capacity(n_bins as usize - 1);
+    for b in 1..n_bins {
+        let q = (b as f64 / n_bins as f64 * n as f64) as usize;
+        let q = q.clamp(1, n - 1);
+        boundaries.push(sorted[q]);
+    }
+    boundaries.dedup_by(|a, b| a == b);
+
+    let codes: Vec<Option<u32>> = values
+        .iter()
+        .map(|&x| {
+            if x.is_finite() {
+                Some(boundaries.partition_point(|&bnd| bnd <= x) as u32)
+            } else {
+                None
+            }
+        })
+        .collect();
+    let n_used = codes.iter().flatten().copied().max().map_or(0, |m| m + 1);
+    Discretized { codes, n_bins: n_used }
+}
+
+/// Equal-width binning into `n_bins` bins over `[min, max]`.
+pub fn discretize_equal_width(values: &[f64], n_bins: u32) -> Discretized {
+    assert!(n_bins >= 1, "n_bins must be >= 1");
+    let present: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if present.is_empty() {
+        return Discretized { codes: vec![None; values.len()], n_bins: 0 };
+    }
+    let min = present.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = present.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if min == max {
+        return Discretized {
+            codes: values
+                .iter()
+                .map(|x| if x.is_finite() { Some(0) } else { None })
+                .collect(),
+            n_bins: 1,
+        };
+    }
+    let width = (max - min) / n_bins as f64;
+    let codes: Vec<Option<u32>> = values
+        .iter()
+        .map(|&x| {
+            if x.is_finite() {
+                Some((((x - min) / width) as u32).min(n_bins - 1))
+            } else {
+                None
+            }
+        })
+        .collect();
+    Discretized { codes, n_bins }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discrete_passthrough() {
+        let d = discretize_equal_frequency(&[0.0, 1.0, 1.0, 2.0], 10);
+        assert_eq!(d.n_bins, 3);
+        assert_eq!(d.codes, vec![Some(0), Some(1), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn nan_maps_to_none() {
+        let d = discretize_equal_frequency(&[1.0, f64::NAN, 2.0], 4);
+        assert_eq!(d.codes[1], None);
+        assert_eq!(d.n_present(), 2);
+    }
+
+    #[test]
+    fn all_nan_yields_zero_bins() {
+        let d = discretize_equal_frequency(&[f64::NAN, f64::NAN], 4);
+        assert_eq!(d.n_bins, 0);
+        assert!(d.codes.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn equal_frequency_balances_counts() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = discretize_equal_frequency(&values, 4);
+        assert_eq!(d.n_bins, 4);
+        let mut counts = [0usize; 4];
+        for c in d.codes.iter().flatten() {
+            counts[*c as usize] += 1;
+        }
+        for &c in &counts {
+            assert_eq!(c, 25);
+        }
+    }
+
+    #[test]
+    fn ties_never_split_across_bins() {
+        // 90 copies of 1.0 then 10 distinct larger values; with 4 bins all
+        // the 1.0s must land in a single bin.
+        let mut values = vec![1.0f64; 90];
+        values.extend((0..10).map(|i| 2.0 + i as f64));
+        // distinct = 11 > 4 bins, so quantile path is taken
+        let d = discretize_equal_frequency(&values, 4);
+        let first = d.codes[0];
+        assert!(d.codes[..90].iter().all(|&c| c == first));
+    }
+
+    #[test]
+    fn skewed_data_still_monotone() {
+        let values: Vec<f64> = (0..50).map(|i| (i as f64).exp().min(1e12)).collect();
+        let d = discretize_equal_frequency(&values, 5);
+        // Codes must be monotone non-decreasing over sorted input.
+        let codes: Vec<u32> = d.codes.iter().map(|c| c.unwrap()).collect();
+        assert!(codes.windows(2).all(|w| w[0] <= w[1]));
+        assert!(d.n_bins >= 2);
+    }
+
+    #[test]
+    fn equal_width_boundaries() {
+        let d = discretize_equal_width(&[0.0, 2.5, 5.0, 7.5, 10.0], 2);
+        assert_eq!(d.codes, vec![Some(0), Some(0), Some(1), Some(1), Some(1)]);
+    }
+
+    #[test]
+    fn equal_width_constant_column() {
+        let d = discretize_equal_width(&[3.0, 3.0, f64::NAN], 4);
+        assert_eq!(d.n_bins, 1);
+        assert_eq!(d.codes, vec![Some(0), Some(0), None]);
+    }
+
+    #[test]
+    fn from_codes_compacts() {
+        let d = Discretized::from_codes([Some(10), Some(-5), None, Some(10)]);
+        assert_eq!(d.n_bins, 2);
+        assert_eq!(d.codes, vec![Some(1), Some(0), None, Some(1)]);
+    }
+
+    #[test]
+    fn max_value_in_last_bin() {
+        let values: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let d = discretize_equal_width(&values, 3);
+        assert_eq!(d.codes[9], Some(2));
+    }
+}

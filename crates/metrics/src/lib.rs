@@ -1,0 +1,45 @@
+//! # autofeat-metrics
+//!
+//! Information-theoretic and statistical feature-scoring library — §V of
+//! "AutoFeat: Transitive Feature Discovery over Join Paths" (ICDE 2024).
+//!
+//! Provides:
+//!
+//! * discretization of continuous features for entropy estimation
+//!   ([`discretize`]);
+//! * entropy, mutual information, and conditional mutual information over
+//!   discrete codes ([`mod@entropy`], [`mi`]);
+//! * the five **relevance** measures evaluated in §V-C — Information Gain,
+//!   Symmetrical Uncertainty, Pearson, Spearman, and Relief
+//!   ([`relevance`]);
+//! * the five **redundancy** criteria of §V-D, all instances of the unified
+//!   conditional-likelihood-maximisation framework (Eq. 1/2) — MIFS, MRMR,
+//!   CIFE, JMI, and CMIM ([`redundancy`]);
+//! * the *select-κ-best* heuristic and greedy non-redundant subset selection
+//!   used by Algorithm 1 ([`selection`]).
+//!
+//! The paper's empirical study picks **Spearman** for relevance and **MRMR**
+//! for redundancy; both are exposed here alongside the alternatives so the
+//! ablation experiments (Fig. 9) can swap them.
+
+pub mod discretize;
+pub mod entropy;
+pub mod fcbf;
+pub mod mi;
+pub mod ranks;
+pub mod redundancy;
+pub mod relevance;
+pub mod selection;
+pub mod streaming;
+
+pub use discretize::{discretize_equal_frequency, discretize_equal_width, Discretized};
+pub use fcbf::fcbf;
+pub use entropy::{conditional_entropy, entropy, joint_entropy};
+pub use mi::{conditional_mutual_information, mutual_information};
+pub use redundancy::{RedundancyMethod, RedundancyScorer};
+pub use relevance::{
+    InformationGain, Pearson, Relevance, RelevanceMethod, Relief, Spearman,
+    SymmetricalUncertainty,
+};
+pub use streaming::{BatchOutcome, StreamingSelector};
+pub use selection::{select_k_best, select_non_redundant, SelectedFeature};

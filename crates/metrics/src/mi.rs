@@ -1,0 +1,254 @@
+//! Mutual information and conditional mutual information.
+//!
+//! `I(X;Y)` is the **information gain** of §V-C; `I(X;Y|Z)` is the
+//! conditional information gain appearing in the unified redundancy
+//! framework (Eq. 1). Both are estimated from contingency counts over the
+//! rows where every involved feature is present, and reported in bits.
+
+use crate::discretize::Discretized;
+
+const LN_2: f64 = std::f64::consts::LN_2;
+
+/// Mutual information `I(X;Y)` in bits. Symmetric; zero for independent
+/// features; never negative (up to floating-point noise, which is clamped).
+pub fn mutual_information(x: &Discretized, y: &Discretized) -> f64 {
+    assert_eq!(x.codes.len(), y.codes.len(), "feature length mismatch");
+    let nx = x.n_bins as usize;
+    let ny = y.n_bins as usize;
+    if nx == 0 || ny == 0 {
+        return 0.0;
+    }
+    let mut joint = vec![0usize; nx * ny];
+    let mut mx = vec![0usize; nx];
+    let mut my = vec![0usize; ny];
+    let mut total = 0usize;
+    for (cx, cy) in x.codes.iter().zip(&y.codes) {
+        if let (Some(a), Some(b)) = (cx, cy) {
+            joint[*a as usize * ny + *b as usize] += 1;
+            mx[*a as usize] += 1;
+            my[*b as usize] += 1;
+            total += 1;
+        }
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    let mut mi = 0.0;
+    for a in 0..nx {
+        if mx[a] == 0 {
+            continue;
+        }
+        for b in 0..ny {
+            let c = joint[a * ny + b];
+            if c == 0 {
+                continue;
+            }
+            let pxy = c as f64 / n;
+            let px = mx[a] as f64 / n;
+            let py = my[b] as f64 / n;
+            mi += pxy * (pxy / (px * py)).ln();
+        }
+    }
+    (mi / LN_2).max(0.0)
+}
+
+/// Miller-Madow bias-corrected mutual information.
+///
+/// The plug-in MI estimator is positively biased by roughly
+/// `(Bx−1)(By−1) / (2N ln 2)` bits for `Bx × By` occupied cells over `N`
+/// samples — enough to drown weak real dependencies and to make independent
+/// features look redundant. This subtracts that first-order correction
+/// (clamped at zero). The redundancy criteria use it for every term so weak
+/// fresh features are not spuriously rejected.
+pub fn mutual_information_corrected(x: &Discretized, y: &Discretized) -> f64 {
+    assert_eq!(x.codes.len(), y.codes.len(), "feature length mismatch");
+    let raw = mutual_information(x, y);
+    // Occupied bins and sample count over the joint support.
+    let mut bx = vec![false; x.n_bins as usize];
+    let mut by = vec![false; y.n_bins as usize];
+    let mut n = 0usize;
+    for (cx, cy) in x.codes.iter().zip(&y.codes) {
+        if let (Some(a), Some(b)) = (cx, cy) {
+            bx[*a as usize] = true;
+            by[*b as usize] = true;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    let kx = bx.iter().filter(|&&v| v).count().max(1) as f64;
+    let ky = by.iter().filter(|&&v| v).count().max(1) as f64;
+    let bias = (kx - 1.0) * (ky - 1.0) / (2.0 * n as f64 * LN_2);
+    (raw - bias).max(0.0)
+}
+
+/// Conditional mutual information `I(X;Y|Z) = Σ_z p(z)·I(X;Y|Z=z)` in bits.
+pub fn conditional_mutual_information(
+    x: &Discretized,
+    y: &Discretized,
+    z: &Discretized,
+) -> f64 {
+    assert_eq!(x.codes.len(), y.codes.len(), "feature length mismatch");
+    assert_eq!(x.codes.len(), z.codes.len(), "feature length mismatch");
+    let nz = z.n_bins as usize;
+    if nz == 0 {
+        return 0.0;
+    }
+    // Partition rows by z, then sum weighted per-stratum MI.
+    let mut strata: Vec<Vec<usize>> = vec![Vec::new(); nz];
+    let mut total = 0usize;
+    for i in 0..x.codes.len() {
+        if let (Some(_), Some(_), Some(c)) = (&x.codes[i], &y.codes[i], &z.codes[i]) {
+            strata[*c as usize].push(i);
+            total += 1;
+        }
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    let mut cmi = 0.0;
+    for rows in &strata {
+        if rows.is_empty() {
+            continue;
+        }
+        let sub = |d: &Discretized| Discretized {
+            codes: rows.iter().map(|&i| d.codes[i]).collect(),
+            n_bins: d.n_bins,
+        };
+        let w = rows.len() as f64 / total as f64;
+        cmi += w * mutual_information(&sub(x), &sub(y));
+    }
+    cmi.max(0.0)
+}
+
+/// Miller-Madow-corrected conditional MI: the per-stratum estimates carry
+/// the plug-in bias (once per stratum!), so each is corrected before the
+/// weighted sum.
+pub fn conditional_mutual_information_corrected(
+    x: &Discretized,
+    y: &Discretized,
+    z: &Discretized,
+) -> f64 {
+    assert_eq!(x.codes.len(), y.codes.len(), "feature length mismatch");
+    assert_eq!(x.codes.len(), z.codes.len(), "feature length mismatch");
+    let nz = z.n_bins as usize;
+    if nz == 0 {
+        return 0.0;
+    }
+    let mut strata: Vec<Vec<usize>> = vec![Vec::new(); nz];
+    let mut total = 0usize;
+    for i in 0..x.codes.len() {
+        if let (Some(_), Some(_), Some(c)) = (&x.codes[i], &y.codes[i], &z.codes[i]) {
+            strata[*c as usize].push(i);
+            total += 1;
+        }
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    let mut cmi = 0.0;
+    for rows in &strata {
+        if rows.is_empty() {
+            continue;
+        }
+        let sub = |d: &Discretized| Discretized {
+            codes: rows.iter().map(|&i| d.codes[i]).collect(),
+            n_bins: d.n_bins,
+        };
+        let w = rows.len() as f64 / total as f64;
+        cmi += w * mutual_information_corrected(&sub(x), &sub(y));
+    }
+    cmi.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discretize::Discretized;
+    use crate::entropy::entropy;
+
+    fn d(codes: &[i64]) -> Discretized {
+        Discretized::from_codes(codes.iter().map(|&c| Some(c)))
+    }
+
+    #[test]
+    fn self_mi_equals_entropy() {
+        let x = d(&[0, 1, 2, 0, 1, 2]);
+        assert!((mutual_information(&x, &x) - entropy(&x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_features_have_zero_mi() {
+        let x = d(&[0, 0, 1, 1]);
+        let y = d(&[0, 1, 0, 1]);
+        assert!(mutual_information(&x, &y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_is_symmetric() {
+        let x = d(&[0, 1, 1, 2, 0, 2, 1]);
+        let y = d(&[1, 0, 0, 1, 1, 0, 1]);
+        assert!((mutual_information(&x, &y) - mutual_information(&y, &x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_relation_gives_full_bit() {
+        let x = d(&[0, 1, 0, 1]);
+        let y = d(&[1, 0, 1, 0]); // y = !x
+        assert!((mutual_information(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_rows_skipped_pairwise() {
+        let x = Discretized::from_codes([Some(0), Some(1), Some(0), None]);
+        let y = Discretized::from_codes([Some(0), Some(1), None, Some(1)]);
+        // Only rows 0 and 1 count: perfect correlation over 2 rows.
+        assert!((mutual_information(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmi_of_conditionally_independent_is_zero() {
+        // x and y both copies of z ⇒ given z they are constant ⇒ CMI = 0.
+        let z = d(&[0, 0, 1, 1, 0, 1]);
+        let x = z.clone();
+        let y = z.clone();
+        assert!(conditional_mutual_information(&x, &y, &z).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmi_detects_conditional_dependence() {
+        // XOR: x, y independent, but given z = x ⊕ y they are dependent.
+        let x = d(&[0, 0, 1, 1]);
+        let y = d(&[0, 1, 0, 1]);
+        let z = d(&[0, 1, 1, 0]);
+        assert!(mutual_information(&x, &y).abs() < 1e-12);
+        assert!((conditional_mutual_information(&x, &y, &z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmi_with_constant_condition_equals_mi() {
+        let x = d(&[0, 1, 0, 1, 1]);
+        let y = d(&[0, 1, 1, 1, 0]);
+        let z = d(&[0, 0, 0, 0, 0]);
+        let cmi = conditional_mutual_information(&x, &y, &z);
+        assert!((cmi - mutual_information(&x, &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_bins_are_safe() {
+        let x = Discretized::from_codes([None, None]);
+        let y = d(&[0, 1]);
+        assert_eq!(mutual_information(&x, &y), 0.0);
+        assert_eq!(conditional_mutual_information(&y, &y, &x), 0.0);
+    }
+
+    #[test]
+    fn mi_never_negative() {
+        // Noisy data shouldn't yield negative MI.
+        let x = d(&[0, 1, 2, 3, 0, 2, 1, 3, 2, 0]);
+        let y = d(&[1, 1, 0, 0, 1, 0, 1, 0, 1, 1]);
+        assert!(mutual_information(&x, &y) >= 0.0);
+    }
+}

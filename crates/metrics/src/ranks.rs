@@ -1,0 +1,59 @@
+//! Rank transforms for Spearman correlation.
+
+/// Average (fractional) ranks of `values`, 1-based, with ties receiving the
+/// mean of the ranks they span. `NaN`s receive `NaN` ranks and are excluded
+/// from the ranking of the rest.
+pub fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..values.len()).filter(|&i| values[i].is_finite()).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+    let mut ranks = vec![f64::NAN; values.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        // ranks i+1 ..= j+1 (1-based), average
+        let avg = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranks() {
+        assert_eq!(average_ranks(&[30.0, 10.0, 20.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_get_average() {
+        let r = average_ranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn all_tied() {
+        let r = average_ranks(&[5.0, 5.0, 5.0]);
+        assert_eq!(r, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn nan_excluded() {
+        let r = average_ranks(&[2.0, f64::NAN, 1.0]);
+        assert!(r[1].is_nan());
+        assert_eq!(r[0], 2.0);
+        assert_eq!(r[2], 1.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(average_ranks(&[]).is_empty());
+    }
+}

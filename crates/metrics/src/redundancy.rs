@@ -1,0 +1,287 @@
+//! Redundancy criteria (§V-D): MIFS, MRMR, CIFE, JMI, CMIM.
+//!
+//! All five instantiate the unified conditional-likelihood-maximisation
+//! framework (Eq. 1 of the paper):
+//!
+//! ```text
+//! J(X_k) = I(X_k;Y) − β · Σ_{X_j∈S} I(X_j;X_k) + λ · Σ_{X_j∈S} I(X_j;X_k|Y)
+//! ```
+//!
+//! with CMIM as the special case (Eq. 2):
+//!
+//! ```text
+//! J(X_k) = I(X_k;Y) − max_{X_j∈S} [ I(X_j;X_k) − I(X_j;X_k|Y) ]
+//! ```
+//!
+//! A candidate with `J(X_k) > 0` adds more label information than it
+//! duplicates and is considered non-redundant.
+
+use crate::discretize::{discretize_equal_frequency, Discretized};
+use crate::mi::{
+    conditional_mutual_information, mutual_information, mutual_information_corrected as mi_est,
+};
+use crate::relevance::DEFAULT_BINS;
+
+/// The redundancy criteria compared in §V-D.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RedundancyMethod {
+    /// Mutual Information Feature Selection: fixed β (paper uses 0.5), λ=0.
+    Mifs {
+        /// The β penalty weight.
+        beta: f64,
+    },
+    /// Minimum Redundancy Maximum Relevance: β=1/|S|, λ=0 (paper's choice).
+    Mrmr,
+    /// Conditional Infomax Feature Extraction: β=1, λ=1.
+    Cife,
+    /// Joint Mutual Information: β=1/|S|, λ=1/|S|.
+    Jmi,
+    /// Conditional Mutual Information Maximization (Eq. 2).
+    Cmim,
+}
+
+impl RedundancyMethod {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            RedundancyMethod::Mifs { .. } => "MIFS",
+            RedundancyMethod::Mrmr => "MRMR",
+            RedundancyMethod::Cife => "CIFE",
+            RedundancyMethod::Jmi => "JMI",
+            RedundancyMethod::Cmim => "CMIM",
+        }
+    }
+
+    /// All methods with the paper's parameterization, in the paper's order.
+    pub fn all() -> [RedundancyMethod; 5] {
+        [
+            RedundancyMethod::Mifs { beta: 0.5 },
+            RedundancyMethod::Mrmr,
+            RedundancyMethod::Cife,
+            RedundancyMethod::Jmi,
+            RedundancyMethod::Cmim,
+        ]
+    }
+
+    /// Whether the criterion needs conditional MI terms (the expensive part
+    /// — the paper notes MIFS/MRMR are ~3× faster for skipping it).
+    pub fn needs_conditional(self) -> bool {
+        matches!(
+            self,
+            RedundancyMethod::Cife | RedundancyMethod::Jmi | RedundancyMethod::Cmim
+        )
+    }
+}
+
+/// Scores candidates against an already-selected feature set using a
+/// [`RedundancyMethod`]. Discretizes inputs once and caches codes.
+#[derive(Debug, Clone)]
+pub struct RedundancyScorer {
+    method: RedundancyMethod,
+    bins: u32,
+}
+
+impl RedundancyScorer {
+    /// Scorer with the default bin count.
+    pub fn new(method: RedundancyMethod) -> Self {
+        RedundancyScorer { method, bins: DEFAULT_BINS }
+    }
+
+    /// Scorer with an explicit bin count.
+    pub fn with_bins(method: RedundancyMethod, bins: u32) -> Self {
+        RedundancyScorer { method, bins }
+    }
+
+    /// The configured method.
+    pub fn method(&self) -> RedundancyMethod {
+        self.method
+    }
+
+    /// Discretize a continuous feature with this scorer's bin count.
+    pub fn codes(&self, x: &[f64]) -> Discretized {
+        discretize_equal_frequency(x, self.bins)
+    }
+
+    /// Compute `J(X_k)` for a candidate given the selected set `S` and the
+    /// labels, all pre-discretized.
+    ///
+    /// Estimator note: MIFS/MRMR use **Miller-Madow bias-corrected** MI —
+    /// their penalty is a bare sum of `I(X_j;X_k)` terms, and the plug-in
+    /// estimator's positive bias (≈ `(B−1)²/2N ln 2` per term) would
+    /// otherwise drown weak-but-fresh candidates. The conditional criteria
+    /// (CIFE/JMI/CMIM) keep the plug-in estimator: their paired
+    /// `I(X_j;X_k) − I(X_j;X_k|Y)` terms carry near-identical bias that
+    /// cancels within the pair, and correcting the two terms differently
+    /// would break the exact cancellation for deterministic relations.
+    pub fn score_codes(
+        &self,
+        candidate: &Discretized,
+        selected: &[&Discretized],
+        labels: &Discretized,
+    ) -> f64 {
+        let corrected = !self.method.needs_conditional();
+        let rel = if corrected {
+            mi_est(candidate, labels)
+        } else {
+            mutual_information(candidate, labels)
+        };
+        if selected.is_empty() {
+            return rel;
+        }
+        match self.method {
+            RedundancyMethod::Mifs { beta } => {
+                let red: f64 = selected
+                    .iter()
+                    .map(|s| mi_est(s, candidate))
+                    .sum();
+                rel - beta * red
+            }
+            RedundancyMethod::Mrmr => {
+                let red: f64 = selected
+                    .iter()
+                    .map(|s| mi_est(s, candidate))
+                    .sum();
+                rel - red / selected.len() as f64
+            }
+            RedundancyMethod::Cife => {
+                let mut j = rel;
+                for s in selected {
+                    j -= mutual_information(s, candidate);
+                    j += conditional_mutual_information(s, candidate, labels);
+                }
+                j
+            }
+            RedundancyMethod::Jmi => {
+                let inv = 1.0 / selected.len() as f64;
+                let mut j = rel;
+                for s in selected {
+                    j -= inv * mutual_information(s, candidate);
+                    j += inv * conditional_mutual_information(s, candidate, labels);
+                }
+                j
+            }
+            RedundancyMethod::Cmim => {
+                let worst = selected
+                    .iter()
+                    .map(|s| {
+                        mutual_information(s, candidate)
+                            - conditional_mutual_information(s, candidate, labels)
+                    })
+                    .fold(f64::NEG_INFINITY, f64::max);
+                rel - worst.max(0.0)
+            }
+        }
+    }
+
+    /// Convenience: score raw (continuous) slices.
+    pub fn score(&self, candidate: &[f64], selected: &[&[f64]], labels: &[i64]) -> f64 {
+        let cand = self.codes(candidate);
+        let sel: Vec<Discretized> = selected.iter().map(|s| self.codes(s)).collect();
+        let sel_refs: Vec<&Discretized> = sel.iter().collect();
+        let y = Discretized::from_codes(labels.iter().map(|&l| Some(l)));
+        self.score_codes(&cand, &sel_refs, &y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y depends on x1; x2 = copy of x1 (redundant); x3 independent noise.
+    fn fixture() -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<i64>) {
+        let n = 200;
+        let x1: Vec<f64> = (0..n).map(|i| (i % 10) as f64).collect();
+        let x2 = x1.clone();
+        let x3: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 13) as f64).collect();
+        let y: Vec<i64> = x1.iter().map(|&v| i64::from(v >= 5.0)).collect();
+        (x1, x2, x3, y)
+    }
+
+    #[test]
+    fn empty_selected_set_reduces_to_relevance() {
+        let (x1, _, _, y) = fixture();
+        for m in RedundancyMethod::all() {
+            let s = RedundancyScorer::new(m);
+            let j = s.score(&x1, &[], &y);
+            assert!(j > 0.9, "{}: J without S should be ≈ I(X;Y)=1 bit, got {j}", m.name());
+        }
+    }
+
+    #[test]
+    fn duplicate_feature_is_redundant_under_all_methods() {
+        let (x1, x2, _, y) = fixture();
+        for m in RedundancyMethod::all() {
+            let s = RedundancyScorer::new(m);
+            let j = s.score(&x2, &[&x1], &y);
+            assert!(
+                j <= 1e-9,
+                "{}: exact duplicate should score ≤ 0, got {j}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn independent_informative_feature_stays_positive() {
+        // y = x1 XOR-ish with a second informative independent feature x4.
+        let n = 200;
+        let x1: Vec<f64> = (0..n).map(|i| ((i / 2) % 2) as f64).collect();
+        let x4: Vec<f64> = (0..n).map(|i| (i % 2) as f64).collect();
+        let y: Vec<i64> = (0..n).map(|i| (((i / 2) % 2) ^ (i % 2)) as i64).collect();
+        // x4 alone has ~0 MI with y (XOR), but conditionally informative.
+        let s = RedundancyScorer::new(RedundancyMethod::Cife);
+        let j = s.score(&x4, &[&x1], &y);
+        assert!(j > 0.9, "CIFE should credit conditional information, got {j}");
+        // MRMR (no conditional term) scores it near zero instead.
+        let s2 = RedundancyScorer::new(RedundancyMethod::Mrmr);
+        let j2 = s2.score(&x4, &[&x1], &y);
+        assert!(j2.abs() < 0.1, "MRMR has no conditional term, got {j2}");
+    }
+
+    #[test]
+    fn noise_scores_near_zero() {
+        let (x1, _, x3, y) = fixture();
+        let s = RedundancyScorer::new(RedundancyMethod::Mrmr);
+        let j = s.score(&x3, &[&x1], &y);
+        assert!(j.abs() < 0.2, "noise J should be small, got {j}");
+    }
+
+    #[test]
+    fn mrmr_averages_redundancy() {
+        let (x1, x2, _, y) = fixture();
+        // With two identical selected features, MRMR's penalty equals the
+        // penalty with one (it averages), while MIFS(β=0.5) doubles it.
+        let mrmr = RedundancyScorer::new(RedundancyMethod::Mrmr);
+        let j1 = mrmr.score(&x2, &[&x1], &y);
+        let j2 = mrmr.score(&x2, &[&x1, &x1], &y);
+        assert!((j1 - j2).abs() < 1e-9);
+        let mifs = RedundancyScorer::new(RedundancyMethod::Mifs { beta: 0.5 });
+        let m1 = mifs.score(&x2, &[&x1], &y);
+        let m2 = mifs.score(&x2, &[&x1, &x1], &y);
+        assert!(m2 < m1 - 0.5, "MIFS penalty should grow with |S|");
+    }
+
+    #[test]
+    fn cmim_takes_worst_case() {
+        let (x1, x2, x3, y) = fixture();
+        let s = RedundancyScorer::new(RedundancyMethod::Cmim);
+        // Against {noise, duplicate}, the duplicate dominates the max.
+        let j = s.score(&x2, &[&x3, &x1], &y);
+        assert!(j <= 1e-9, "CMIM should punish the duplicate, got {j}");
+    }
+
+    #[test]
+    fn needs_conditional_classification() {
+        assert!(!RedundancyMethod::Mrmr.needs_conditional());
+        assert!(!RedundancyMethod::Mifs { beta: 0.5 }.needs_conditional());
+        assert!(RedundancyMethod::Cife.needs_conditional());
+        assert!(RedundancyMethod::Jmi.needs_conditional());
+        assert!(RedundancyMethod::Cmim.needs_conditional());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = RedundancyMethod::all().iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["MIFS", "MRMR", "CIFE", "JMI", "CMIM"]);
+    }
+}

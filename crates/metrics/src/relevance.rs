@@ -1,0 +1,386 @@
+//! Relevance measures (§V-C): Information Gain, Symmetrical Uncertainty,
+//! Pearson, Spearman, and Relief.
+//!
+//! Each measure scores features against the class label. Higher is more
+//! relevant. Pearson/Spearman report the **absolute** correlation so that
+//! strongly negative predictors rank as relevant (the paper sorts by
+//! correlation score for the *select-κ-best* heuristic).
+
+use crate::discretize::{discretize_equal_frequency, Discretized};
+use crate::entropy::entropy;
+use crate::mi::mutual_information;
+use crate::ranks::average_ranks;
+
+/// Number of bins used when discretizing continuous features for the
+/// information-theoretic measures.
+pub const DEFAULT_BINS: u32 = 10;
+
+/// The relevance methods evaluated in §V-C of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelevanceMethod {
+    /// Information gain `I(X;Y)`.
+    InformationGain,
+    /// Symmetrical uncertainty `2·I(X;Y)/(H(X)+H(Y))`.
+    SymmetricalUncertainty,
+    /// Absolute Pearson correlation.
+    Pearson,
+    /// Absolute Spearman rank correlation (the paper's choice).
+    Spearman,
+    /// Relief feature weighting.
+    Relief,
+}
+
+impl RelevanceMethod {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            RelevanceMethod::InformationGain => "IG",
+            RelevanceMethod::SymmetricalUncertainty => "SU",
+            RelevanceMethod::Pearson => "Pearson",
+            RelevanceMethod::Spearman => "Spearman",
+            RelevanceMethod::Relief => "Relief",
+        }
+    }
+
+    /// All methods, in the paper's order.
+    pub fn all() -> [RelevanceMethod; 5] {
+        [
+            RelevanceMethod::InformationGain,
+            RelevanceMethod::SymmetricalUncertainty,
+            RelevanceMethod::Pearson,
+            RelevanceMethod::Spearman,
+            RelevanceMethod::Relief,
+        ]
+    }
+
+    /// Score every feature against the labels. `features[j]` is the j-th
+    /// feature's values with `NaN` for missing; `labels` are integer class
+    /// codes.
+    pub fn scores(self, features: &[Vec<f64>], labels: &[i64]) -> Vec<f64> {
+        match self {
+            RelevanceMethod::InformationGain => {
+                per_feature(features, labels, |x, y| InformationGain.score(x, y))
+            }
+            RelevanceMethod::SymmetricalUncertainty => {
+                per_feature(features, labels, |x, y| SymmetricalUncertainty.score(x, y))
+            }
+            RelevanceMethod::Pearson => {
+                per_feature(features, labels, |x, y| Pearson.score(x, y))
+            }
+            RelevanceMethod::Spearman => {
+                per_feature(features, labels, |x, y| Spearman.score(x, y))
+            }
+            RelevanceMethod::Relief => Relief::default().scores(features, labels),
+        }
+    }
+}
+
+fn per_feature(
+    features: &[Vec<f64>],
+    labels: &[i64],
+    f: impl Fn(&[f64], &[i64]) -> f64,
+) -> Vec<f64> {
+    features.iter().map(|x| f(x, labels)).collect()
+}
+
+/// Per-feature relevance scoring.
+pub trait Relevance {
+    /// Score one feature against the labels; higher = more relevant.
+    fn score(&self, x: &[f64], labels: &[i64]) -> f64;
+}
+
+/// Information gain `I(X;Y)` in bits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InformationGain;
+
+fn label_codes(labels: &[i64]) -> Discretized {
+    Discretized::from_codes(labels.iter().map(|&l| Some(l)))
+}
+
+impl Relevance for InformationGain {
+    fn score(&self, x: &[f64], labels: &[i64]) -> f64 {
+        let dx = discretize_equal_frequency(x, DEFAULT_BINS);
+        mutual_information(&dx, &label_codes(labels))
+    }
+}
+
+/// Symmetrical uncertainty: `2·I(X;Y) / (H(X)+H(Y))`, in `[0,1]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SymmetricalUncertainty;
+
+impl Relevance for SymmetricalUncertainty {
+    fn score(&self, x: &[f64], labels: &[i64]) -> f64 {
+        let dx = discretize_equal_frequency(x, DEFAULT_BINS);
+        let dy = label_codes(labels);
+        let hx = entropy(&dx);
+        let hy = entropy(&dy);
+        if hx + hy == 0.0 {
+            return 0.0;
+        }
+        (2.0 * mutual_information(&dx, &dy) / (hx + hy)).clamp(0.0, 1.0)
+    }
+}
+
+/// Absolute Pearson correlation between a feature and the (numeric) label
+/// codes, with pairwise deletion of missing values.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pearson;
+
+/// Pearson correlation of two numeric slices, skipping rows where either is
+/// non-finite. Returns 0 when degenerate (constant input or < 2 rows).
+pub fn pearson_correlation(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    let pairs: Vec<(f64, f64)> = x
+        .iter()
+        .zip(y)
+        .filter(|(a, b)| a.is_finite() && b.is_finite())
+        .map(|(&a, &b)| (a, b))
+        .collect();
+    let n = pairs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mean_x = pairs.iter().map(|p| p.0).sum::<f64>() / nf;
+    let mean_y = pairs.iter().map(|p| p.1).sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (a, b) in pairs {
+        let dx = a - mean_x;
+        let dy = b - mean_y;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0)
+}
+
+impl Relevance for Pearson {
+    fn score(&self, x: &[f64], labels: &[i64]) -> f64 {
+        let y: Vec<f64> = labels.iter().map(|&l| l as f64).collect();
+        pearson_correlation(x, &y).abs()
+    }
+}
+
+/// Absolute Spearman rank correlation — Pearson over average ranks. The
+/// paper's recommended relevance measure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Spearman;
+
+/// Signed Spearman correlation of two numeric slices.
+pub fn spearman_correlation(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    // Pairwise deletion first so the ranks are computed on the common rows.
+    let keep: Vec<usize> = (0..x.len())
+        .filter(|&i| x[i].is_finite() && y[i].is_finite())
+        .collect();
+    if keep.len() < 2 {
+        return 0.0;
+    }
+    let xs: Vec<f64> = keep.iter().map(|&i| x[i]).collect();
+    let ys: Vec<f64> = keep.iter().map(|&i| y[i]).collect();
+    pearson_correlation(&average_ranks(&xs), &average_ranks(&ys))
+}
+
+impl Relevance for Spearman {
+    fn score(&self, x: &[f64], labels: &[i64]) -> f64 {
+        let y: Vec<f64> = labels.iter().map(|&l| l as f64).collect();
+        spearman_correlation(x, &y).abs()
+    }
+}
+
+/// Relief feature weighting (Kira & Rendell style, simplified): for `m`
+/// probe instances, reward features that differ on the nearest miss and
+/// penalize features that differ on the nearest hit. Operates on all
+/// features jointly (nearest neighbours use the full feature space).
+#[derive(Debug, Clone, Copy)]
+pub struct Relief {
+    /// Number of probe instances (deterministic even spacing).
+    pub n_probes: usize,
+}
+
+impl Default for Relief {
+    fn default() -> Self {
+        Relief { n_probes: 50 }
+    }
+}
+
+impl Relief {
+    /// Weight every feature; higher = more relevant, can be negative.
+    pub fn scores(&self, features: &[Vec<f64>], labels: &[i64]) -> Vec<f64> {
+        let n_feat = features.len();
+        if n_feat == 0 {
+            return Vec::new();
+        }
+        let n = labels.len();
+        if n < 2 {
+            return vec![0.0; n_feat];
+        }
+        // Range-normalize, replacing NaN with the feature midpoint.
+        let mut norm: Vec<Vec<f64>> = Vec::with_capacity(n_feat);
+        for f in features {
+            let present: Vec<f64> = f.iter().copied().filter(|v| v.is_finite()).collect();
+            let (lo, hi) = present.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |acc, &v| {
+                (acc.0.min(v), acc.1.max(v))
+            });
+            let range = if hi > lo { hi - lo } else { 1.0 };
+            norm.push(
+                f.iter()
+                    .map(|&v| if v.is_finite() { (v - lo) / range } else { 0.5 })
+                    .collect(),
+            );
+        }
+        let dist = |a: usize, b: usize| -> f64 {
+            norm.iter().map(|f| (f[a] - f[b]).abs()).sum()
+        };
+        let m = self.n_probes.min(n);
+        let stride = n / m;
+        let mut w = vec![0.0f64; n_feat];
+        let mut probes = 0usize;
+        for p in (0..n).step_by(stride.max(1)).take(m) {
+            let mut best_hit: Option<(usize, f64)> = None;
+            let mut best_miss: Option<(usize, f64)> = None;
+            for other in 0..n {
+                if other == p {
+                    continue;
+                }
+                let d = dist(p, other);
+                let slot = if labels[other] == labels[p] { &mut best_hit } else { &mut best_miss };
+                if slot.is_none() || d < slot.expect("checked").1 {
+                    *slot = Some((other, d));
+                }
+            }
+            let (Some((hit, _)), Some((miss, _))) = (best_hit, best_miss) else {
+                continue;
+            };
+            probes += 1;
+            for (j, f) in norm.iter().enumerate() {
+                w[j] += (f[p] - f[miss]).abs() - (f[p] - f[hit]).abs();
+            }
+        }
+        if probes > 0 {
+            for wj in &mut w {
+                *wj /= probes as f64;
+            }
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn informative_feature(n: usize) -> (Vec<f64>, Vec<i64>) {
+        // y = 1 iff x > 0.5 (with deterministic values).
+        let x: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let y: Vec<i64> = x.iter().map(|&v| i64::from(v > 0.5)).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn ig_prefers_informative_feature() {
+        let (x, y) = informative_feature(100);
+        let noise: Vec<f64> = (0..100).map(|i| ((i * 37 + 11) % 100) as f64).collect();
+        let ig = InformationGain;
+        assert!(ig.score(&x, &y) > ig.score(&noise, &y));
+    }
+
+    #[test]
+    fn su_bounded_and_high_for_perfect_predictor() {
+        let (x, y) = informative_feature(100);
+        let s = SymmetricalUncertainty.score(&x, &y);
+        assert!(s > 0.3, "got {s}");
+        assert!(s <= 1.0);
+    }
+
+    #[test]
+    fn su_zero_for_constant_feature() {
+        let y: Vec<i64> = (0..10).map(|i| i % 2).collect();
+        let x = vec![1.0; 10];
+        assert_eq!(SymmetricalUncertainty.score(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        assert!((pearson_correlation(&x, &y) - 1.0).abs() < 1e-12);
+        let yn: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((pearson_correlation(&x, &yn) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_skips_nan_pairs() {
+        let x = [1.0, 2.0, f64::NAN, 4.0];
+        let y = [1.0, 2.0, 100.0, 4.0];
+        assert!((pearson_correlation(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_zero() {
+        assert_eq!(pearson_correlation(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+        assert_eq!(pearson_correlation(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_detects_monotone_nonlinear() {
+        let x: Vec<f64> = (1..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.exp().min(1e300)).collect();
+        let s = spearman_correlation(&x, &y);
+        assert!((s - 1.0).abs() < 1e-12, "spearman on monotone data should be 1, got {s}");
+        // Pearson is noticeably below 1 for the same data.
+        assert!(pearson_correlation(&x, &y) < 0.9);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman_correlation(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relief_rewards_separating_feature() {
+        let n = 60;
+        let (x, y) = informative_feature(n);
+        let noise: Vec<f64> = (0..n).map(|i| ((i * 17 + 3) % 7) as f64).collect();
+        let w = Relief::default().scores(&[x, noise], &y);
+        assert!(w[0] > w[1], "relief weights: {w:?}");
+        assert!(w[0] > 0.0);
+    }
+
+    #[test]
+    fn relief_single_class_yields_zeros() {
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![0, 0, 0];
+        let w = Relief::default().scores(&[x], &y);
+        assert_eq!(w, vec![0.0]);
+    }
+
+    #[test]
+    fn relief_empty_features() {
+        assert!(Relief::default().scores(&[], &[0, 1]).is_empty());
+    }
+
+    #[test]
+    fn method_scores_dispatch() {
+        let (x, y) = informative_feature(80);
+        let feats = vec![x];
+        for m in RelevanceMethod::all() {
+            let s = m.scores(&feats, &y);
+            assert_eq!(s.len(), 1);
+            assert!(s[0] > 0.0, "{} should find the feature relevant", m.name());
+        }
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(RelevanceMethod::Spearman.name(), "Spearman");
+        assert_eq!(RelevanceMethod::all().len(), 5);
+    }
+}

@@ -1,0 +1,301 @@
+//! Gradient-boosted decision trees with logistic loss (binary).
+//!
+//! Two presets stand in for the paper's boosted learners:
+//!
+//! * [`GbdtConfig::lightgbm_like`] — first-order gradients (unit hessians),
+//!   shallow trees, higher learning rate;
+//! * [`GbdtConfig::xgboost_like`] — second-order (Newton) leaf weights with
+//!   an L2 regulariser λ on the leaves.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use autofeat_data::encode::Matrix;
+
+use crate::dataset::FeatureMeans;
+use crate::eval::{Classifier, MlError};
+use crate::tree::{MaxFeatures, RegressionTree, TreeConfig};
+
+/// Boosting hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct GbdtConfig {
+    /// Number of boosting rounds.
+    pub n_rounds: usize,
+    /// Shrinkage applied to each tree's output.
+    pub learning_rate: f64,
+    /// Tree shape per round.
+    pub tree_config: TreeConfig,
+    /// Leaf L2 regulariser λ.
+    pub lambda: f64,
+    /// Use true hessians (Newton boosting) instead of unit hessians.
+    pub second_order: bool,
+}
+
+impl GbdtConfig {
+    /// LightGBM-flavoured preset.
+    pub fn lightgbm_like() -> Self {
+        GbdtConfig {
+            n_rounds: 50,
+            learning_rate: 0.1,
+            tree_config: TreeConfig {
+                max_depth: 4,
+                min_samples_leaf: 5,
+                max_features: MaxFeatures::All,
+                n_thresholds: 32,
+                ..Default::default()
+            },
+            lambda: 0.0,
+            second_order: false,
+        }
+    }
+
+    /// XGBoost-flavoured preset (Newton steps, λ-regularised leaves).
+    pub fn xgboost_like() -> Self {
+        GbdtConfig {
+            n_rounds: 50,
+            learning_rate: 0.3,
+            tree_config: TreeConfig {
+                max_depth: 4,
+                min_samples_leaf: 2,
+                max_features: MaxFeatures::All,
+                n_thresholds: 32,
+                ..Default::default()
+            },
+            lambda: 1.0,
+            second_order: true,
+        }
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// A binary GBDT classifier.
+#[derive(Debug, Clone)]
+pub struct Gbdt {
+    /// Hyper-parameters.
+    pub config: GbdtConfig,
+    seed: u64,
+    base_score: f64,
+    trees: Vec<RegressionTree>,
+    means: FeatureMeans,
+    classes: [i64; 2],
+    fitted: bool,
+}
+
+impl Gbdt {
+    /// Unfitted booster.
+    pub fn new(config: GbdtConfig, seed: u64) -> Self {
+        Gbdt {
+            config,
+            seed,
+            base_score: 0.0,
+            trees: Vec::new(),
+            means: FeatureMeans::default(),
+            classes: [0, 1],
+            fitted: false,
+        }
+    }
+
+    /// Raw margin (log-odds) for a NaN-free row.
+    fn margin(&self, row: &[f64]) -> f64 {
+        self.base_score
+            + self
+                .trees
+                .iter()
+                .map(|t| self.config.learning_rate * t.predict_row(row))
+                .sum::<f64>()
+    }
+
+    /// Predicted probability of the positive class.
+    pub fn predict_proba_row(&self, row: &[f64]) -> f64 {
+        let mut row = row.to_vec();
+        self.means.transform_row(&mut row);
+        sigmoid(self.margin(&row))
+    }
+}
+
+impl Classifier for Gbdt {
+    fn fit(&mut self, data: &Matrix) -> Result<(), MlError> {
+        if data.n_rows == 0 || data.cols.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        let mut classes: Vec<i64> = data.labels.clone();
+        classes.sort_unstable();
+        classes.dedup();
+        if classes.len() > 2 {
+            return Err(MlError::NotBinary { n_classes: classes.len() });
+        }
+        if classes.len() == 1 {
+            // Degenerate but legal: constant predictor.
+            self.classes = [classes[0], classes[0]];
+            self.base_score = 1e6; // always predicts the single class
+            self.trees.clear();
+            self.means = FeatureMeans::fit(data);
+            self.fitted = true;
+            return Ok(());
+        }
+        self.classes = [classes[0], classes[1]];
+        self.means = FeatureMeans::fit(data);
+        let data = self.means.transform(data);
+        let y: Vec<f64> = data
+            .labels
+            .iter()
+            .map(|&l| if l == self.classes[1] { 1.0 } else { 0.0 })
+            .collect();
+
+        let pos = y.iter().sum::<f64>() / y.len() as f64;
+        self.base_score = (pos.clamp(1e-6, 1.0 - 1e-6) / (1.0 - pos.clamp(1e-6, 1.0 - 1e-6))).ln();
+
+        let n = data.n_rows;
+        let mut margins = vec![self.base_score; n];
+        let rows: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.trees.clear();
+        for _ in 0..self.config.n_rounds {
+            let mut grad = Vec::with_capacity(n);
+            let mut hess = Vec::with_capacity(n);
+            for i in 0..n {
+                let p = sigmoid(margins[i]);
+                grad.push(p - y[i]);
+                hess.push(if self.config.second_order {
+                    (p * (1.0 - p)).max(1e-6)
+                } else {
+                    1.0
+                });
+            }
+            let tree = RegressionTree::fit(
+                &data,
+                &grad,
+                &hess,
+                self.config.tree_config.clone(),
+                self.config.lambda,
+                &rows,
+                &mut rng,
+            );
+            for i in 0..n {
+                let row: Vec<f64> = data.cols.iter().map(|c| c[i]).collect();
+                margins[i] += self.config.learning_rate * tree.predict_row(&row);
+            }
+            self.trees.push(tree);
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> i64 {
+        if self.predict_proba_row(row) >= 0.5 {
+            self.classes[1]
+        } else {
+            self.classes[0]
+        }
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::accuracy;
+
+    fn xor_matrix(n: usize) -> Matrix {
+        let x0: Vec<f64> = (0..n).map(|i| ((i / 2) % 2) as f64).collect();
+        let x1: Vec<f64> = (0..n).map(|i| (i % 2) as f64).collect();
+        let labels: Vec<i64> = (0..n).map(|i| (((i / 2) % 2) ^ (i % 2)) as i64).collect();
+        Matrix {
+            feature_names: vec!["x0".into(), "x1".into()],
+            cols: vec![x0, x1],
+            labels,
+            n_rows: n,
+        }
+    }
+
+    #[test]
+    fn lightgbm_preset_learns_xor() {
+        let m = xor_matrix(120);
+        let mut g = Gbdt::new(GbdtConfig::lightgbm_like(), 0);
+        g.fit(&m).unwrap();
+        assert_eq!(accuracy(&g.predict(&m), &m.labels), 1.0);
+    }
+
+    #[test]
+    fn xgboost_preset_learns_xor() {
+        let m = xor_matrix(120);
+        let mut g = Gbdt::new(GbdtConfig::xgboost_like(), 0);
+        g.fit(&m).unwrap();
+        assert_eq!(accuracy(&g.predict(&m), &m.labels), 1.0);
+    }
+
+    #[test]
+    fn probabilities_calibrated_directionally() {
+        let n = 100;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let labels: Vec<i64> = (0..n).map(|i| i64::from(i >= n / 2)).collect();
+        let m = Matrix { feature_names: vec!["x".into()], cols: vec![x], labels, n_rows: n };
+        let mut g = Gbdt::new(GbdtConfig::lightgbm_like(), 0);
+        g.fit(&m).unwrap();
+        assert!(g.predict_proba_row(&[5.0]) < 0.2);
+        assert!(g.predict_proba_row(&[95.0]) > 0.8);
+    }
+
+    #[test]
+    fn rejects_multiclass() {
+        let m = Matrix {
+            feature_names: vec!["x".into()],
+            cols: vec![vec![1.0, 2.0, 3.0]],
+            labels: vec![0, 1, 2],
+            n_rows: 3,
+        };
+        let mut g = Gbdt::new(GbdtConfig::lightgbm_like(), 0);
+        assert!(matches!(g.fit(&m), Err(MlError::NotBinary { n_classes: 3 })));
+    }
+
+    #[test]
+    fn single_class_predicts_constant() {
+        let m = Matrix {
+            feature_names: vec!["x".into()],
+            cols: vec![vec![1.0, 2.0]],
+            labels: vec![7, 7],
+            n_rows: 2,
+        };
+        let mut g = Gbdt::new(GbdtConfig::lightgbm_like(), 0);
+        g.fit(&m).unwrap();
+        assert_eq!(g.predict(&m), vec![7, 7]);
+    }
+
+    #[test]
+    fn arbitrary_label_codes_preserved() {
+        let n = 60;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let labels: Vec<i64> = (0..n).map(|i| if i >= n / 2 { 42 } else { -3 }).collect();
+        let m = Matrix { feature_names: vec!["x".into()], cols: vec![x], labels: labels.clone(), n_rows: n };
+        let mut g = Gbdt::new(GbdtConfig::xgboost_like(), 0);
+        g.fit(&m).unwrap();
+        let preds = g.predict(&m);
+        assert!(preds.iter().all(|&p| p == 42 || p == -3));
+        assert!(accuracy(&preds, &labels) > 0.95);
+    }
+
+    #[test]
+    fn nan_features_handled() {
+        let n = 80;
+        let mut x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        x[3] = f64::NAN;
+        let labels: Vec<i64> = (0..n).map(|i| i64::from(i >= n / 2)).collect();
+        let m = Matrix { feature_names: vec!["x".into()], cols: vec![x], labels, n_rows: n };
+        let mut g = Gbdt::new(GbdtConfig::lightgbm_like(), 0);
+        g.fit(&m).unwrap();
+        let acc = accuracy(&g.predict(&m), &m.labels);
+        assert!(acc > 0.95, "acc = {acc}");
+    }
+
+    #[test]
+    fn empty_errors() {
+        let m = Matrix { feature_names: vec![], cols: vec![], labels: vec![], n_rows: 0 };
+        assert!(Gbdt::new(GbdtConfig::lightgbm_like(), 0).fit(&m).is_err());
+    }
+}

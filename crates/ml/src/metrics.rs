@@ -1,0 +1,241 @@
+//! Classification quality metrics beyond plain accuracy — confusion
+//! matrices, precision/recall/F1, ROC-AUC (the MAB paper reports AUC), and
+//! k-fold cross-validation.
+
+use std::collections::BTreeSet;
+
+use autofeat_data::encode::Matrix;
+
+use crate::eval::{accuracy, Classifier, MlError};
+
+/// A binary confusion matrix (positive class fixed by the caller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tally predictions against labels, treating `positive` as the
+    /// positive class.
+    pub fn from_predictions(predictions: &[i64], labels: &[i64], positive: i64) -> Self {
+        assert_eq!(predictions.len(), labels.len(), "length mismatch");
+        let mut c = Confusion::default();
+        for (&p, &l) in predictions.iter().zip(labels) {
+            match (p == positive, l == positive) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision `tp / (tp + fp)`; 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        let d = self.tp + self.fp;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        let d = self.tp + self.fn_;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// F1 — the harmonic mean of precision and recall; 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy over the four cells.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+/// ROC-AUC from positive-class scores, via the rank-sum (Mann-Whitney U)
+/// formulation with average ranks for tied scores. Returns 0.5 when either
+/// class is absent.
+pub fn roc_auc(scores: &[f64], labels: &[i64], positive: i64) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l == positive).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Average ranks of the scores (1-based).
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = labels
+        .iter()
+        .zip(&ranks)
+        .filter(|(&l, _)| l == positive)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos * n_neg) as f64
+}
+
+/// Deterministic stratified k-fold cross-validation: returns the per-fold
+/// test accuracies of a fresh model built by `make` for each fold.
+pub fn cross_validate<F>(
+    data: &Matrix,
+    k: usize,
+    make: F,
+) -> Result<Vec<f64>, MlError>
+where
+    F: Fn() -> Box<dyn Classifier>,
+{
+    assert!(k >= 2, "need at least 2 folds");
+    if data.n_rows < k {
+        return Err(MlError::EmptyDataset);
+    }
+    // Stratified fold assignment: within each class, rows round-robin over
+    // folds.
+    let classes: BTreeSet<i64> = data.labels.iter().copied().collect();
+    let mut fold_of = vec![0usize; data.n_rows];
+    for class in classes {
+        for (slot, row) in (0..data.n_rows)
+            .filter(|&i| data.labels[i] == class)
+            .enumerate()
+        {
+            fold_of[row] = slot % k;
+        }
+    }
+    let mut accs = Vec::with_capacity(k);
+    for fold in 0..k {
+        let train_idx: Vec<usize> =
+            (0..data.n_rows).filter(|&i| fold_of[i] != fold).collect();
+        let test_idx: Vec<usize> =
+            (0..data.n_rows).filter(|&i| fold_of[i] == fold).collect();
+        if train_idx.is_empty() || test_idx.is_empty() {
+            continue;
+        }
+        let train = data.select_rows(&train_idx);
+        let test = data.select_rows(&test_idx);
+        let mut model = make();
+        model.fit(&train)?;
+        accs.push(accuracy(&model.predict(&test), &test.labels));
+    }
+    Ok(accs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::ModelKind;
+
+    #[test]
+    fn confusion_counts() {
+        let c = Confusion::from_predictions(&[1, 1, 0, 0, 1], &[1, 0, 0, 1, 1], 1);
+        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_degenerate() {
+        let c = Confusion::from_predictions(&[0, 0], &[0, 0], 1);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn auc_perfect_ranking() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [0, 0, 1, 1];
+        assert!((roc_auc(&scores, &labels, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_inverted_ranking() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [0, 0, 1, 1];
+        assert!(roc_auc(&scores, &labels, 1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // All scores tied ⇒ AUC must be exactly 0.5 (average ranks).
+        let scores = [0.5; 10];
+        let labels = [0, 1, 0, 1, 0, 1, 0, 1, 0, 1];
+        assert!((roc_auc(&scores, &labels, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(roc_auc(&[0.1, 0.9], &[1, 1], 1), 0.5);
+    }
+
+    fn separable_matrix(n: usize) -> Matrix {
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let labels: Vec<i64> = (0..n).map(|i| i64::from(i >= n / 2)).collect();
+        Matrix { feature_names: vec!["x".into()], cols: vec![x], labels, n_rows: n }
+    }
+
+    #[test]
+    fn cross_validation_on_separable_data() {
+        let m = separable_matrix(100);
+        let accs = cross_validate(&m, 5, || ModelKind::RandomForest.build(0)).unwrap();
+        assert_eq!(accs.len(), 5);
+        let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+        assert!(mean > 0.9, "CV mean = {mean}");
+    }
+
+    #[test]
+    fn cross_validation_too_few_rows_errors() {
+        let m = separable_matrix(3);
+        assert!(cross_validate(&m, 5, || ModelKind::Knn.build(0)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn one_fold_panics() {
+        let m = separable_matrix(10);
+        let _ = cross_validate(&m, 1, || ModelKind::Knn.build(0));
+    }
+}

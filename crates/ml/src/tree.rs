@@ -1,0 +1,598 @@
+//! CART decision trees: gini-based classification trees and
+//! variance-reduction regression trees (the boosting building block).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use autofeat_data::encode::Matrix;
+
+use crate::dataset::FeatureMeans;
+use crate::eval::{Classifier, MlError};
+
+/// How many features each split considers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MaxFeatures {
+    /// All features (classic CART).
+    All,
+    /// `ceil(sqrt(d))` random features (Random-Forest style).
+    Sqrt,
+    /// A fixed fraction of features.
+    Fraction(f64),
+}
+
+/// Tree hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Minimum samples in each leaf.
+    pub min_samples_leaf: usize,
+    /// Feature subsampling per split.
+    pub max_features: MaxFeatures,
+    /// Cap on candidate thresholds per feature (quantile-spaced).
+    pub n_thresholds: usize,
+    /// Extremely-randomized mode: one uniform-random threshold per feature.
+    pub random_thresholds: bool,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 8,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: MaxFeatures::All,
+            n_thresholds: 32,
+            random_thresholds: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { value: f64 },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// A fitted tree: arena of nodes, root at index 0. `value` at leaves is a
+/// class code for classification trees and a regression value for
+/// regression trees.
+#[derive(Debug, Clone, Default)]
+struct TreeNodes {
+    nodes: Vec<Node>,
+}
+
+impl TreeNodes {
+    fn predict_value(&self, row: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    fn depth_of(&self, i: usize) -> usize {
+        match &self.nodes[i] {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => {
+                1 + self.depth_of(*left).max(self.depth_of(*right))
+            }
+        }
+    }
+}
+
+fn candidate_features(
+    n_features: usize,
+    max_features: MaxFeatures,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let k = match max_features {
+        MaxFeatures::All => n_features,
+        MaxFeatures::Sqrt => (n_features as f64).sqrt().ceil() as usize,
+        MaxFeatures::Fraction(f) => ((n_features as f64 * f).ceil() as usize).max(1),
+    }
+    .clamp(1, n_features);
+    if k == n_features {
+        return (0..n_features).collect();
+    }
+    // Partial Fisher-Yates for k distinct indices.
+    let mut idx: Vec<usize> = (0..n_features).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..n_features);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+/// Candidate thresholds for a feature over the given rows: quantile-spaced
+/// midpoints, or a single uniform-random cut in extra-trees mode.
+fn thresholds(
+    values: &[f64],
+    cfg: &TreeConfig,
+    rng: &mut StdRng,
+) -> Vec<f64> {
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("imputed, finite"));
+    v.dedup();
+    if v.len() < 2 {
+        return Vec::new();
+    }
+    if cfg.random_thresholds {
+        let lo = v[0];
+        let hi = v[v.len() - 1];
+        return vec![rng.random_range(lo..hi)];
+    }
+    if v.len() - 1 <= cfg.n_thresholds {
+        return v.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect();
+    }
+    (1..=cfg.n_thresholds)
+        .map(|i| {
+            let pos = i * (v.len() - 1) / (cfg.n_thresholds + 1);
+            (v[pos] + v[pos + 1]) / 2.0
+        })
+        .collect()
+}
+
+/// Gini impurity from class counts.
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / t;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+struct ClassificationTarget<'a> {
+    labels: &'a [i64],
+    classes: &'a [i64],
+}
+
+impl ClassificationTarget<'_> {
+    fn class_index(&self, label: i64) -> usize {
+        self.classes.binary_search(&label).expect("label seen at fit")
+    }
+}
+
+/// A CART classification tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    /// Hyper-parameters.
+    pub config: TreeConfig,
+    seed: u64,
+    tree: TreeNodes,
+    classes: Vec<i64>,
+    means: FeatureMeans,
+    fitted: bool,
+}
+
+impl DecisionTree {
+    /// Unfitted tree.
+    pub fn new(config: TreeConfig, seed: u64) -> Self {
+        DecisionTree {
+            config,
+            seed,
+            tree: TreeNodes::default(),
+            classes: Vec::new(),
+            means: FeatureMeans::default(),
+            fitted: false,
+        }
+    }
+
+    /// Depth of the fitted tree.
+    pub fn depth(&self) -> usize {
+        if self.tree.nodes.is_empty() {
+            0
+        } else {
+            self.tree.depth_of(0)
+        }
+    }
+
+    fn build(
+        &self,
+        data: &Matrix,
+        target: &ClassificationTarget<'_>,
+        rows: &[usize],
+        depth: usize,
+        nodes: &mut Vec<Node>,
+        rng: &mut StdRng,
+    ) -> usize {
+        let n_classes = target.classes.len();
+        let mut counts = vec![0usize; n_classes];
+        for &r in rows {
+            counts[target.class_index(target.labels[r])] += 1;
+        }
+        let majority = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| target.classes[i])
+            .unwrap_or(0);
+        let node_gini = gini(&counts, rows.len());
+        let stop = depth >= self.config.max_depth
+            || rows.len() < self.config.min_samples_split
+            || node_gini == 0.0;
+        if !stop {
+            if let Some((feature, threshold)) = self.best_split(data, target, rows, rng) {
+                let (lrows, rrows): (Vec<usize>, Vec<usize>) = rows
+                    .iter()
+                    .partition(|&&r| data.cols[feature][r] <= threshold);
+                if lrows.len() >= self.config.min_samples_leaf
+                    && rrows.len() >= self.config.min_samples_leaf
+                {
+                    let id = nodes.len();
+                    nodes.push(Node::Leaf { value: 0.0 }); // placeholder
+                    let left = self.build(data, target, &lrows, depth + 1, nodes, rng);
+                    let right = self.build(data, target, &rrows, depth + 1, nodes, rng);
+                    nodes[id] = Node::Split { feature, threshold, left, right };
+                    return id;
+                }
+            }
+        }
+        let id = nodes.len();
+        nodes.push(Node::Leaf { value: majority as f64 });
+        id
+    }
+
+    fn best_split(
+        &self,
+        data: &Matrix,
+        target: &ClassificationTarget<'_>,
+        rows: &[usize],
+        rng: &mut StdRng,
+    ) -> Option<(usize, f64)> {
+        let n_classes = target.classes.len();
+        let mut total = vec![0usize; n_classes];
+        for &r in rows {
+            total[target.class_index(target.labels[r])] += 1;
+        }
+        let parent = gini(&total, rows.len());
+        let mut best: Option<(usize, f64, f64)> = None; // feature, threshold, gain
+        for feature in candidate_features(data.cols.len(), self.config.max_features, rng) {
+            let values: Vec<f64> = rows.iter().map(|&r| data.cols[feature][r]).collect();
+            for threshold in thresholds(&values, &self.config, rng) {
+                let mut left = vec![0usize; n_classes];
+                let mut nl = 0usize;
+                for &r in rows {
+                    if data.cols[feature][r] <= threshold {
+                        left[target.class_index(target.labels[r])] += 1;
+                        nl += 1;
+                    }
+                }
+                let nr = rows.len() - nl;
+                if nl == 0 || nr == 0 {
+                    continue;
+                }
+                let right: Vec<usize> =
+                    total.iter().zip(&left).map(|(&t, &l)| t - l).collect();
+                let w = rows.len() as f64;
+                let gain = parent
+                    - (nl as f64 / w) * gini(&left, nl)
+                    - (nr as f64 / w) * gini(&right, nr);
+                // Gini gain is never negative; accept even a zero-gain split
+                // (required to escape XOR-like plateaus) but prefer strictly
+                // better ones.
+                if gain >= 0.0 && best.is_none_or(|(_, _, g)| gain > g) {
+                    best = Some((feature, threshold, gain));
+                }
+            }
+        }
+        best.map(|(f, t, _)| (f, t))
+    }
+
+    /// Impurity-based feature importance (total gini gain per feature,
+    /// normalized to sum to 1). Requires a fitted tree; returns zeros if the
+    /// tree is a single leaf.
+    pub fn feature_importances(&self, n_features: usize) -> Vec<f64> {
+        // Count split usage as a proxy (gains are not stored per node).
+        let mut imp = vec![0.0; n_features];
+        for node in &self.tree.nodes {
+            if let Node::Split { feature, .. } = node {
+                imp[*feature] += 1.0;
+            }
+        }
+        let s: f64 = imp.iter().sum();
+        if s > 0.0 {
+            for v in &mut imp {
+                *v /= s;
+            }
+        }
+        imp
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, data: &Matrix) -> Result<(), MlError> {
+        if data.n_rows == 0 || data.cols.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        self.means = FeatureMeans::fit(data);
+        let data = self.means.transform(data);
+        let mut classes: Vec<i64> = data.labels.clone();
+        classes.sort_unstable();
+        classes.dedup();
+        self.classes = classes;
+        let target = ClassificationTarget { labels: &data.labels, classes: &self.classes };
+        let rows: Vec<usize> = (0..data.n_rows).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut nodes = Vec::new();
+        self.build(&data, &target, &rows, 0, &mut nodes, &mut rng);
+        self.tree = TreeNodes { nodes };
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> i64 {
+        let mut row = row.to_vec();
+        self.means.transform_row(&mut row);
+        self.tree.predict_value(&row) as i64
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+}
+
+use rand::SeedableRng;
+
+/// A regression tree minimizing squared error, with Newton-style leaf
+/// values `Σg / (Σh + λ)` — the boosting building block. First-order
+/// boosting passes `h = 1` everywhere.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    config: TreeConfig,
+    lambda: f64,
+    tree: TreeNodes,
+}
+
+impl RegressionTree {
+    /// Fit a regression tree to per-row gradients/hessians. `data` must be
+    /// NaN-free (the boosting driver imputes once up front).
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit(
+        data: &Matrix,
+        grad: &[f64],
+        hess: &[f64],
+        config: TreeConfig,
+        lambda: f64,
+        rows: &[usize],
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut nodes = Vec::new();
+        let mut t = RegressionTree { config, lambda, tree: TreeNodes::default() };
+        t.build(data, grad, hess, rows, 0, &mut nodes, rng);
+        t.tree = TreeNodes { nodes };
+        t
+    }
+
+    fn leaf_value(&self, grad_sum: f64, hess_sum: f64) -> f64 {
+        -grad_sum / (hess_sum + self.lambda)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        &self,
+        data: &Matrix,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        depth: usize,
+        nodes: &mut Vec<Node>,
+        rng: &mut StdRng,
+    ) -> usize {
+        let gs: f64 = rows.iter().map(|&r| grad[r]).sum();
+        let hs: f64 = rows.iter().map(|&r| hess[r]).sum();
+        let stop = depth >= self.config.max_depth || rows.len() < self.config.min_samples_split;
+        if !stop {
+            if let Some((feature, threshold)) = self.best_split(data, grad, hess, rows, rng) {
+                let (lrows, rrows): (Vec<usize>, Vec<usize>) =
+                    rows.iter().partition(|&&r| data.cols[feature][r] <= threshold);
+                if lrows.len() >= self.config.min_samples_leaf
+                    && rrows.len() >= self.config.min_samples_leaf
+                {
+                    let id = nodes.len();
+                    nodes.push(Node::Leaf { value: 0.0 });
+                    let left = self.build(data, grad, hess, &lrows, depth + 1, nodes, rng);
+                    let right = self.build(data, grad, hess, &rrows, depth + 1, nodes, rng);
+                    nodes[id] = Node::Split { feature, threshold, left, right };
+                    return id;
+                }
+            }
+        }
+        let id = nodes.len();
+        nodes.push(Node::Leaf { value: self.leaf_value(gs, hs) });
+        id
+    }
+
+    fn best_split(
+        &self,
+        data: &Matrix,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        rng: &mut StdRng,
+    ) -> Option<(usize, f64)> {
+        let gs: f64 = rows.iter().map(|&r| grad[r]).sum();
+        let hs: f64 = rows.iter().map(|&r| hess[r]).sum();
+        let score = |g: f64, h: f64| g * g / (h + self.lambda);
+        let parent = score(gs, hs);
+        let mut best: Option<(usize, f64, f64)> = None;
+        for feature in candidate_features(data.cols.len(), self.config.max_features, rng) {
+            let values: Vec<f64> = rows.iter().map(|&r| data.cols[feature][r]).collect();
+            for threshold in thresholds(&values, &self.config, rng) {
+                let mut gl = 0.0;
+                let mut hl = 0.0;
+                let mut nl = 0usize;
+                for &r in rows {
+                    if data.cols[feature][r] <= threshold {
+                        gl += grad[r];
+                        hl += hess[r];
+                        nl += 1;
+                    }
+                }
+                if nl == 0 || nl == rows.len() {
+                    continue;
+                }
+                let gain = score(gl, hl) + score(gs - gl, hs - hl) - parent;
+                // Accept zero-gain splits too (XOR-style plateaus), prefer
+                // strictly better ones.
+                if gain >= 0.0 && best.is_none_or(|(_, _, g)| gain > g) {
+                    best = Some((feature, threshold, gain));
+                }
+            }
+        }
+        best.map(|(f, t, _)| (f, t))
+    }
+
+    /// Predicted value for a (NaN-free) row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.tree.predict_value(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::accuracy;
+
+    fn xor_matrix(n: usize) -> Matrix {
+        // Two features; label = x0 XOR x1 — requires depth ≥ 2.
+        let x0: Vec<f64> = (0..n).map(|i| ((i / 2) % 2) as f64).collect();
+        let x1: Vec<f64> = (0..n).map(|i| (i % 2) as f64).collect();
+        let labels: Vec<i64> = (0..n).map(|i| (((i / 2) % 2) ^ (i % 2)) as i64).collect();
+        Matrix {
+            feature_names: vec!["x0".into(), "x1".into()],
+            cols: vec![x0, x1],
+            labels,
+            n_rows: n,
+        }
+    }
+
+    fn linear_matrix(n: usize) -> Matrix {
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let labels: Vec<i64> = x.iter().map(|&v| i64::from(v >= n as f64 / 2.0)).collect();
+        Matrix { feature_names: vec!["x".into()], cols: vec![x], labels, n_rows: n }
+    }
+
+    #[test]
+    fn learns_linear_boundary_perfectly() {
+        let m = linear_matrix(100);
+        let mut t = DecisionTree::new(TreeConfig::default(), 0);
+        t.fit(&m).unwrap();
+        let preds = t.predict(&m);
+        assert_eq!(accuracy(&preds, &m.labels), 1.0);
+        assert!(t.is_fitted());
+    }
+
+    #[test]
+    fn learns_xor_with_depth_two() {
+        let m = xor_matrix(80);
+        let mut t = DecisionTree::new(TreeConfig::default(), 0);
+        t.fit(&m).unwrap();
+        assert_eq!(accuracy(&t.predict(&m), &m.labels), 1.0);
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn max_depth_zero_is_majority_vote() {
+        let mut m = linear_matrix(10);
+        m.labels = vec![1, 1, 1, 1, 1, 1, 1, 0, 0, 0];
+        let mut t = DecisionTree::new(TreeConfig { max_depth: 0, ..Default::default() }, 0);
+        t.fit(&m).unwrap();
+        assert!(t.predict(&m).iter().all(|&p| p == 1));
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn handles_nan_via_mean_imputation() {
+        let mut m = linear_matrix(50);
+        m.cols[0][10] = f64::NAN;
+        let mut t = DecisionTree::new(TreeConfig::default(), 0);
+        t.fit(&m).unwrap();
+        let acc = accuracy(&t.predict(&m), &m.labels);
+        assert!(acc > 0.95, "acc = {acc}");
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let m = Matrix { feature_names: vec![], cols: vec![], labels: vec![], n_rows: 0 };
+        let mut t = DecisionTree::new(TreeConfig::default(), 0);
+        assert!(matches!(t.fit(&m), Err(MlError::EmptyDataset)));
+    }
+
+    #[test]
+    fn multiclass_majority_leaves() {
+        let n = 90;
+        let x: Vec<f64> = (0..n).map(|i| (i / 30) as f64).collect();
+        let labels: Vec<i64> = (0..n).map(|i| (i / 30) as i64 * 7).collect(); // classes 0,7,14
+        let m = Matrix { feature_names: vec!["x".into()], cols: vec![x], labels: labels.clone(), n_rows: n };
+        let mut t = DecisionTree::new(TreeConfig::default(), 0);
+        t.fit(&m).unwrap();
+        assert_eq!(accuracy(&t.predict(&m), &labels), 1.0);
+    }
+
+    #[test]
+    fn random_thresholds_still_learn() {
+        let m = linear_matrix(100);
+        let cfg = TreeConfig { random_thresholds: true, max_depth: 12, ..Default::default() };
+        let mut t = DecisionTree::new(cfg, 3);
+        t.fit(&m).unwrap();
+        let acc = accuracy(&t.predict(&m), &m.labels);
+        assert!(acc > 0.9, "extra-trees-style split should still work, acc = {acc}");
+    }
+
+    #[test]
+    fn feature_importances_sum_to_one() {
+        let m = xor_matrix(80);
+        let mut t = DecisionTree::new(TreeConfig::default(), 0);
+        t.fit(&m).unwrap();
+        let imp = t.feature_importances(2);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(imp.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn regression_tree_fits_step_function() {
+        let n = 60;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        // Pseudo-residuals of a step at 30.
+        let grad: Vec<f64> = x.iter().map(|&v| if v < 30.0 { 1.0 } else { -1.0 }).collect();
+        let hess = vec![1.0; n];
+        let m = Matrix { feature_names: vec!["x".into()], cols: vec![x], labels: vec![0; n], n_rows: n };
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = RegressionTree::fit(
+            &m,
+            &grad,
+            &hess,
+            TreeConfig { max_depth: 2, ..Default::default() },
+            1.0,
+            &(0..n).collect::<Vec<_>>(),
+            &mut rng,
+        );
+        // Newton leaf: -Σg/(Σh+λ) = -30/(30+1) ≈ -0.97 on the left.
+        assert!(t.predict_row(&[5.0]) < -0.9);
+        assert!(t.predict_row(&[55.0]) > 0.9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = xor_matrix(40);
+        let mut a = DecisionTree::new(TreeConfig { max_features: MaxFeatures::Sqrt, ..Default::default() }, 9);
+        let mut b = DecisionTree::new(TreeConfig { max_features: MaxFeatures::Sqrt, ..Default::default() }, 9);
+        a.fit(&m).unwrap();
+        b.fit(&m).unwrap();
+        assert_eq!(a.predict(&m), b.predict(&m));
+    }
+}

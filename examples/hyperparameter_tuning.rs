@@ -1,0 +1,47 @@
+//! Dynamic hyper-parameter tuning and beam pruning — the paper's
+//! future-work features, implemented: sweep τ/κ with a cheap validation
+//! model, then run discovery with the tuned configuration and an
+//! aggressive frontier beam on the data-lake setting.
+//!
+//! ```text
+//! cargo run --release --example hyperparameter_tuning
+//! ```
+
+use autofeat::core::tuning::{tune, TuningGrid};
+use autofeat::prelude::*;
+use autofeat::{context_from_lake, datagen};
+
+fn main() {
+    let spec = datagen::registry::dataset("credit").expect("registered");
+    let lake = spec.build_lake();
+    let ctx = context_from_lake(&lake, &SchemaMatcher::paper_default()).expect("context");
+
+    // ---- 1. Tune τ and κ on the lake. ----
+    let grid = TuningGrid::default();
+    let tuned = tune(&ctx, &AutoFeatConfig::paper(), &grid).expect("tuning runs");
+    println!("Tuning trace (τ, κ → accuracy, fs seconds):");
+    for t in &tuned.trials {
+        println!("  τ={:<5} κ={:<3} → {:.3} acc, {:.4}s", t.tau, t.kappa, t.accuracy, t.fs_secs);
+    }
+    println!(
+        "\nChosen: τ = {}, κ = {} (fastest within {:.0}% of the best accuracy)",
+        tuned.config.tau,
+        tuned.config.kappa,
+        grid.tolerance * 100.0
+    );
+
+    // ---- 2. Compare exhaustive BFS vs. a beam of 4 with the tuned config. ----
+    for beam in [None, Some(4usize)] {
+        let cfg = AutoFeatConfig { beam_width: beam, ..tuned.config.clone() };
+        let discovery = AutoFeat::new(cfg.clone()).discover(&ctx).expect("discovery");
+        let out = train_top_k(&ctx, &discovery, &[ModelKind::LightGbm], &cfg).expect("train");
+        println!(
+            "beam {:>4}: {:>4} joins evaluated, fs {:.4}s, accuracy {:.3}, {} tables joined",
+            beam.map(|b| b.to_string()).unwrap_or_else(|| "off".into()),
+            discovery.n_joins_evaluated,
+            discovery.elapsed.as_secs_f64(),
+            out.result.mean_accuracy(),
+            out.result.n_tables_joined,
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! The paper's Figure 2 running example: augmenting an *Applicants* table
+//! (label: loan approval) from a small lake containing
+//! `personal_information`, `credit_profile`, `property_value`, and
+//! `loan_history` — where the relationships were produced by dataset
+//! discovery and include a spurious connection
+//! (`applicants.applicant_id → credit_profile.credit_score`).
+//!
+//! ```text
+//! cargo run --release --example loan_approval
+//! ```
+
+use autofeat::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let n = 600usize;
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // Ground truth: approval depends on income and property value.
+    let income: Vec<f64> = (0..n).map(|_| 20_000.0 + rng.random_range(0.0..80_000.0)).collect();
+    let prop_value: Vec<f64> = (0..n).map(|_| 50_000.0 + rng.random_range(0.0..400_000.0)).collect();
+    let approved: Vec<i64> = income
+        .iter()
+        .zip(&prop_value)
+        .map(|(&inc, &pv)| i64::from(inc * 4.0 + pv * 0.8 > 260_000.0))
+        .collect();
+
+    let applicants = Table::new(
+        "applicants",
+        vec![
+            ("applicant_id", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+            (
+                "application_date",
+                Column::from_strs((0..n).map(|i| Some(format!("2023-{:02}-{:02}", i % 12 + 1, i % 28 + 1))).collect::<Vec<_>>(),
+                ),
+            ),
+            ("loan_approval", Column::from_ints(approved.iter().copied().map(Some).collect::<Vec<_>>())),
+        ],
+    )
+    .unwrap();
+
+    let personal_information = Table::new(
+        "personal_information",
+        vec![
+            ("applicant_id", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+            ("income", Column::from_floats(income.iter().copied().map(Some).collect::<Vec<_>>())),
+            (
+                "marital_status",
+                Column::from_strs(
+                    (0..n).map(|i| Some(if i % 3 == 0 { "married" } else { "single" })).collect::<Vec<_>>(),
+                ),
+            ),
+        ],
+    )
+    .unwrap();
+
+    // credit_profile links applicants to properties. Its `credit_score`
+    // column happens to overlap numerically with applicant ids — the
+    // spurious connection of Figure 2.
+    let credit_profile = Table::new(
+        "credit_profile",
+        vec![
+            ("applicant_id", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+            (
+                "credit_score",
+                Column::from_ints((0..n).map(|i| Some((i as i64 * 17 + 3) % n as i64)).collect::<Vec<_>>()),
+            ),
+            ("property_id", Column::from_ints((0..n as i64).map(|i| Some(70_000 + i)).collect::<Vec<_>>())),
+        ],
+    )
+    .unwrap();
+
+    // The transitive table of Figure 2: relevant features two hops away.
+    let property_value = Table::new(
+        "property_value",
+        vec![
+            ("property_id", Column::from_ints((0..n as i64).map(|i| Some(70_000 + i)).collect::<Vec<_>>())),
+            ("valuation", Column::from_floats(prop_value.iter().copied().map(Some).collect::<Vec<_>>())),
+            (
+                "region",
+                Column::from_strs((0..n).map(|i| Some(format!("r{}", i % 5))).collect::<Vec<_>>()),
+            ),
+        ],
+    )
+    .unwrap();
+
+    let loan_history = Table::new(
+        "loan_history",
+        vec![
+            ("applicant_id", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+            (
+                "past_defaults",
+                Column::from_ints((0..n).map(|i| Some(((i * 31) % 7) as i64 / 5)).collect::<Vec<_>>()),
+            ),
+        ],
+    )
+    .unwrap();
+
+    // Data-lake setting: no KFK metadata — run dataset discovery.
+    let ctx = SearchContext::from_discovery(
+        vec![applicants, personal_information, credit_profile, property_value, loan_history],
+        &SchemaMatcher::paper_default(),
+        "applicants",
+        "loan_approval",
+    )
+    .expect("context builds");
+
+    println!(
+        "Discovered DRG: {} tables, {} join opportunities (multigraph)",
+        ctx.drg().n_nodes(),
+        ctx.drg().n_edges()
+    );
+    for e in ctx.drg().edges() {
+        println!(
+            "  {}.{} <-> {}.{}  (similarity {:.2})",
+            ctx.drg().table_name(e.a),
+            e.a_column,
+            ctx.drg().table_name(e.b),
+            e.b_column,
+            e.weight
+        );
+    }
+
+    let discovery = AutoFeat::paper().discover(&ctx).expect("discovery runs");
+    println!(
+        "\nEvaluated {} joins; pruned {} unjoinable, {} low-quality.",
+        discovery.n_joins_evaluated, discovery.n_pruned_unjoinable, discovery.n_pruned_quality
+    );
+    println!("Top ranked paths:");
+    for rp in discovery.top_k(4) {
+        println!("  score {:6.3}  {}", rp.score, rp.path);
+    }
+
+    let outcome = train_top_k(
+        &ctx,
+        &discovery,
+        &[ModelKind::LightGbm, ModelKind::RandomForest],
+        &AutoFeatConfig::paper(),
+    )
+    .expect("training runs");
+    let best = outcome.best_path.expect("found a path");
+    println!("\nBest join tree: {}", best.path);
+    println!("Selected features: {:?}", best.features);
+    for (model, acc) in &outcome.result.accuracy_per_model {
+        println!("  {:>12}: accuracy {:.3}", model.name(), acc);
+    }
+    assert!(
+        best.features.iter().any(|f| f.contains("valuation"))
+            || best.features.iter().any(|f| f.contains("income")),
+        "a truly predictive feature should be selected"
+    );
+}

@@ -1,0 +1,104 @@
+//! Quickstart: discover features for a toy base table in four steps.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use autofeat::prelude::*;
+
+fn main() {
+    // ---- 1. A tiny lake: a weak base table plus two satellites. ----
+    let n = 400usize;
+    let labels: Vec<i64> = (0..n as i64).map(|i| i % 2).collect();
+
+    let base = Table::new(
+        "customers",
+        vec![
+            ("customer_id", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+            (
+                "age",
+                Column::from_ints((0..n).map(|i| Some(20 + (i as i64 * 7) % 50)).collect::<Vec<_>>()),
+            ),
+            ("churned", Column::from_ints(labels.iter().copied().map(Some).collect::<Vec<_>>())),
+        ],
+    )
+    .unwrap();
+
+    // Directly joinable: usage stats (weak signal).
+    let usage = Table::new(
+        "usage",
+        vec![
+            ("customer_id", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+            ("plan_id", Column::from_ints((0..n as i64).map(|i| Some(9000 + i)).collect::<Vec<_>>())),
+            (
+                "minutes",
+                Column::from_floats(
+                    labels
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &l)| Some(l as f64 * 3.0 + ((i * 13) % 10) as f64))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ],
+    )
+    .unwrap();
+
+    // Two hops away: plan details (strong signal) — only reachable
+    // transitively through `usage`.
+    let plans = Table::new(
+        "plans",
+        vec![
+            ("plan_id", Column::from_ints((0..n as i64).map(|i| Some(9000 + i)).collect::<Vec<_>>())),
+            (
+                "support_tickets",
+                Column::from_floats(labels.iter().map(|&l| Some(l as f64 * 10.0)).collect::<Vec<_>>()),
+            ),
+        ],
+    )
+    .unwrap();
+
+    // ---- 2. Benchmark setting: known KFK edges. ----
+    let ctx = SearchContext::from_kfk(
+        vec![base, usage, plans],
+        &[
+            ("customers".into(), "customer_id".into(), "usage".into(), "customer_id".into()),
+            ("usage".into(), "plan_id".into(), "plans".into(), "plan_id".into()),
+        ],
+        "customers",
+        "churned",
+    )
+    .expect("context builds");
+
+    // ---- 3. Run AutoFeat (τ=0.65, κ=15, Spearman + MRMR). ----
+    let engine = AutoFeat::paper();
+    let discovery = engine.discover(&ctx).expect("discovery runs");
+    println!("Ranked join paths ({} total):", discovery.ranked.len());
+    for rp in &discovery.ranked {
+        println!("  score {:6.3}  {}  features: {:?}", rp.score, rp.path, rp.features);
+    }
+
+    // ---- 4. Train the top-k paths, keep the best one. ----
+    let outcome = train_top_k(
+        &ctx,
+        &discovery,
+        &ModelKind::tree_models(),
+        &AutoFeatConfig::paper(),
+    )
+    .expect("training runs");
+    let best = outcome.best_path.expect("a path was found");
+    println!("\nBest path: {}", best.path);
+    println!("Selected features: {:?}", best.features);
+    for (model, acc) in &outcome.result.accuracy_per_model {
+        println!("  {:>12}: accuracy {:.3}", model.name(), acc);
+    }
+    println!(
+        "Feature-discovery time: {:?}, total: {:?}",
+        outcome.result.feature_selection_time, outcome.result.total_time
+    );
+    assert!(
+        best.features.iter().any(|f| f == "plans.support_tickets"),
+        "the transitive feature should be discovered"
+    );
+    println!("\nThe two-hop feature `plans.support_tickets` was discovered transitively.");
+}

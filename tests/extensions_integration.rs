@@ -1,0 +1,145 @@
+//! Integration tests for the extension features: beam pruning, dynamic
+//! tuning, LSH-accelerated discovery, the streaming selector, the join-tree
+//! trainer, and the relational ops working together.
+
+use autofeat::core::tuning::{tune, TuningGrid};
+use autofeat::data::ops::{filter, group_by, sort_by, Aggregate, Order};
+use autofeat::graph::Drg;
+use autofeat::metrics::streaming::StreamingSelector;
+use autofeat::prelude::*;
+use autofeat::{context_from_lake, context_from_snowflake, datagen};
+
+fn credit_lake() -> datagen::lake::Lake {
+    datagen::registry::dataset("credit").unwrap().build_lake()
+}
+
+#[test]
+fn beam_pruning_reduces_joins_without_losing_the_lake() {
+    let ctx = context_from_lake(&credit_lake(), &SchemaMatcher::paper_default()).unwrap();
+    let wide = AutoFeat::paper().discover(&ctx).unwrap();
+    let cfg = AutoFeatConfig { beam_width: Some(3), ..AutoFeatConfig::paper() };
+    let narrow = AutoFeat::new(cfg.clone()).discover(&ctx).unwrap();
+    assert!(narrow.n_joins_evaluated <= wide.n_joins_evaluated);
+    // The beam must still find *some* useful features.
+    assert!(!narrow.selected_features.is_empty());
+    let out = train_top_k(&ctx, &narrow, &[ModelKind::LightGbm], &cfg).unwrap();
+    assert!(out.result.mean_accuracy() > 0.6);
+}
+
+#[test]
+fn tuning_picks_a_configuration_from_the_grid() {
+    let spec = datagen::registry::dataset("credit").unwrap();
+    let ctx = context_from_snowflake(&spec.build_snowflake()).unwrap();
+    let grid = TuningGrid {
+        taus: vec![0.5, 0.65],
+        kappas: vec![5, 15],
+        ..Default::default()
+    };
+    let out = tune(&ctx, &AutoFeatConfig::paper(), &grid).unwrap();
+    assert_eq!(out.trials.len(), 4);
+    assert!(grid.taus.contains(&out.config.tau));
+    // The tuned config must still discover paths.
+    let d = AutoFeat::new(out.config).discover(&ctx).unwrap();
+    assert!(!d.ranked.is_empty());
+}
+
+#[test]
+fn lsh_discovery_agrees_with_full_matching_on_key_edges() {
+    let lake = credit_lake();
+    let refs: Vec<&Table> = lake.tables.iter().collect();
+    let matcher = SchemaMatcher::paper_default();
+    let full = Drg::from_discovery(&refs, &matcher);
+    let lsh = Drg::from_discovery_lsh(&refs, &matcher);
+    // Every KFK-style (same-name, full-overlap) edge found by the full
+    // matcher must also be found via LSH.
+    let key_edges = |g: &Drg| -> Vec<(String, String)> {
+        g.edges()
+            .iter()
+            .filter(|e| e.a_column == e.b_column && e.weight > 0.9)
+            .map(|e| {
+                let mut pair = (
+                    format!("{}.{}", g.table_name(e.a), e.a_column),
+                    format!("{}.{}", g.table_name(e.b), e.b_column),
+                );
+                if pair.0 > pair.1 {
+                    std::mem::swap(&mut pair.0, &mut pair.1);
+                }
+                pair
+            })
+            .collect()
+    };
+    let full_keys = key_edges(&full);
+    let lsh_keys = key_edges(&lsh);
+    for k in &full_keys {
+        assert!(lsh_keys.contains(k), "LSH missed key edge {k:?}");
+    }
+}
+
+#[test]
+fn streaming_selector_matches_pipeline_semantics_end_to_end() {
+    // Feed a base feature, then two batches; verify R_sel growth mirrors
+    // what AutoFeat's inline pipeline would do.
+    let n = 300;
+    let labels: Vec<i64> = (0..n as i64).map(|i| i % 2).collect();
+    let sig: Vec<f64> = labels.iter().map(|&l| l as f64).collect();
+    let noise: Vec<f64> = (0..n).map(|i| ((i * 17) % 7) as f64).collect();
+    // CMIM's max-based penalty rejects exact duplicates regardless of how
+    // many unrelated features sit in R_sel (MRMR's |S|-average dilutes it).
+    let mut sel = StreamingSelector::new(
+        labels,
+        Some(RelevanceMethod::Spearman),
+        Some(RedundancyMethod::Cmim),
+        15,
+    );
+    sel.seed("base_noise", &noise);
+    let first = sel.offer(&[("t1.sig".into(), sig.clone())]);
+    assert_eq!(first.selected.len(), 1);
+    let second = sel.offer(&[("t2.sig_copy".into(), sig)]);
+    assert!(second.selected.is_empty(), "copy of selected feature rejected");
+    assert_eq!(sel.selected_names(), vec!["base_noise", "t1.sig"]);
+}
+
+#[test]
+fn relational_ops_compose_with_the_lake() {
+    let lake = credit_lake();
+    let base = lake.base();
+    // Sort by the label, filter one class, group by it.
+    let sorted = sort_by(base, "target", Order::Descending).unwrap();
+    assert_eq!(sorted.n_rows(), base.n_rows());
+    let positives = filter(base, "target", |v| v.as_f64() == Some(1.0)).unwrap();
+    assert!(positives.n_rows() > 0);
+    assert!(positives.n_rows() < base.n_rows());
+    let grouped = group_by(base, "target", &[("target", Aggregate::Count)]).unwrap();
+    assert_eq!(grouped.n_rows(), 2);
+    let total: f64 = (0..2)
+        .map(|i| grouped.value("target_count", i).unwrap().as_f64().unwrap())
+        .sum();
+    assert_eq!(total as usize, base.n_rows());
+}
+
+#[test]
+fn dot_export_of_a_discovered_lake_renders() {
+    let ctx = context_from_lake(&credit_lake(), &SchemaMatcher::paper_default()).unwrap();
+    let dot = autofeat::graph::to_dot(ctx.drg());
+    assert!(dot.contains("graph drg {"));
+    assert!(dot.contains("base"));
+    // Discovered edges are dashed.
+    assert!(dot.contains("style=dashed"));
+}
+
+#[test]
+fn cross_validation_on_an_augmented_table() {
+    let spec = datagen::registry::dataset("credit").unwrap();
+    let ctx = context_from_snowflake(&spec.build_snowflake()).unwrap();
+    let discovery = AutoFeat::paper().discover(&ctx).unwrap();
+    let best = &discovery.ranked[0];
+    let table =
+        autofeat::core::materialize_path(&ctx, ctx.base_table(), &best.path, 0).unwrap();
+    let features: Vec<&str> = best.features.iter().map(String::as_str).collect();
+    let m = autofeat::data::encode::to_matrix(&table, &features, "target").unwrap();
+    let accs =
+        autofeat::ml::cross_validate(&m, 4, || ModelKind::RandomForest.build(0)).unwrap();
+    assert_eq!(accs.len(), 4);
+    let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+    assert!(mean > 0.6, "CV mean on augmented features = {mean}");
+}

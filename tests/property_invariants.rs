@@ -1,0 +1,267 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the pipeline.
+
+use autofeat::data::join::left_join_normalized;
+use autofeat::data::sample::{stratified_sample, train_test_split};
+use autofeat::metrics::discretize::{discretize_equal_frequency, Discretized};
+use autofeat::metrics::entropy::entropy;
+use autofeat::metrics::mi::mutual_information;
+use autofeat::metrics::ranks::average_ranks;
+use autofeat::metrics::relevance::{pearson_correlation, spearman_correlation};
+use autofeat::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn int_column(values: &[i64]) -> Column {
+    Column::from_ints(values.iter().map(|&v| Some(v)).collect::<Vec<_>>())
+}
+
+proptest! {
+    /// A normalized left join always preserves the left row count exactly,
+    /// whatever the key multiplicities on either side.
+    #[test]
+    fn left_join_preserves_row_count(
+        left_keys in prop::collection::vec(0i64..20, 1..60),
+        right_keys in prop::collection::vec(0i64..20, 0..120),
+        seed in 0u64..1000,
+    ) {
+        let left = Table::new("l", vec![("k", int_column(&left_keys))]).unwrap();
+        let rvals: Vec<Option<f64>> = right_keys.iter().map(|&k| Some(k as f64)).collect();
+        let right = Table::new(
+            "r",
+            vec![("k", int_column(&right_keys)), ("v", Column::from_floats(rvals))],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = left_join_normalized(&left, &right, "k", "k", "r", &mut rng).unwrap();
+        prop_assert_eq!(out.table.n_rows(), left.n_rows());
+    }
+
+    /// After a normalized join, each matched row's value comes from a right
+    /// row with the same key (representative consistency).
+    #[test]
+    fn join_values_match_their_key(
+        keys in prop::collection::vec(0i64..10, 1..40),
+        seed in 0u64..100,
+    ) {
+        let left = Table::new("l", vec![("k", int_column(&keys))]).unwrap();
+        // Right: value = key * 100 for every duplicate, so any
+        // representative satisfies v = k*100.
+        let rkeys: Vec<i64> = (0..10).flat_map(|k| vec![k, k, k]).collect();
+        let rvals: Vec<Option<i64>> = rkeys.iter().map(|&k| Some(k * 100)).collect();
+        let right = Table::new(
+            "r",
+            vec![("k", int_column(&rkeys)), ("v", Column::from_ints(rvals))],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = left_join_normalized(&left, &right, "k", "k", "r", &mut rng).unwrap();
+        for i in 0..out.table.n_rows() {
+            if let Value::Int(v) = out.table.value("r.v", i).unwrap() {
+                let k = match out.table.value("k", i).unwrap() {
+                    Value::Int(k) => k,
+                    other => panic!("unexpected key {other:?}"),
+                };
+                prop_assert_eq!(v, k * 100);
+            }
+        }
+    }
+
+    /// Stratified splitting partitions rows exactly and disjointly.
+    #[test]
+    fn split_partitions_exactly(
+        n_pos in 2usize..50,
+        n_neg in 2usize..50,
+        frac in 0.1f64..0.5,
+        seed in 0u64..100,
+    ) {
+        let labels: Vec<Option<bool>> = (0..n_pos).map(|_| Some(true))
+            .chain((0..n_neg).map(|_| Some(false))).collect();
+        let ids: Vec<Option<i64>> = (0..(n_pos + n_neg) as i64).map(Some).collect();
+        let t = Table::new("t", vec![
+            ("id", Column::from_ints(ids)),
+            ("y", Column::from_bools(labels)),
+        ]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = train_test_split(&t, "y", frac, &mut rng).unwrap();
+        prop_assert_eq!(s.train.n_rows() + s.test.n_rows(), n_pos + n_neg);
+        prop_assert!(s.train.n_rows() > 0);
+    }
+
+    /// Stratified sampling never returns more rows than the table has and
+    /// keeps every class present.
+    #[test]
+    fn stratified_sample_keeps_classes(
+        n_pos in 1usize..40,
+        n_neg in 1usize..40,
+        frac in 0.05f64..1.0,
+        seed in 0u64..100,
+    ) {
+        let labels: Vec<Option<bool>> = (0..n_pos).map(|_| Some(true))
+            .chain((0..n_neg).map(|_| Some(false))).collect();
+        let ids: Vec<Option<i64>> = (0..(n_pos + n_neg) as i64).map(Some).collect();
+        let t = Table::new("t", vec![
+            ("id", Column::from_ints(ids)),
+            ("y", Column::from_bools(labels)),
+        ]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = stratified_sample(&t, "y", frac, &mut rng).unwrap();
+        prop_assert!(s.n_rows() <= t.n_rows());
+        let col = s.column("y").unwrap();
+        let pos = (0..col.len()).filter(|&i| col.get_f64(i) == Some(1.0)).count();
+        prop_assert!(pos >= 1, "positive class vanished");
+        prop_assert!(s.n_rows() - pos >= 1, "negative class vanished");
+    }
+
+    /// Entropy is bounded by log2(number of bins).
+    #[test]
+    fn entropy_bounded_by_log_bins(codes in prop::collection::vec(0i64..8, 1..200)) {
+        let d = Discretized::from_codes(codes.iter().map(|&c| Some(c)));
+        let h = entropy(&d);
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= (d.n_bins.max(1) as f64).log2() + 1e-9, "H={h}, bins={}", d.n_bins);
+    }
+
+    /// Mutual information is symmetric and bounded by min(H(X), H(Y)).
+    #[test]
+    fn mi_symmetric_and_bounded(
+        x in prop::collection::vec(0i64..5, 10..150),
+        ys in prop::collection::vec(0i64..5, 10..150),
+    ) {
+        let n = x.len().min(ys.len());
+        let dx = Discretized::from_codes(x[..n].iter().map(|&c| Some(c)));
+        let dy = Discretized::from_codes(ys[..n].iter().map(|&c| Some(c)));
+        let mi_xy = mutual_information(&dx, &dy);
+        let mi_yx = mutual_information(&dy, &dx);
+        prop_assert!((mi_xy - mi_yx).abs() < 1e-9);
+        prop_assert!(mi_xy >= 0.0);
+        prop_assert!(mi_xy <= entropy(&dx).min(entropy(&dy)) + 1e-9);
+    }
+
+    /// Correlations stay within [-1, 1] for arbitrary finite inputs.
+    #[test]
+    fn correlations_bounded(
+        pairs in prop::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 2..100),
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let p = pearson_correlation(&x, &y);
+        let s = spearman_correlation(&x, &y);
+        prop_assert!((-1.0..=1.0).contains(&p), "pearson {p}");
+        prop_assert!((-1.0..=1.0).contains(&s), "spearman {s}");
+    }
+
+    /// Average ranks are a permutation-respecting assignment: they sum to
+    /// n(n+1)/2 for distinct finite inputs.
+    #[test]
+    fn ranks_sum_invariant(values in prop::collection::hash_set(-1000i64..1000, 1..80)) {
+        let v: Vec<f64> = values.iter().map(|&x| x as f64).collect();
+        let ranks = average_ranks(&v);
+        let sum: f64 = ranks.iter().sum();
+        let n = v.len() as f64;
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    /// Equal-frequency discretization is monotone: larger values never get
+    /// smaller bin codes.
+    #[test]
+    fn discretization_is_monotone(values in prop::collection::vec(-1e9f64..1e9, 2..200)) {
+        let d = discretize_equal_frequency(&values, 8);
+        let mut pairs: Vec<(f64, u32)> = values
+            .iter()
+            .zip(&d.codes)
+            .map(|(&v, c)| (v, c.unwrap()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in pairs.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    /// MinHash's Jaccard estimate tracks the exact Jaccard within the
+    /// sketch's sampling error.
+    #[test]
+    fn minhash_tracks_exact_jaccard(
+        overlap in 0usize..400,
+        extra_a in 1usize..200,
+        extra_b in 1usize..200,
+    ) {
+        use autofeat::discovery::MinHash;
+        use std::collections::HashSet;
+        let hash = |v: u64| autofeat::discovery::value_sim::stable_hash(&v.to_le_bytes());
+        let a_vals: Vec<u64> = (0..(overlap + extra_a) as u64).collect();
+        let b_vals: Vec<u64> = (0..overlap as u64)
+            .chain(1_000_000..(1_000_000 + extra_b as u64))
+            .collect();
+        let sa: HashSet<u64> = a_vals.iter().map(|&v| hash(v)).collect();
+        let sb: HashSet<u64> = b_vals.iter().map(|&v| hash(v)).collect();
+        let exact = autofeat::discovery::value_sim::jaccard(&sa, &sb);
+        let ma = MinHash::from_hashes(256, sa.iter().copied());
+        let mb = MinHash::from_hashes(256, sb.iter().copied());
+        let est = ma.jaccard(&mb);
+        // 256 slots ⇒ σ ≈ sqrt(J(1−J)/256) ≤ 0.032; allow 6σ.
+        prop_assert!((est - exact).abs() < 0.2, "est {est} vs exact {exact}");
+    }
+
+    /// group_by count aggregates partition the table: counts over a
+    /// non-null column sum to its non-null cells.
+    #[test]
+    fn group_by_counts_partition(
+        keys in prop::collection::vec(0i64..6, 1..80),
+    ) {
+        use autofeat::data::ops::{group_by, Aggregate};
+        let vals: Vec<Option<f64>> = keys.iter().map(|&k| Some(k as f64)).collect();
+        let t = Table::new("t", vec![
+            ("g", int_column(&keys)),
+            ("x", Column::from_floats(vals)),
+        ]).unwrap();
+        let g = group_by(&t, "g", &[("x", Aggregate::Count)]).unwrap();
+        let total: f64 = (0..g.n_rows())
+            .map(|i| g.value("x_count", i).unwrap().as_f64().unwrap())
+            .sum();
+        prop_assert_eq!(total as usize, keys.len());
+        // One group per distinct key.
+        let mut distinct = keys.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(g.n_rows(), distinct.len());
+    }
+
+    /// Tree classifiers only ever predict labels they saw at fit time.
+    #[test]
+    fn tree_predictions_stay_in_label_set(
+        labels in prop::collection::vec(0i64..4, 10..60),
+        queries in prop::collection::vec(-100.0f64..100.0, 1..20),
+    ) {
+        use autofeat::ml::eval::Classifier;
+        use autofeat::ml::tree::{DecisionTree, TreeConfig};
+        let x: Vec<f64> = (0..labels.len()).map(|i| i as f64).collect();
+        let m = autofeat::data::encode::Matrix {
+            feature_names: vec!["x".into()],
+            cols: vec![x],
+            labels: labels.clone(),
+            n_rows: labels.len(),
+        };
+        let mut t = DecisionTree::new(TreeConfig::default(), 0);
+        t.fit(&m).unwrap();
+        for q in queries {
+            let p = t.predict_row(&[q]);
+            prop_assert!(labels.contains(&p), "predicted unseen label {p}");
+        }
+    }
+
+    /// CSV roundtrip preserves integer tables exactly.
+    #[test]
+    fn csv_roundtrip_ints(rows in prop::collection::vec((-1000i64..1000, -1000i64..1000), 1..50)) {
+        let a: Vec<Option<i64>> = rows.iter().map(|r| Some(r.0)).collect();
+        let b: Vec<Option<i64>> = rows.iter().map(|r| Some(r.1)).collect();
+        let t = Table::new("t", vec![
+            ("a", Column::from_ints(a)),
+            ("b", Column::from_ints(b)),
+        ]).unwrap();
+        let text = autofeat::data::csv::write_csv_str(&t);
+        let back = autofeat::data::csv::read_csv_str("t", &text).unwrap();
+        prop_assert_eq!(back, t);
+    }
+}
