@@ -35,6 +35,28 @@ pub struct RankedPath {
     pub features: Vec<String>,
 }
 
+/// Why exploration stopped before exhausting the path space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruncationReason {
+    /// The `max_joins` cap on evaluated joins was reached.
+    MaxJoins,
+    /// The configured `time_budget` deadline expired.
+    Deadline,
+}
+
+/// One join hop that failed during discovery. The failure is *isolated*: the
+/// BFS records it and keeps exploring every other path, so a single corrupt
+/// table cannot abort an hours-long lake run.
+#[derive(Debug, Clone)]
+pub struct PathFailure {
+    /// The path explored up to (not including) the failed hop.
+    pub path: JoinPath,
+    /// The hop whose evaluation errored.
+    pub hop: JoinHop,
+    /// The error text (stringified so the result stays `Clone`).
+    pub error: String,
+}
+
 /// The outcome of a discovery run.
 #[derive(Debug, Clone)]
 pub struct DiscoveryResult {
@@ -47,8 +69,13 @@ pub struct DiscoveryResult {
     pub n_pruned_unjoinable: usize,
     /// Paths pruned by the τ data-quality rule.
     pub n_pruned_quality: usize,
-    /// Whether exploration hit the `max_joins` cap.
+    /// Whether exploration stopped early (see `truncation` for why).
     pub truncated: bool,
+    /// Why exploration stopped early, when it did.
+    pub truncation: Option<TruncationReason>,
+    /// Hops that errored and were skipped; the paths through them were
+    /// abandoned but every other path was still explored.
+    pub failures: Vec<PathFailure>,
     /// Wall-clock feature-discovery time (the paper's "feature selection
     /// time").
     pub elapsed: Duration,
@@ -70,6 +97,18 @@ struct Frontier {
     table: Table,
     score: f64,
     features: Vec<String>,
+}
+
+/// Total-order sort key for path scores: degenerate inputs (constant
+/// columns, all-null features) can make a score NaN, which must neither
+/// panic the sort nor outrank healthy paths — NaN ranks below every finite
+/// score.
+fn rank_key(score: f64) -> f64 {
+    if score.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        score
+    }
 }
 
 /// The AutoFeat feature-discovery engine.
@@ -150,6 +189,8 @@ impl AutoFeat {
                 n_pruned_unjoinable: 0,
                 n_pruned_quality: 0,
                 truncated: false,
+                truncation: None,
+                failures: Vec::new(),
                 elapsed: t0.elapsed(),
                 selected_features: Vec::new(),
             });
@@ -159,7 +200,8 @@ impl AutoFeat {
         let mut n_joins = 0usize;
         let mut n_unjoinable = 0usize;
         let mut n_quality = 0usize;
-        let mut truncated = false;
+        let mut truncation: Option<TruncationReason> = None;
+        let mut failures: Vec<PathFailure> = Vec::new();
         let mut selected_union: Vec<String> = Vec::new();
 
         // BFS over levels (§IV-A: level-by-level exploration contains join
@@ -192,8 +234,14 @@ impl AutoFeat {
                 // column(s) toward this neighbour.
                 for eid in drg.best_edges(&edge_ids) {
                     if n_joins >= cfg.max_joins {
-                        truncated = true;
+                        truncation = Some(TruncationReason::MaxJoins);
                         break 'levels;
+                    }
+                    if let Some(budget) = cfg.time_budget {
+                        if t0.elapsed() >= budget {
+                            truncation = Some(TruncationReason::Deadline);
+                            break 'levels;
+                        }
                     }
                     let edge = drg.edge(eid);
                     let Some((_, from_col, to_col)) = edge.oriented_from(entry.node) else {
@@ -207,15 +255,38 @@ impl AutoFeat {
                     if !entry.table.has_column(&left_key) {
                         continue;
                     }
+                    let hop = JoinHop {
+                        from_table: drg.table_name(entry.node).to_string(),
+                        from_column: from_col.to_string(),
+                        to_table: next_name.clone(),
+                        to_column: to_col.to_string(),
+                        weight: edge.weight,
+                    };
+                    // Per-path error isolation: a hop that errors is
+                    // recorded in `failures` and skipped; the BFS keeps
+                    // exploring every other path.
+                    let fail = |path: &JoinPath, hop: &JoinHop, e: &dyn std::fmt::Display| {
+                        PathFailure {
+                            path: path.clone(),
+                            hop: hop.clone(),
+                            error: e.to_string(),
+                        }
+                    };
                     n_joins += 1;
-                    let out = left_join_normalized(
+                    let out = match left_join_normalized(
                         &entry.table,
                         right,
                         &left_key,
                         to_col,
                         &next_name,
                         &mut rng,
-                    )?;
+                    ) {
+                        Ok(out) => out,
+                        Err(e) => {
+                            failures.push(fail(&entry.path, &hop, &e));
+                            continue;
+                        }
+                    };
                     // Prune: join produced no matches at all.
                     if out.matched == 0 {
                         n_unjoinable += 1;
@@ -224,7 +295,13 @@ impl AutoFeat {
                     // Prune: data quality below τ.
                     let new_cols: Vec<&str> =
                         out.right_columns.iter().map(String::as_str).collect();
-                    let quality = completeness(&out.table, &new_cols)?;
+                    let quality = match completeness(&out.table, &new_cols) {
+                        Ok(q) => q,
+                        Err(e) => {
+                            failures.push(fail(&entry.path, &hop, &e));
+                            continue;
+                        }
+                    };
                     if quality < cfg.tau {
                         n_quality += 1;
                         continue;
@@ -244,15 +321,23 @@ impl AutoFeat {
                         })
                         .cloned()
                         .collect();
-                    let candidate_data: Vec<Vec<f64>> = candidate_names
-                        .iter()
-                        .map(|c| {
-                            label_encode_column(
-                                out.table.column(c).expect("column from join"),
-                            )
-                            .to_f64_lossy()
-                        })
-                        .collect();
+                    let mut candidate_data: Vec<Vec<f64>> =
+                        Vec::with_capacity(candidate_names.len());
+                    let mut hop_errored = false;
+                    for c in &candidate_names {
+                        match out.table.column(c) {
+                            Ok(col) => candidate_data
+                                .push(label_encode_column(col).to_f64_lossy()),
+                            Err(e) => {
+                                failures.push(fail(&entry.path, &hop, &e));
+                                hop_errored = true;
+                                break;
+                            }
+                        }
+                    }
+                    if hop_errored {
+                        continue;
+                    }
                     let (relevant_idx, rel_scores): (Vec<usize>, Vec<f64>) =
                         match cfg.relevance {
                             Some(method) => {
@@ -317,13 +402,7 @@ impl AutoFeat {
                     // ---- Ranking (Algorithm 2). ----
                     let hop_score = compute_score(&rel_scores, &red_scores);
                     let path_score = accumulate(entry.score, hop_score);
-                    let new_path = entry.path.extended(JoinHop {
-                        from_table: drg.table_name(entry.node).to_string(),
-                        from_column: from_col.to_string(),
-                        to_table: next_name.clone(),
-                        to_column: to_col.to_string(),
-                        weight: edge.weight,
-                    });
+                    let new_path = entry.path.extended(hop);
                     let mut path_features = entry.features.clone();
                     path_features.extend(new_features);
                     ranked.push(RankedPath {
@@ -346,9 +425,8 @@ impl AutoFeat {
             }
             if let Some(beam) = cfg.beam_width {
                 next_level.sort_by(|a, b| {
-                    b.score
-                        .partial_cmp(&a.score)
-                        .expect("finite scores")
+                    rank_key(b.score)
+                        .total_cmp(&rank_key(a.score))
                         .then_with(|| a.path.to_string().cmp(&b.path.to_string()))
                 });
                 next_level.truncate(beam);
@@ -357,9 +435,8 @@ impl AutoFeat {
         }
 
         ranked.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .expect("finite scores")
+            rank_key(b.score)
+                .total_cmp(&rank_key(a.score))
                 .then_with(|| a.path.len().cmp(&b.path.len()))
                 .then_with(|| a.path.to_string().cmp(&b.path.to_string()))
         });
@@ -368,7 +445,9 @@ impl AutoFeat {
             n_joins_evaluated: n_joins,
             n_pruned_unjoinable: n_unjoinable,
             n_pruned_quality: n_quality,
-            truncated,
+            truncated: truncation.is_some(),
+            truncation,
+            failures,
             elapsed: t0.elapsed(),
             selected_features: selected_union,
         })
@@ -545,7 +624,146 @@ mod tests {
         let cfg = AutoFeatConfig { max_joins: 1, ..Default::default() };
         let result = AutoFeat::new(cfg).discover(&ctx).unwrap();
         assert!(result.truncated);
+        assert_eq!(result.truncation, Some(TruncationReason::MaxJoins));
         assert_eq!(result.n_joins_evaluated, 1);
+    }
+
+    #[test]
+    fn zero_time_budget_truncates_with_deadline_reason() {
+        let ctx = chain_ctx(100);
+        let cfg = AutoFeatConfig::default().with_time_budget(Duration::ZERO);
+        let result = AutoFeat::new(cfg).discover(&ctx).unwrap();
+        assert!(result.truncated);
+        assert_eq!(result.truncation, Some(TruncationReason::Deadline));
+        assert_eq!(result.n_joins_evaluated, 0);
+        assert!(result.ranked.is_empty());
+    }
+
+    #[test]
+    fn generous_time_budget_does_not_truncate() {
+        let ctx = chain_ctx(100);
+        let cfg = AutoFeatConfig::default().with_time_budget(Duration::from_secs(600));
+        let result = AutoFeat::new(cfg).discover(&ctx).unwrap();
+        assert!(!result.truncated);
+        assert_eq!(result.truncation, None);
+        assert!(!result.ranked.is_empty());
+    }
+
+    #[test]
+    fn nan_scores_sort_last_not_panic() {
+        // Regression: the ranked/beam sorts used
+        // `partial_cmp().expect("finite scores")`, which panics on NaN.
+        let mut scores = [f64::NAN, 0.2, f64::NAN, 1.5, -0.3];
+        scores.sort_by(|a, b| rank_key(*b).total_cmp(&rank_key(*a)));
+        assert_eq!(scores[0], 1.5);
+        assert_eq!(scores[1], 0.2);
+        assert_eq!(scores[2], -0.3);
+        assert!(scores[3].is_nan() && scores[4].is_nan());
+    }
+
+    #[test]
+    fn constant_feature_columns_never_panic() {
+        // A neighbour whose only feature is constant yields NaN Spearman
+        // relevance; discovery (with and without a beam) must complete and
+        // never rank a NaN-scored path above a healthy one.
+        let n = 120usize;
+        let labels: Vec<i64> = (0..n as i64).map(|i| i % 2).collect();
+        let base = Table::new(
+            "base",
+            vec![
+                ("k", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+                ("target", Column::from_ints(labels.iter().copied().map(Some).collect::<Vec<_>>())),
+            ],
+        )
+        .unwrap();
+        let flat = Table::new(
+            "flat",
+            vec![
+                ("k", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+                ("c", Column::from_floats(vec![Some(7.0); n])),
+            ],
+        )
+        .unwrap();
+        let good = Table::new(
+            "good",
+            vec![
+                ("k", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+                (
+                    "signal",
+                    Column::from_floats(labels.iter().map(|&l| Some(l as f64)).collect::<Vec<_>>()),
+                ),
+            ],
+        )
+        .unwrap();
+        let ctx = SearchContext::from_kfk(
+            vec![base, flat, good],
+            &[
+                ("base".into(), "k".into(), "flat".into(), "k".into()),
+                ("base".into(), "k".into(), "good".into(), "k".into()),
+            ],
+            "base",
+            "target",
+        )
+        .unwrap();
+        for beam in [None, Some(1)] {
+            let cfg = AutoFeatConfig { beam_width: beam, ..Default::default() };
+            let r = AutoFeat::new(cfg).discover(&ctx).unwrap();
+            assert!(!r.ranked.is_empty());
+            // The healthy path must outrank (or displace) the constant one.
+            assert_eq!(r.ranked[0].path.last_table(), Some("good"));
+            assert!(r.selected_features.iter().any(|f| f == "good.signal"));
+        }
+    }
+
+    #[test]
+    fn broken_hop_is_isolated_not_fatal() {
+        // The DRG claims `bad` joins on a column the table does not have;
+        // evaluating that hop errors. Discovery must record the failure and
+        // still rank the healthy neighbour.
+        let n = 100usize;
+        let labels: Vec<i64> = (0..n as i64).map(|i| i % 2).collect();
+        let base = Table::new(
+            "base",
+            vec![
+                ("k", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+                ("target", Column::from_ints(labels.iter().copied().map(Some).collect::<Vec<_>>())),
+            ],
+        )
+        .unwrap();
+        let bad = Table::new(
+            "bad",
+            vec![("other", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>()))],
+        )
+        .unwrap();
+        let good = Table::new(
+            "good",
+            vec![
+                ("k", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+                (
+                    "signal",
+                    Column::from_floats(labels.iter().map(|&l| Some(l as f64)).collect::<Vec<_>>()),
+                ),
+            ],
+        )
+        .unwrap();
+        let ctx = SearchContext::from_kfk(
+            vec![base, bad, good],
+            &[
+                // Edge references `bad.missing`, which does not exist.
+                ("base".into(), "k".into(), "bad".into(), "missing".into()),
+                ("base".into(), "k".into(), "good".into(), "k".into()),
+            ],
+            "base",
+            "target",
+        )
+        .unwrap();
+        let r = AutoFeat::paper().discover(&ctx).unwrap();
+        assert_eq!(r.failures.len(), 1);
+        assert_eq!(r.failures[0].hop.to_table, "bad");
+        assert!(r.failures[0].error.contains("missing"), "{}", r.failures[0].error);
+        // The healthy path is unaffected.
+        assert_eq!(r.ranked.len(), 1);
+        assert_eq!(r.ranked[0].path.last_table(), Some("good"));
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! AutoFeat configuration (hyper-parameters of §VI/§VII).
 
+use std::time::Duration;
+
 use autofeat_metrics::redundancy::RedundancyMethod;
 use autofeat_metrics::relevance::RelevanceMethod;
 
@@ -28,6 +30,11 @@ pub struct AutoFeatConfig {
     /// Hard cap on the number of joins evaluated (guards dense data-lake
     /// multigraphs where the acyclic path space explodes).
     pub max_joins: usize,
+    /// Optional wall-clock deadline for the discovery BFS. When elapsed time
+    /// exceeds it, exploration stops gracefully and the result is marked
+    /// truncated with [`TruncationReason::Deadline`](crate::TruncationReason);
+    /// everything ranked so far is still returned. `None` = no deadline.
+    pub time_budget: Option<Duration>,
     /// Optional beam width: keep only the best-scored `b` frontier entries
     /// per BFS level. `None` = exhaustive level expansion (the paper's
     /// published algorithm); `Some(b)` is the "more aggressive pruning" its
@@ -51,6 +58,7 @@ impl Default for AutoFeatConfig {
             top_k: 4,
             max_path_length: 4,
             max_joins: 2000,
+            time_budget: None,
             beam_width: None,
             sample_rows: Some(1000),
             seed: 42,
@@ -79,6 +87,12 @@ impl AutoFeatConfig {
     /// Builder-style seed override.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style discovery deadline override.
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
         self
     }
 

@@ -1,10 +1,97 @@
-//! The search context: tables + base/label + DRG.
+//! The search context: tables + base/label + DRG — plus the fail-soft lake
+//! loader that quarantines unreadable files instead of aborting ingestion.
 
 use std::collections::HashMap;
+use std::path::Path;
 
+use autofeat_data::csv::{read_csv_opts, CsvReadOptions, IngestDiagnostics};
 use autofeat_data::{DataError, Result, Table};
 use autofeat_discovery::SchemaMatcher;
 use autofeat_graph::{Drg, DrgBuilder};
+
+/// A lake file that could not be turned into a table, with the reason it was
+/// set aside (kept so runs can report *why* coverage is partial).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedTable {
+    /// Table name (file stem) of the rejected file.
+    pub name: String,
+    /// Human-readable rejection reason (I/O or parse error text).
+    pub reason: String,
+}
+
+/// Outcome of scanning a lake directory: every readable table, every
+/// quarantined file with its reason, and per-table ingest diagnostics for
+/// files that needed repairs.
+#[derive(Debug, Clone, Default)]
+pub struct LakeLoadReport {
+    /// Tables successfully ingested (sorted by name).
+    pub tables: Vec<Table>,
+    /// Files rejected even under the requested leniency (sorted by name).
+    pub quarantined: Vec<QuarantinedTable>,
+    /// `(table name, diagnostics)` for loaded tables whose ingestion was not
+    /// clean — i.e. lenient mode repaired something.
+    pub diagnostics: Vec<(String, IngestDiagnostics)>,
+}
+
+impl LakeLoadReport {
+    /// One-line human summary of lake coverage.
+    pub fn summary(&self) -> String {
+        format!(
+            "loaded {} table(s), quarantined {}, {} with repairs",
+            self.tables.len(),
+            self.quarantined.len(),
+            self.diagnostics.len()
+        )
+    }
+}
+
+/// Load every `*.csv` file under `dir` as a table, quarantining files that
+/// cannot be ingested (even leniently) instead of failing the whole load.
+///
+/// Only an unreadable *directory* is a hard error: per-file I/O and parse
+/// failures land in [`LakeLoadReport::quarantined`] with their reason so a
+/// discovery run can proceed over the healthy remainder of the lake.
+pub fn load_lake_dir(dir: impl AsRef<Path>, opts: &CsvReadOptions) -> Result<LakeLoadReport> {
+    let dir = dir.as_ref();
+    let mut paths: Vec<_> = fs_read_dir(dir)?
+        .into_iter()
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("csv"))
+        .collect();
+    paths.sort();
+
+    let mut report = LakeLoadReport::default();
+    for path in paths {
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("table")
+            .to_string();
+        match read_csv_opts(&path, opts) {
+            Ok(ingest) => {
+                if !ingest.diagnostics.is_clean() {
+                    report.diagnostics.push((name, ingest.diagnostics));
+                }
+                report.tables.push(ingest.table);
+            }
+            Err(e) => {
+                report.quarantined.push(QuarantinedTable { name, reason: e.to_string() });
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Directory listing as a `Result` in this crate's error type.
+fn fs_read_dir(dir: &Path) -> Result<Vec<std::path::PathBuf>> {
+    let rd = std::fs::read_dir(dir)
+        .map_err(|e| DataError::Io(format!("cannot read lake dir {}: {e}", dir.display())))?;
+    let mut out = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| DataError::Io(e.to_string()))?;
+        out.push(entry.path());
+    }
+    Ok(out)
+}
 
 /// Everything a discovery run needs: the dataset collection, the base table
 /// with its label column, and the joinability graph.
@@ -196,5 +283,81 @@ mod tests {
         assert!(ctx.drg().n_edges() >= 1);
         // Label survives in the stored base table.
         assert!(ctx.base_table().has_column("target"));
+    }
+
+    fn temp_lake(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("autofeat_lake_{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn lake_loader_quarantines_bad_files() {
+        let dir = temp_lake("quarantine");
+        std::fs::write(dir.join("good.csv"), "k,v\n1,10\n2,20\n").unwrap();
+        std::fs::write(dir.join("broken.csv"), "k,v\n1\n2\n3\n4\n").unwrap();
+        std::fs::write(dir.join("empty.csv"), "").unwrap();
+        std::fs::write(dir.join("notes.txt"), "not a csv").unwrap();
+
+        let report = load_lake_dir(&dir, &CsvReadOptions::lenient()).unwrap();
+        assert_eq!(report.tables.len(), 1);
+        assert_eq!(report.tables[0].name(), "good");
+        // `broken` blows the 20% bad-row budget; `empty` has no header.
+        let mut q: Vec<&str> =
+            report.quarantined.iter().map(|q| q.name.as_str()).collect();
+        q.sort();
+        assert_eq!(q, vec!["broken", "empty"]);
+        assert!(report
+            .quarantined
+            .iter()
+            .all(|q| !q.reason.is_empty()));
+        assert!(report.summary().contains("quarantined 2"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lake_loader_records_repair_diagnostics() {
+        let dir = temp_lake("repairs");
+        std::fs::write(dir.join("clean.csv"), "k\n1\n").unwrap();
+        // One ragged row in ten: within the lenient budget, so it loads
+        // with diagnostics rather than being quarantined.
+        let mut ragged = String::from("k,v\n");
+        for i in 0..9 {
+            ragged.push_str(&format!("{i},{i}\n"));
+        }
+        ragged.push_str("9\n");
+        std::fs::write(dir.join("ragged.csv"), ragged).unwrap();
+
+        let report = load_lake_dir(&dir, &CsvReadOptions::lenient()).unwrap();
+        assert_eq!(report.tables.len(), 2);
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.diagnostics.len(), 1);
+        let (name, diags) = &report.diagnostics[0];
+        assert_eq!(name, "ragged");
+        assert_eq!(diags.n_repaired_rows, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lake_loader_strict_quarantines_what_lenient_repairs() {
+        let dir = temp_lake("strictness");
+        std::fs::write(dir.join("t.csv"), "k,v\n1,1\n2,2\n3,3\n4,4\n5\n").unwrap();
+        let strict = load_lake_dir(&dir, &CsvReadOptions::strict()).unwrap();
+        assert_eq!(strict.quarantined.len(), 1);
+        assert!(strict.quarantined[0].reason.contains("ragged"));
+        let lenient = load_lake_dir(&dir, &CsvReadOptions::lenient()).unwrap();
+        assert!(lenient.quarantined.is_empty());
+        assert_eq!(lenient.tables.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lake_loader_missing_dir_is_hard_error() {
+        let r = load_lake_dir(
+            std::env::temp_dir().join("autofeat_no_such_lake_dir"),
+            &CsvReadOptions::lenient(),
+        );
+        assert!(matches!(r, Err(DataError::Io(_))));
     }
 }

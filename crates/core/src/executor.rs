@@ -68,10 +68,13 @@ pub fn materialize_tree(
 ) -> Result<(Table, Vec<String>)> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut current = start.clone();
+    // `joined` preserves rank order for the caller; `joined_set` gives O(1)
+    // membership so tree materialization stays linear in total hop count.
     let mut joined: Vec<String> = Vec::new();
+    let mut joined_set: std::collections::HashSet<String> = std::collections::HashSet::new();
     for path in paths {
         for hop in path.hops() {
-            if joined.contains(&hop.to_table) {
+            if joined_set.contains(&hop.to_table) {
                 continue;
             }
             let right = ctx.table(&hop.to_table).ok_or_else(|| {
@@ -92,6 +95,7 @@ pub fn materialize_tree(
                 &mut rng,
             )?;
             current = out.table;
+            joined_set.insert(hop.to_table.clone());
             joined.push(hop.to_table.clone());
         }
     }

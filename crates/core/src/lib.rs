@@ -31,6 +31,10 @@
 //! * [`baselines::join_all`] — JoinAll / JoinAll+F with the Eq. 3
 //!   feasibility guard.
 
+// Fail-soft discipline: non-test code must propagate errors, not unwrap.
+// CI runs clippy with `-D warnings`, so this is effectively a deny there.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod autofeat;
 pub mod baselines;
 pub mod config;
@@ -41,11 +45,11 @@ pub mod report;
 pub mod train;
 pub mod tuning;
 
-pub use autofeat::{AutoFeat, DiscoveryResult, RankedPath};
+pub use autofeat::{AutoFeat, DiscoveryResult, PathFailure, RankedPath, TruncationReason};
 pub use config::AutoFeatConfig;
-pub use context::SearchContext;
+pub use context::{load_lake_dir, LakeLoadReport, QuarantinedTable, SearchContext};
 pub use executor::materialize_path;
 pub use ranking::compute_score;
-pub use report::MethodResult;
+pub use report::{discovery_health_report, MethodResult};
 pub use train::{train_top_k, TrainOutcome};
 pub use tuning::{tune, TuningGrid, TuningOutcome};

@@ -1,9 +1,13 @@
 //! Result records shared by AutoFeat and the baselines — the rows behind
-//! Figs. 1, 4, 5, 6, 7.
+//! Figs. 1, 4, 5, 6, 7 — plus the fail-soft health report of a discovery
+//! run (isolated path failures and early truncation).
 
+use std::fmt::Write as _;
 use std::time::Duration;
 
 use autofeat_ml::eval::ModelKind;
+
+use crate::autofeat::{DiscoveryResult, TruncationReason};
 
 /// One method's outcome on one dataset: what the paper's bar charts plot.
 #[derive(Debug, Clone)]
@@ -45,9 +49,106 @@ impl MethodResult {
     }
 }
 
+/// Multi-line human-readable health report of a discovery run: path counts,
+/// truncation (and why), and every isolated hop failure with its path
+/// context. Empty sections are omitted; a fully healthy run yields a single
+/// "healthy" line.
+pub fn discovery_health_report(result: &DiscoveryResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "discovery: {} path(s) ranked, {} join(s) evaluated, \
+         {} unjoinable, {} below-quality",
+        result.ranked.len(),
+        result.n_joins_evaluated,
+        result.n_pruned_unjoinable,
+        result.n_pruned_quality
+    );
+    match result.truncation {
+        Some(TruncationReason::MaxJoins) => {
+            let _ = writeln!(out, "truncated: max_joins cap reached");
+        }
+        Some(TruncationReason::Deadline) => {
+            let _ = writeln!(
+                out,
+                "truncated: time budget exhausted after {:?}",
+                result.elapsed
+            );
+        }
+        None => {}
+    }
+    if result.failures.is_empty() {
+        if result.truncation.is_none() {
+            let _ = writeln!(out, "healthy: no hop failures");
+        }
+    } else {
+        let _ = writeln!(out, "{} hop failure(s) isolated:", result.failures.len());
+        for f in &result.failures {
+            let _ = writeln!(
+                out,
+                "  - {} -> {} (on {}={}) after [{}]: {}",
+                f.hop.from_table,
+                f.hop.to_table,
+                f.hop.from_column,
+                f.hop.to_column,
+                f.path,
+                f.error
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::autofeat::PathFailure;
+    use autofeat_graph::{JoinHop, JoinPath};
+
+    fn discovery(failures: Vec<PathFailure>, truncation: Option<TruncationReason>) -> DiscoveryResult {
+        DiscoveryResult {
+            ranked: vec![],
+            n_joins_evaluated: 5,
+            n_pruned_unjoinable: 1,
+            n_pruned_quality: 2,
+            truncated: truncation.is_some(),
+            truncation,
+            failures,
+            elapsed: Duration::from_millis(10),
+            selected_features: vec![],
+        }
+    }
+
+    #[test]
+    fn health_report_healthy_run() {
+        let r = discovery_health_report(&discovery(vec![], None));
+        assert!(r.contains("healthy"), "{r}");
+        assert!(r.contains("5 join(s)"), "{r}");
+    }
+
+    #[test]
+    fn health_report_lists_failures_and_truncation() {
+        let failure = PathFailure {
+            path: JoinPath::empty(),
+            hop: JoinHop {
+                from_table: "base".into(),
+                from_column: "k".into(),
+                to_table: "bad".into(),
+                to_column: "k".into(),
+                weight: 1.0,
+            },
+            error: "type mismatch: expected int, got str".into(),
+        };
+        let r = discovery_health_report(&discovery(
+            vec![failure],
+            Some(TruncationReason::Deadline),
+        ));
+        assert!(r.contains("1 hop failure(s)"), "{r}");
+        assert!(r.contains("base -> bad"), "{r}");
+        assert!(r.contains("type mismatch"), "{r}");
+        assert!(r.contains("time budget"), "{r}");
+        assert!(!r.contains("healthy"), "{r}");
+    }
 
     fn result() -> MethodResult {
         MethodResult {

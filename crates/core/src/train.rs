@@ -267,6 +267,8 @@ mod tests {
             n_pruned_unjoinable: 0,
             n_pruned_quality: 0,
             truncated: false,
+            truncation: None,
+            failures: vec![],
             elapsed: Duration::ZERO,
             selected_features: vec![],
         };

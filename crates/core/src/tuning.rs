@@ -91,13 +91,14 @@ pub fn tune(
         .filter(|t| t.accuracy >= best_acc - grid.tolerance)
         .min_by(|a, b| {
             a.fs_secs
-                .partial_cmp(&b.fs_secs)
-                .expect("finite times")
+                .total_cmp(&b.fs_secs)
                 // Prefer larger τ (more pruning) and smaller κ on ties.
-                .then_with(|| b.tau.partial_cmp(&a.tau).expect("finite"))
+                .then_with(|| b.tau.total_cmp(&a.tau))
                 .then_with(|| a.kappa.cmp(&b.kappa))
         })
-        .expect("at least one trial");
+        .ok_or_else(|| {
+            autofeat_data::DataError::Invalid("tuning produced no trials".into())
+        })?;
     Ok(TuningOutcome {
         config: AutoFeatConfig { tau: winner.tau, kappa: winner.kappa, ..base.clone() },
         trials,

@@ -1,10 +1,22 @@
-//! Minimal CSV reader/writer with type inference.
+//! Minimal CSV reader/writer with type inference and a fail-soft mode.
 //!
-//! Supports RFC-4180-style quoting (`"..."` with `""` escapes), a header
-//! row, and per-column type inference over the full file: a column is `Int`
-//! if every non-empty cell parses as an integer, else `Float` if every cell
-//! parses as a float, else `Bool` if every cell is `true`/`false`, else
-//! `Str`. Empty cells are nulls.
+//! Supports RFC-4180-style quoting (`"..."` with `""` escapes), CRLF line
+//! endings, a header row, and per-column type inference over the full file:
+//! a column is `Int` if every non-empty cell parses as an integer, else
+//! `Float` if every cell parses as a float, else `Bool` if every cell is
+//! `true`/`false`, else `Str`. Empty cells are nulls.
+//!
+//! Two ingestion modes ([`CsvReadOptions`]):
+//!
+//! * **strict** — any structural defect (ragged row, unterminated quote,
+//!   duplicate header) aborts with a typed [`DataError`]; this is the
+//!   historical behaviour of [`read_csv_str`].
+//! * **lenient** — the reader repairs what it can (pads/truncates ragged
+//!   rows, skips unparseable lines, renames duplicate headers, nulls cells
+//!   that miss a column's majority dtype) up to a configurable bad-row
+//!   budget, and reports everything it did in [`IngestDiagnostics`]. Data
+//!   lakes are full of files that are 99% fine; lenient mode keeps the 99%
+//!   instead of aborting on the 1% (§IV of the paper's lake setting).
 
 use std::fs;
 use std::path::Path;
@@ -13,6 +25,126 @@ use crate::column::Column;
 use crate::error::{DataError, Result};
 use crate::table::Table;
 use crate::value::DType;
+
+/// How tolerant CSV ingestion is of malformed input.
+#[derive(Debug, Clone)]
+pub struct CsvReadOptions {
+    /// Repair defects instead of aborting on them.
+    pub lenient: bool,
+    /// Lenient mode: maximum fraction of data rows that may need repair or
+    /// skipping before ingestion gives up on the file anyway. `0.2` means a
+    /// file with more than 20% bad rows is rejected as unreadable.
+    pub bad_row_budget: f64,
+    /// Lenient mode: maximum fraction of a column's non-empty cells allowed
+    /// to miss the majority dtype and be nulled; above it the column falls
+    /// back to `Str` and keeps every cell verbatim.
+    pub cell_coercion_budget: f64,
+    /// Cap on per-issue samples retained in [`IngestDiagnostics::issues`]
+    /// (counts are always exact; samples keep memory bounded).
+    pub max_issue_samples: usize,
+}
+
+impl Default for CsvReadOptions {
+    fn default() -> Self {
+        CsvReadOptions::strict()
+    }
+}
+
+impl CsvReadOptions {
+    /// Abort on the first structural defect (historical behaviour).
+    pub fn strict() -> Self {
+        CsvReadOptions {
+            lenient: false,
+            bad_row_budget: 0.0,
+            cell_coercion_budget: 0.0,
+            max_issue_samples: 20,
+        }
+    }
+
+    /// Repair defects up to a 20% bad-row budget and a 10% per-column cell
+    /// coercion budget.
+    pub fn lenient() -> Self {
+        CsvReadOptions {
+            lenient: true,
+            bad_row_budget: 0.2,
+            cell_coercion_budget: 0.1,
+            max_issue_samples: 20,
+        }
+    }
+
+    /// Builder-style bad-row budget override.
+    pub fn with_bad_row_budget(mut self, budget: f64) -> Self {
+        self.bad_row_budget = budget;
+        self
+    }
+}
+
+/// What kind of defect an [`IngestIssue`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestIssueKind {
+    /// A data row with more or fewer fields than the header.
+    RaggedRow,
+    /// A line that could not be parsed at all (e.g. unterminated quote).
+    UnparseableRow,
+    /// A cell nulled because it missed its column's majority dtype.
+    CoercedCell,
+    /// A header repeated verbatim; the duplicate was renamed.
+    DuplicateHeader,
+}
+
+/// One recorded ingestion defect (a bounded sample; see
+/// [`CsvReadOptions::max_issue_samples`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestIssue {
+    /// 1-based source line the defect was found on (0 when not line-bound).
+    pub line: usize,
+    /// Defect category.
+    pub kind: IngestIssueKind,
+    /// Human-readable specifics (expected vs got counts, offending cell…).
+    pub detail: String,
+}
+
+/// Structured account of everything lenient ingestion repaired or dropped.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestDiagnostics {
+    /// Data rows kept in the resulting table.
+    pub n_rows: usize,
+    /// Ragged rows padded or truncated to the header width.
+    pub n_repaired_rows: usize,
+    /// Rows dropped because they could not be parsed at all.
+    pub n_skipped_rows: usize,
+    /// Cells nulled because they missed their column's majority dtype.
+    pub n_coerced_cells: usize,
+    /// Duplicate headers renamed with `#k` suffixes.
+    pub n_renamed_headers: usize,
+    /// Bounded sample of individual defects (counts above are exact).
+    pub issues: Vec<IngestIssue>,
+    /// Exact total number of defects observed (≥ `issues.len()`).
+    pub n_issues_total: usize,
+}
+
+impl IngestDiagnostics {
+    /// True when the file was ingested without a single repair.
+    pub fn is_clean(&self) -> bool {
+        self.n_issues_total == 0
+    }
+
+    fn record(&mut self, max_samples: usize, line: usize, kind: IngestIssueKind, detail: String) {
+        self.n_issues_total += 1;
+        if self.issues.len() < max_samples {
+            self.issues.push(IngestIssue { line, kind, detail });
+        }
+    }
+}
+
+/// A parsed table together with the diagnostics of its ingestion.
+#[derive(Debug, Clone)]
+pub struct CsvIngest {
+    /// The parsed table.
+    pub table: Table,
+    /// What (if anything) had to be repaired to produce it.
+    pub diagnostics: IngestDiagnostics,
+}
 
 /// Parse one CSV record (handles quotes); returns the fields.
 fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>> {
@@ -90,51 +222,230 @@ fn infer_dtype(cells: &[Option<String>]) -> DType {
     }
 }
 
-/// Parse CSV text into a table named `name`.
-pub fn read_csv_str(name: &str, text: &str) -> Result<Table> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.is_empty());
+/// Lenient majority-dtype inference: the dtype most cells parse as, with the
+/// losing minority (≤ `budget` of non-empty cells) destined to become nulls.
+/// Falls back to `Str` (which accepts everything) when no dtype reaches the
+/// threshold.
+fn infer_dtype_majority(cells: &[Option<String>], budget: f64) -> DType {
+    let mut n = 0usize;
+    let mut int_ok = 0usize;
+    let mut float_ok = 0usize;
+    let mut bool_ok = 0usize;
+    for c in cells.iter().flatten() {
+        n += 1;
+        if c.parse::<i64>().is_ok() {
+            int_ok += 1;
+        }
+        if c.parse::<f64>().is_ok() {
+            float_ok += 1;
+        }
+        if matches!(c.as_str(), "true" | "false" | "True" | "False") {
+            bool_ok += 1;
+        }
+    }
+    if n == 0 {
+        return DType::Str;
+    }
+    let needed = ((1.0 - budget) * n as f64).ceil() as usize;
+    if int_ok >= needed {
+        DType::Int
+    } else if float_ok >= needed {
+        DType::Float
+    } else if bool_ok >= needed {
+        DType::Bool
+    } else {
+        DType::Str
+    }
+}
+
+/// Strip a trailing carriage return so CRLF input parses identically to LF
+/// input even when lines were split manually.
+fn strip_cr(line: &str) -> &str {
+    line.strip_suffix('\r').unwrap_or(line)
+}
+
+/// Rename duplicate headers with `#k` suffixes (`x`, `x#2`, `x#3`, …).
+fn dedupe_headers(
+    headers: Vec<String>,
+    diags: &mut IngestDiagnostics,
+    max_samples: usize,
+) -> Vec<String> {
+    let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(headers.len());
+    for h in headers {
+        if seen.insert(h.clone()) {
+            out.push(h);
+            continue;
+        }
+        let mut k = 2usize;
+        let renamed = loop {
+            let candidate = format!("{h}#{k}");
+            if seen.insert(candidate.clone()) {
+                break candidate;
+            }
+            k += 1;
+        };
+        diags.n_renamed_headers += 1;
+        diags.record(
+            max_samples,
+            1,
+            IngestIssueKind::DuplicateHeader,
+            format!("duplicate header `{h}` renamed to `{renamed}`"),
+        );
+        out.push(renamed);
+    }
+    out
+}
+
+/// Parse CSV text into a table named `name`, honouring `opts`. Returns the
+/// table plus diagnostics; in strict mode any defect is an `Err` instead.
+pub fn read_csv_str_opts(name: &str, text: &str, opts: &CsvReadOptions) -> Result<CsvIngest> {
+    let mut diags = IngestDiagnostics::default();
+    let max_samples = opts.max_issue_samples;
+
+    let mut lines = text
+        .lines()
+        .map(strip_cr)
+        .enumerate()
+        .filter(|(_, l)| !l.is_empty());
     let (_, header) = lines
         .next()
         .ok_or_else(|| DataError::Csv { line: 0, message: "empty input".into() })?;
     let headers = parse_record(header, 1)?;
+    // In strict mode duplicate headers fall through to `Table::new`, which
+    // rejects them with `DuplicateColumn`; lenient mode renames them.
+    let headers = if opts.lenient {
+        dedupe_headers(headers, &mut diags, max_samples)
+    } else {
+        headers
+    };
     let n_cols = headers.len();
+
     let mut cells: Vec<Vec<Option<String>>> = vec![Vec::new(); n_cols];
+    // Source line of each kept row, for cell-level diagnostics later.
+    let mut row_lines: Vec<usize> = Vec::new();
+    let mut n_data_rows = 0usize;
     for (i, line) in lines {
-        let rec = parse_record(line, i + 1)?;
+        let line_no = i + 1;
+        n_data_rows += 1;
+        let mut rec = match parse_record(line, line_no) {
+            Ok(rec) => rec,
+            Err(e) => {
+                if !opts.lenient {
+                    return Err(e);
+                }
+                diags.n_skipped_rows += 1;
+                diags.record(
+                    max_samples,
+                    line_no,
+                    IngestIssueKind::UnparseableRow,
+                    format!("row dropped: {e}"),
+                );
+                continue;
+            }
+        };
         if rec.len() != n_cols {
-            return Err(DataError::Csv {
-                line: i + 1,
-                message: format!("expected {n_cols} fields, got {}", rec.len()),
-            });
+            if !opts.lenient {
+                return Err(DataError::CsvRagged {
+                    line: line_no,
+                    expected: n_cols,
+                    got: rec.len(),
+                });
+            }
+            diags.n_repaired_rows += 1;
+            diags.record(
+                max_samples,
+                line_no,
+                IngestIssueKind::RaggedRow,
+                format!("expected {n_cols} fields, got {} (repaired)", rec.len()),
+            );
+            rec.resize(n_cols, String::new());
         }
+        row_lines.push(line_no);
         for (c, field) in rec.into_iter().enumerate() {
             cells[c].push(if field.is_empty() { None } else { Some(field) });
         }
     }
+
+    let bad_rows = diags.n_repaired_rows + diags.n_skipped_rows;
+    if opts.lenient && n_data_rows > 0 {
+        let frac = bad_rows as f64 / n_data_rows as f64;
+        if frac > opts.bad_row_budget {
+            return Err(DataError::Csv {
+                line: 0,
+                message: format!(
+                    "bad-row budget exceeded: {bad_rows}/{n_data_rows} rows malformed \
+                     ({:.0}% > {:.0}% allowed)",
+                    frac * 100.0,
+                    opts.bad_row_budget * 100.0
+                ),
+            });
+        }
+    }
+
     let mut cols = Vec::with_capacity(n_cols);
     for (h, col_cells) in headers.into_iter().zip(cells) {
-        let dtype = infer_dtype(&col_cells);
+        let dtype = if opts.lenient {
+            infer_dtype_majority(&col_cells, opts.cell_coercion_budget)
+        } else {
+            infer_dtype(&col_cells)
+        };
+        // In lenient mode a cell that misses the majority dtype becomes a
+        // null; record each such coercion.
+        let mut coerce = |row: usize, cell: &str, to: DType| {
+            diags.n_coerced_cells += 1;
+            diags.record(
+                max_samples,
+                row_lines.get(row).copied().unwrap_or(0),
+                IngestIssueKind::CoercedCell,
+                format!("cell `{cell}` in column `{h}` nulled (column is {to:?})"),
+            );
+        };
         let col = match dtype {
-            DType::Int => Column::from_ints(
-                col_cells.iter().map(|c| c.as_ref().and_then(|s| s.parse().ok())),
-            ),
-            DType::Float => Column::from_floats(
-                col_cells.iter().map(|c| c.as_ref().and_then(|s| s.parse().ok())),
-            ),
-            DType::Bool => Column::from_bools(
-                col_cells
-                    .iter()
-                    .map(|c| c.as_ref().map(|s| matches!(s.as_str(), "true" | "True"))),
-            ),
+            DType::Int => Column::from_ints(col_cells.iter().enumerate().map(|(r, c)| {
+                c.as_ref().and_then(|s| {
+                    let v = s.parse().ok();
+                    if v.is_none() {
+                        coerce(r, s, DType::Int);
+                    }
+                    v
+                })
+            })),
+            DType::Float => Column::from_floats(col_cells.iter().enumerate().map(|(r, c)| {
+                c.as_ref().and_then(|s| {
+                    let v = s.parse().ok();
+                    if v.is_none() {
+                        coerce(r, s, DType::Float);
+                    }
+                    v
+                })
+            })),
+            DType::Bool => Column::from_bools(col_cells.iter().enumerate().map(|(r, c)| {
+                c.as_ref().and_then(|s| match s.as_str() {
+                    "true" | "True" => Some(true),
+                    "false" | "False" => Some(false),
+                    other => {
+                        coerce(r, other, DType::Bool);
+                        None
+                    }
+                })
+            })),
             DType::Str => Column::from_strs(col_cells.iter().map(|c| c.as_deref())),
         };
         cols.push((h, col));
     }
-    Table::new(name, cols)
+    let table = Table::new(name, cols)?;
+    diags.n_rows = table.n_rows();
+    Ok(CsvIngest { table, diagnostics: diags })
 }
 
-/// Read a CSV file into a table named after the file stem.
-pub fn read_csv(path: impl AsRef<Path>) -> Result<Table> {
+/// Parse CSV text into a table named `name` (strict mode).
+pub fn read_csv_str(name: &str, text: &str) -> Result<Table> {
+    read_csv_str_opts(name, text, &CsvReadOptions::strict()).map(|i| i.table)
+}
+
+/// Read a CSV file honouring `opts`; the table is named after the file stem.
+pub fn read_csv_opts(path: impl AsRef<Path>, opts: &CsvReadOptions) -> Result<CsvIngest> {
     let path = path.as_ref();
     let name = path
         .file_stem()
@@ -142,7 +453,12 @@ pub fn read_csv(path: impl AsRef<Path>) -> Result<Table> {
         .unwrap_or("table")
         .to_string();
     let text = fs::read_to_string(path)?;
-    read_csv_str(&name, &text)
+    read_csv_str_opts(&name, &text, opts)
+}
+
+/// Read a CSV file into a table named after the file stem (strict mode).
+pub fn read_csv(path: impl AsRef<Path>) -> Result<Table> {
+    read_csv_opts(path, &CsvReadOptions::strict()).map(|i| i.table)
 }
 
 fn escape(field: &str) -> String {
@@ -232,7 +548,110 @@ mod tests {
     #[test]
     fn ragged_row_errors() {
         let r = read_csv_str("t", "a,b\n1\n");
-        assert!(matches!(r, Err(DataError::Csv { line: 2, .. })));
+        assert!(matches!(
+            r,
+            Err(DataError::CsvRagged { line: 2, expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn ragged_row_error_reports_expected_vs_got() {
+        let r = read_csv_str("t", "a,b,c\n1,2,3\n1,2,3,4,5\n");
+        match r {
+            Err(DataError::CsvRagged { line, expected, got }) => {
+                assert_eq!((line, expected, got), (3, 3, 5));
+            }
+            other => panic!("expected CsvRagged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crlf_line_endings_accepted() {
+        let t = read_csv_str("t", "a,b\r\n1,x\r\n2,y\r\n").unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.column("a").unwrap().dtype(), DType::Int);
+        assert_eq!(t.value("b", 1).unwrap(), Value::str("y"));
+    }
+
+    #[test]
+    fn lenient_pads_and_truncates_ragged_rows() {
+        let opts = CsvReadOptions::lenient().with_bad_row_budget(1.0);
+        let ingest =
+            read_csv_str_opts("t", "a,b\n1,x\n2\n3,y,EXTRA\n", &opts).unwrap();
+        assert_eq!(ingest.table.n_rows(), 3);
+        // Short row padded with a null; long row truncated.
+        assert_eq!(ingest.table.value("b", 1).unwrap(), Value::Null);
+        assert_eq!(ingest.table.value("b", 2).unwrap(), Value::str("y"));
+        assert_eq!(ingest.diagnostics.n_repaired_rows, 2);
+        assert!(!ingest.diagnostics.is_clean());
+        assert!(ingest
+            .diagnostics
+            .issues
+            .iter()
+            .all(|i| i.kind == IngestIssueKind::RaggedRow));
+    }
+
+    #[test]
+    fn lenient_skips_unparseable_rows() {
+        let opts = CsvReadOptions::lenient().with_bad_row_budget(1.0);
+        let ingest = read_csv_str_opts("t", "a\nok\n\"oops\nfine\n", &opts).unwrap();
+        // The unterminated quote swallows the rest of its line only.
+        assert_eq!(ingest.diagnostics.n_skipped_rows, 1);
+        assert!(ingest.table.n_rows() >= 1);
+    }
+
+    #[test]
+    fn lenient_renames_duplicate_headers() {
+        let opts = CsvReadOptions::lenient();
+        let ingest = read_csv_str_opts("t", "a,a,a\n1,2,3\n", &opts).unwrap();
+        let names = ingest.table.column_names();
+        assert_eq!(names, vec!["a", "a#2", "a#3"]);
+        assert_eq!(ingest.diagnostics.n_renamed_headers, 2);
+    }
+
+    #[test]
+    fn strict_rejects_duplicate_headers() {
+        let r = read_csv_str("t", "a,a\n1,2\n");
+        assert!(matches!(r, Err(DataError::DuplicateColumn { .. })));
+    }
+
+    #[test]
+    fn lenient_coerces_minority_cells_to_null() {
+        let opts = CsvReadOptions::lenient();
+        let csv = "a\n1\n2\n3\n4\n5\n6\n7\n8\n9\noops\n";
+        let ingest = read_csv_str_opts("t", csv, &opts).unwrap();
+        assert_eq!(ingest.table.column("a").unwrap().dtype(), DType::Int);
+        assert_eq!(ingest.table.value("a", 9).unwrap(), Value::Null);
+        assert_eq!(ingest.diagnostics.n_coerced_cells, 1);
+        assert!(ingest
+            .diagnostics
+            .issues
+            .iter()
+            .any(|i| i.kind == IngestIssueKind::CoercedCell));
+        // Strict mode falls back to Str for the same input instead.
+        let strict = read_csv_str("t", csv).unwrap();
+        assert_eq!(strict.column("a").unwrap().dtype(), DType::Str);
+    }
+
+    #[test]
+    fn bad_row_budget_enforced() {
+        // 2 of 3 rows ragged > 20% default budget.
+        let opts = CsvReadOptions::lenient();
+        let r = read_csv_str_opts("t", "a,b\n1\n2\n3,x\n", &opts);
+        match r {
+            Err(DataError::Csv { message, .. }) => {
+                assert!(message.contains("budget"), "{message}");
+            }
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_ingest_is_clean() {
+        let ingest =
+            read_csv_str_opts("t", "a,b\n1,x\n", &CsvReadOptions::strict()).unwrap();
+        assert!(ingest.diagnostics.is_clean());
+        assert_eq!(ingest.diagnostics.n_rows, 1);
     }
 
     #[test]

