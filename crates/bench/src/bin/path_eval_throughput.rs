@@ -1,0 +1,177 @@
+//! Path-evaluation throughput: joins/sec of the discovery BFS at 1 worker
+//! vs N workers.
+//!
+//! The workload is a synthetic *wide* lake built for this measurement: many
+//! sibling satellites hanging off the base table, each with duplicated join
+//! keys and enough rows that the per-candidate join work (key hashing +
+//! representative fingerprints + relevance) dominates thread overhead. That
+//! is the shape the per-level parallel fan-out exists for; the Table II
+//! snowflakes are too small (a handful of joins per level) to say anything
+//! about scaling.
+//!
+//! Emits `BENCH_path_eval.json` (hand-rolled JSON — no serde in this
+//! workspace) plus a human-readable table, and also verifies the 1-thread
+//! and N-thread results are bit-identical, exiting non-zero when not.
+//!
+//! Usage: `path_eval_throughput [--full] [--threads N] [--out PATH]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use autofeat_core::{AutoFeat, AutoFeatConfig, DiscoveryResult, SearchContext};
+use autofeat_data::parallel::n_workers;
+use autofeat_data::{Column, Table};
+
+/// A base table plus `n_sat` sibling satellites, each `n_rows * dup` rows
+/// with `dup` duplicate rows per key (so representative picks are real
+/// work), each carrying one feature column.
+fn wide_lake(n_rows: usize, n_sat: usize, dup: usize) -> SearchContext {
+    let labels: Vec<i64> = (0..n_rows as i64).map(|i| (i * 7) % 2).collect();
+    let base = Table::new(
+        "base",
+        vec![
+            ("k", Column::from_ints((0..n_rows as i64).map(Some).collect::<Vec<_>>())),
+            (
+                "b0",
+                Column::from_floats(
+                    (0..n_rows).map(|i| Some(((i * 29) % 23) as f64)).collect::<Vec<_>>(),
+                ),
+            ),
+            (
+                "target",
+                Column::from_ints(labels.iter().copied().map(Some).collect::<Vec<_>>()),
+            ),
+        ],
+    )
+    .expect("base builds");
+    let mut tables = vec![base];
+    let mut kfk: Vec<(String, String, String, String)> = Vec::new();
+    for j in 0..n_sat {
+        let name = format!("sat{j:03}");
+        let m = n_rows * dup;
+        let keys: Vec<Option<i64>> = (0..m as i64).map(|i| Some(i / dup as i64)).collect();
+        let vals: Vec<Option<f64>> = (0..m)
+            .map(|i| Some(((i * (13 + j) + j * 7) % 101) as f64))
+            .collect();
+        tables.push(
+            Table::new(
+                name.clone(),
+                vec![("k", Column::from_ints(keys)), ("f", Column::from_floats(vals))],
+            )
+            .expect("satellite builds"),
+        );
+        kfk.push(("base".into(), "k".into(), name, "k".into()));
+    }
+    SearchContext::from_kfk(tables, &kfk, "base", "target").expect("context builds")
+}
+
+fn discover(ctx: &SearchContext, threads: usize) -> DiscoveryResult {
+    AutoFeat::new(AutoFeatConfig::paper().with_seed(42).with_threads(threads))
+        .discover(ctx)
+        .expect("discovery runs")
+}
+
+/// Everything except `threads_used`/`elapsed`, compared to the bit.
+fn results_identical(a: &DiscoveryResult, b: &DiscoveryResult) -> bool {
+    a.ranked.len() == b.ranked.len()
+        && a.ranked.iter().zip(&b.ranked).all(|(x, y)| {
+            x.path == y.path
+                && x.score.to_bits() == y.score.to_bits()
+                && x.features == y.features
+        })
+        && a.n_joins_evaluated == b.n_joins_evaluated
+        && a.n_pruned_unjoinable == b.n_pruned_unjoinable
+        && a.n_pruned_quality == b.n_pruned_quality
+        && a.truncation == b.truncation
+        && a.selected_features == b.selected_features
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(n_workers)
+        .max(2);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_path_eval.json".to_string());
+
+    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if avail < threads {
+        eprintln!(
+            "note: measuring {threads} workers on {avail} core(s) — expect overhead, not \
+             speedup; the bit-identity check is still meaningful"
+        );
+    }
+
+    let (n_rows, n_sat, dup) = if full { (8_000, 96, 6) } else { (4_000, 48, 6) };
+    eprintln!("building wide lake: {n_sat} satellites x {} rows (dup {dup})...", n_rows * dup);
+    let ctx = wide_lake(n_rows, n_sat, dup);
+
+    // Warm-up pass so allocator state does not favour either side.
+    let _ = discover(&ctx, 1);
+
+    let t = Instant::now();
+    let r1 = discover(&ctx, 1);
+    let secs_1t = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let rn = discover(&ctx, threads);
+    let secs_nt = t.elapsed().as_secs_f64();
+
+    let identical = results_identical(&r1, &rn);
+    let n_joins = r1.n_joins_evaluated;
+    let jps_1t = n_joins as f64 / secs_1t.max(1e-9);
+    let jps_nt = n_joins as f64 / secs_nt.max(1e-9);
+    let speedup = secs_1t / secs_nt.max(1e-9);
+
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>9} {:>9} {:>9} {:>10}",
+        "workload", "#joins", "1t_secs", "nt_secs", "1t_j/s", "nt_j/s", "speedup", "identical"
+    );
+    println!(
+        "{:<10} {:>8} {:>10.4} {:>10.4} {:>9.1} {:>9.1} {:>8.2}x {:>10}",
+        if full { "wide-full" } else { "wide" },
+        n_joins,
+        secs_1t,
+        secs_nt,
+        jps_1t,
+        jps_nt,
+        speedup,
+        identical,
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"path_eval_throughput\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"satellites\": {n_sat}, \"rows_per_satellite\": {}, \"dup_per_key\": {dup}}},",
+        n_rows * dup
+    );
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"available_parallelism\": {avail},");
+    let _ = writeln!(json, "  \"n_joins\": {n_joins},");
+    let _ = writeln!(json, "  \"secs_1_thread\": {secs_1t:.6},");
+    let _ = writeln!(json, "  \"secs_n_threads\": {secs_nt:.6},");
+    let _ = writeln!(json, "  \"joins_per_sec_1_thread\": {jps_1t:.3},");
+    let _ = writeln!(json, "  \"joins_per_sec_n_threads\": {jps_nt:.3},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.4},");
+    let _ = writeln!(json, "  \"bit_identical\": {identical}");
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+    if !identical {
+        eprintln!("BIT-IDENTITY VIOLATION: parallel result differs from sequential");
+        std::process::exit(2);
+    }
+}

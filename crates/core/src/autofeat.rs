@@ -1,6 +1,30 @@
-//! Algorithm 1: BFS feature discovery over the Dataset Relation Graph.
+//! Algorithm 1: BFS feature discovery over the Dataset Relation Graph —
+//! evaluated level-by-level with deterministic parallel join evaluation.
+//!
+//! ## Determinism model
+//!
+//! Every stochastic or order-sensitive piece of the search is pinned to a
+//! stable identity, so a run's output is **bit-identical across processes
+//! and across worker-thread counts** for a fixed seed:
+//!
+//! * each hop's join seed is derived from `(config seed, path prefix, hop)`
+//!   via [`crate::seeding::hop_seed`] — never from a shared RNG stream, so
+//!   evaluation order (or parallelism) cannot perturb representative picks;
+//! * the running selected-feature set `R_sel` is an insertion-ordered
+//!   vector, not a `HashMap`, so redundancy scores accumulate in the same
+//!   floating-point order every run;
+//! * per-level candidate hops are enumerated in a deterministic order
+//!   (frontier index, then ascending neighbour node, then edge id), fanned
+//!   out across scoped worker threads by candidate index, and merged back
+//!   in candidate-index order.
+//!
+//! The parallel fan-out evaluates the expensive, *pure* part of each
+//! candidate (join + τ quality + relevance + discretization); the cheap
+//! stateful part (streaming redundancy against `R_sel`, ranking, counters)
+//! is replayed sequentially in candidate order, preserving the exact
+//! semantics of the sequential walk.
 
-use std::collections::HashMap;
+use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -8,6 +32,7 @@ use rand::SeedableRng;
 
 use autofeat_data::encode::label_encode_column;
 use autofeat_data::join::left_join_normalized;
+use autofeat_data::parallel::build_indexed_with;
 use autofeat_data::sample::stratified_sample;
 use autofeat_data::stats::completeness;
 use autofeat_data::{Result, Table};
@@ -21,6 +46,7 @@ use crate::config::AutoFeatConfig;
 use crate::context::SearchContext;
 use crate::executor::qualified_column;
 use crate::ranking::{accumulate, compute_score};
+use crate::seeding::hop_seed;
 
 /// One ranked join path: the paper's output unit ("a ranked list of top-k
 /// join paths ... with their respective join keys and a list of selected
@@ -65,7 +91,9 @@ pub struct DiscoveryResult {
     /// Joins actually evaluated.
     pub n_joins_evaluated: usize,
     /// Paths pruned because the join produced no matches (mismatched
-    /// columns — the data-lake failure mode).
+    /// columns — the data-lake failure mode). A join against an *empty*
+    /// base is vacuous, not unjoinable, and is never counted here (see
+    /// [`autofeat_data::join::JoinOutput::match_ratio`]).
     pub n_pruned_unjoinable: usize,
     /// Paths pruned by the τ data-quality rule.
     pub n_pruned_quality: usize,
@@ -82,6 +110,9 @@ pub struct DiscoveryResult {
     /// Union of all features selected across paths (excluding base
     /// features).
     pub selected_features: Vec<String>,
+    /// Worker threads used for path evaluation. Informational only —
+    /// results are bit-identical at any thread count.
+    pub threads_used: usize,
 }
 
 impl DiscoveryResult {
@@ -97,6 +128,51 @@ struct Frontier {
     table: Table,
     score: f64,
     features: Vec<String>,
+}
+
+/// One `(frontier entry × best edge)` pair of the current BFS level,
+/// enumerated in deterministic order before the parallel fan-out.
+struct HopCandidate<'a> {
+    /// Index into the current frontier.
+    entry: usize,
+    /// The neighbour node this hop reaches.
+    next: NodeId,
+    /// The neighbour's table.
+    right: &'a Table,
+    /// The neighbour's table name (join prefix).
+    next_name: String,
+    /// The hop's left key, qualified for the intermediate table.
+    left_key: String,
+    /// The hop itself.
+    hop: JoinHop,
+}
+
+/// Stage-A outcome of evaluating one candidate hop: the pure part (join, τ
+/// quality, relevance, discretization), safe to compute on any thread.
+enum HopEval {
+    /// The hop errored (error text; path/hop context lives in the
+    /// candidate).
+    Failed(String),
+    /// The join produced no matches on a non-empty base.
+    Unjoinable,
+    /// New columns' completeness fell below τ.
+    LowQuality,
+    /// The hop survived pruning and its candidates passed relevance.
+    Scored(ScoredHop),
+}
+
+/// The data a surviving hop carries into the sequential merge.
+struct ScoredHop {
+    /// The joined (augmented) table.
+    table: Table,
+    /// Names of the relevance-approved candidate features, in selection
+    /// order (descending relevance).
+    relevant_names: Vec<String>,
+    /// Relevance scores aligned with `relevant_names` (empty when the
+    /// relevance ablation is off).
+    rel_scores: Vec<f64>,
+    /// Discretized codes aligned with `relevant_names`.
+    codes: Vec<Discretized>,
 }
 
 /// Total-order sort key for path scores: degenerate inputs (constant
@@ -133,13 +209,15 @@ impl AutoFeat {
     pub fn discover(&self, ctx: &SearchContext) -> Result<DiscoveryResult> {
         let t0 = Instant::now();
         let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let workers = cfg.resolve_threads();
 
         // Stratified sample of the base table (only affects feature
-        // selection, not final training — §VI).
+        // selection, not final training — §VI). The RNG is used for the
+        // sample only; joins derive their seeds per hop.
         let base = ctx.base_table();
         let sampled = match cfg.sample_rows {
             Some(cap) if base.n_rows() > cap => {
+                let mut rng = StdRng::seed_from_u64(cfg.seed);
                 let frac = cap as f64 / base.n_rows() as f64;
                 stratified_sample(base, ctx.label(), frac, &mut rng)?
             }
@@ -161,22 +239,24 @@ impl AutoFeat {
         // the tables (they are the stepping stones of transitive joins) but
         // are excluded from relevance/redundancy candidacy and from the
         // R_sel seed.
-        let mut join_cols: std::collections::HashSet<(String, String)> =
-            std::collections::HashSet::new();
+        let mut join_cols: HashSet<(String, String)> = HashSet::new();
         for e in drg.edges() {
             join_cols.insert((drg.table_name(e.a).to_string(), e.a_column.clone()));
             join_cols.insert((drg.table_name(e.b).to_string(), e.b_column.clone()));
         }
 
         // R_sel: the running selected-feature set, seeded with the base
-        // table's non-key features (Algorithm 1 input).
-        let mut r_sel: HashMap<String, Discretized> = HashMap::new();
+        // table's non-key features (Algorithm 1 input). Insertion-ordered:
+        // redundancy sums must accumulate in the same order every run, so a
+        // hash map (whose value order is randomized per process) is not an
+        // option here.
+        let mut r_sel: Vec<(String, Discretized)> = Vec::new();
         for f in ctx.base_features() {
             if join_cols.contains(&(ctx.base_name().to_string(), f.clone())) {
                 continue;
             }
             let col = label_encode_column(sampled.column(&f)?);
-            r_sel.insert(f.clone(), discretize_equal_frequency(&col.to_f64_lossy(), DEFAULT_BINS));
+            r_sel.push((f.clone(), discretize_equal_frequency(&col.to_f64_lossy(), DEFAULT_BINS)));
         }
 
         let redundancy_scorer = cfg.redundancy.map(RedundancyScorer::new);
@@ -193,6 +273,7 @@ impl AutoFeat {
                 failures: Vec::new(),
                 elapsed: t0.elapsed(),
                 selected_features: Vec::new(),
+                threads_used: workers,
             });
         };
 
@@ -216,95 +297,109 @@ impl AutoFeat {
             features: Vec::new(),
         }];
 
-        'levels: while !current.is_empty() {
-            let mut next_level: Vec<Frontier> = Vec::new();
-            for entry in &current {
-            if entry.path.len() >= cfg.max_path_length {
-                continue;
-            }
-            for (next, edge_ids) in drg.neighbours(entry.node) {
-                let next_name = drg.table_name(next).to_string();
-                if next_name == ctx.base_name() || entry.path.visits(&next_name) {
+        while !current.is_empty() {
+            // ---- Enumerate this level's candidates, in deterministic
+            // order: frontier index, then ascending neighbour, then edge.
+            let mut cands: Vec<HopCandidate> = Vec::new();
+            for (ei, entry) in current.iter().enumerate() {
+                if entry.path.len() >= cfg.max_path_length {
                     continue;
                 }
-                let Some(right) = ctx.table(&next_name) else {
-                    continue;
-                };
-                // Similarity-score pruning: expand only the top-scored join
-                // column(s) toward this neighbour.
-                for eid in drg.best_edges(&edge_ids) {
-                    if n_joins >= cfg.max_joins {
-                        truncation = Some(TruncationReason::MaxJoins);
-                        break 'levels;
-                    }
-                    if let Some(budget) = cfg.time_budget {
-                        if t0.elapsed() >= budget {
-                            truncation = Some(TruncationReason::Deadline);
-                            break 'levels;
-                        }
-                    }
-                    let edge = drg.edge(eid);
-                    let Some((_, from_col, to_col)) = edge.oriented_from(entry.node) else {
-                        continue;
-                    };
-                    let left_key = qualified_column(
-                        ctx.base_name(),
-                        drg.table_name(entry.node),
-                        from_col,
-                    );
-                    if !entry.table.has_column(&left_key) {
+                for (next, edge_ids) in drg.neighbours(entry.node) {
+                    let next_name = drg.table_name(next).to_string();
+                    if next_name == ctx.base_name() || entry.path.visits(&next_name) {
                         continue;
                     }
-                    let hop = JoinHop {
-                        from_table: drg.table_name(entry.node).to_string(),
-                        from_column: from_col.to_string(),
-                        to_table: next_name.clone(),
-                        to_column: to_col.to_string(),
-                        weight: edge.weight,
+                    let Some(right) = ctx.table(&next_name) else {
+                        continue;
                     };
-                    // Per-path error isolation: a hop that errors is
-                    // recorded in `failures` and skipped; the BFS keeps
-                    // exploring every other path.
-                    let fail = |path: &JoinPath, hop: &JoinHop, e: &dyn std::fmt::Display| {
-                        PathFailure {
-                            path: path.clone(),
-                            hop: hop.clone(),
-                            error: e.to_string(),
-                        }
-                    };
-                    n_joins += 1;
-                    let out = match left_join_normalized(
-                        &entry.table,
-                        right,
-                        &left_key,
-                        to_col,
-                        &next_name,
-                        &mut rng,
-                    ) {
-                        Ok(out) => out,
-                        Err(e) => {
-                            failures.push(fail(&entry.path, &hop, &e));
+                    // Similarity-score pruning: expand only the top-scored
+                    // join column(s) toward this neighbour.
+                    for eid in drg.best_edges(&edge_ids) {
+                        let edge = drg.edge(eid);
+                        let Some((_, from_col, to_col)) = edge.oriented_from(entry.node)
+                        else {
+                            continue;
+                        };
+                        let left_key = qualified_column(
+                            ctx.base_name(),
+                            drg.table_name(entry.node),
+                            from_col,
+                        );
+                        if !entry.table.has_column(&left_key) {
                             continue;
                         }
+                        cands.push(HopCandidate {
+                            entry: ei,
+                            next,
+                            right,
+                            next_name: next_name.clone(),
+                            left_key,
+                            hop: JoinHop {
+                                from_table: drg.table_name(entry.node).to_string(),
+                                from_column: from_col.to_string(),
+                                to_table: next_name.clone(),
+                                to_column: to_col.to_string(),
+                                weight: edge.weight,
+                            },
+                        });
+                    }
+                }
+            }
+
+            // ---- Truncation gates, applied level-wise so the evaluated
+            // candidate set is a deterministic prefix of the enumeration
+            // order regardless of thread count.
+            if !cands.is_empty() {
+                if let Some(budget) = cfg.time_budget {
+                    if t0.elapsed() >= budget {
+                        truncation = Some(TruncationReason::Deadline);
+                        break;
+                    }
+                }
+                let quota = cfg.max_joins.saturating_sub(n_joins);
+                if cands.len() > quota {
+                    cands.truncate(quota);
+                    truncation = Some(TruncationReason::MaxJoins);
+                }
+            }
+
+            // ---- Stage A (parallel, pure): join + τ quality + relevance +
+            // discretization per candidate, fanned out by candidate index.
+            let evals: Vec<HopEval> = {
+                let current = &current;
+                let labels = &labels;
+                let join_cols = &join_cols;
+                let eval_one = |i: usize| -> HopEval {
+                    let c = &cands[i];
+                    let entry = &current[c.entry];
+                    let seed = hop_seed(cfg.seed, entry.path.hops(), &c.hop);
+                    let out = match left_join_normalized(
+                        &entry.table,
+                        c.right,
+                        &c.left_key,
+                        &c.hop.to_column,
+                        &c.next_name,
+                        seed,
+                    ) {
+                        Ok(out) => out,
+                        Err(e) => return HopEval::Failed(e.to_string()),
                     };
-                    // Prune: join produced no matches at all.
-                    if out.matched == 0 {
-                        n_unjoinable += 1;
-                        continue;
+                    // Prune: join produced no matches at all. An empty base
+                    // yields `match_ratio() == None` (vacuous) and is *not*
+                    // misreported as unjoinable.
+                    if out.matched == 0 && out.match_ratio().is_some() {
+                        return HopEval::Unjoinable;
                     }
                     // Prune: data quality below τ.
                     let new_cols: Vec<&str> =
                         out.right_columns.iter().map(String::as_str).collect();
                     let quality = match completeness(&out.table, &new_cols) {
                         Ok(q) => q,
-                        Err(e) => {
-                            failures.push(fail(&entry.path, &hop, &e));
-                            continue;
-                        }
+                        Err(e) => return HopEval::Failed(e.to_string()),
                     };
                     if quality < cfg.tau {
-                        n_quality += 1;
-                        continue;
+                        return HopEval::LowQuality;
                     }
 
                     // ---- Relevance analysis (select-κ-best). ----
@@ -315,113 +410,135 @@ impl AutoFeat {
                         .iter()
                         .filter(|qualified| {
                             let original = qualified
-                                .strip_prefix(&format!("{next_name}."))
+                                .strip_prefix(&format!("{}.", c.next_name))
                                 .unwrap_or(qualified);
-                            !join_cols.contains(&(next_name.clone(), original.to_string()))
+                            !join_cols.contains(&(c.next_name.clone(), original.to_string()))
                         })
                         .cloned()
                         .collect();
                     let mut candidate_data: Vec<Vec<f64>> =
                         Vec::with_capacity(candidate_names.len());
-                    let mut hop_errored = false;
-                    for c in &candidate_names {
-                        match out.table.column(c) {
-                            Ok(col) => candidate_data
-                                .push(label_encode_column(col).to_f64_lossy()),
-                            Err(e) => {
-                                failures.push(fail(&entry.path, &hop, &e));
-                                hop_errored = true;
-                                break;
+                    for name in &candidate_names {
+                        match out.table.column(name) {
+                            Ok(col) => {
+                                candidate_data.push(label_encode_column(col).to_f64_lossy())
                             }
+                            Err(e) => return HopEval::Failed(e.to_string()),
                         }
                     }
-                    if hop_errored {
-                        continue;
-                    }
-                    let (relevant_idx, rel_scores): (Vec<usize>, Vec<f64>) =
-                        match cfg.relevance {
-                            Some(method) => {
-                                let picked = select_k_best(
-                                    &candidate_data,
-                                    &labels,
-                                    method,
-                                    cfg.kappa,
-                                    0.0,
-                                );
-                                (
-                                    picked.iter().map(|s| s.index).collect(),
-                                    picked.iter().map(|s| s.score).collect(),
-                                )
-                            }
-                            // Ablation: relevance off ⇒ every candidate
-                            // passes through, no relevance score.
-                            None => ((0..candidate_names.len()).collect(), Vec::new()),
-                        };
-
-                    // ---- Redundancy analysis (streaming, vs R_sel). ----
-                    let candidate_codes: Vec<Discretized> = relevant_idx
+                    let (relevant_idx, rel_scores): (Vec<usize>, Vec<f64>) = match cfg.relevance
+                    {
+                        Some(method) => {
+                            let picked =
+                                select_k_best(&candidate_data, labels, method, cfg.kappa, 0.0);
+                            (
+                                picked.iter().map(|s| s.index).collect(),
+                                picked.iter().map(|s| s.score).collect(),
+                            )
+                        }
+                        // Ablation: relevance off ⇒ every candidate passes
+                        // through, no relevance score.
+                        None => ((0..candidate_names.len()).collect(), Vec::new()),
+                    };
+                    let codes: Vec<Discretized> = relevant_idx
                         .iter()
-                        .map(|&i| {
-                            discretize_equal_frequency(&candidate_data[i], DEFAULT_BINS)
-                        })
+                        .map(|&i| discretize_equal_frequency(&candidate_data[i], DEFAULT_BINS))
                         .collect();
-                    let (kept_local, red_scores): (Vec<usize>, Vec<f64>) =
-                        match &redundancy_scorer {
-                            Some(scorer) => {
-                                let cands: Vec<(usize, &Discretized)> = candidate_codes
-                                    .iter()
-                                    .enumerate()
-                                    .collect();
-                                let already: Vec<&Discretized> = r_sel.values().collect();
-                                let kept = select_non_redundant(
-                                    &cands,
-                                    &already,
-                                    &label_codes,
-                                    scorer,
-                                );
-                                (
-                                    kept.iter().map(|s| s.index).collect(),
-                                    kept.iter().map(|s| s.score).collect(),
-                                )
-                            }
-                            // Ablation: redundancy off ⇒ keep all relevant.
-                            None => ((0..candidate_codes.len()).collect(), Vec::new()),
-                        };
-
-                    // Update R_sel (Algorithm 1, line 18).
-                    let mut new_features = Vec::with_capacity(kept_local.len());
-                    for &li in &kept_local {
-                        let name = candidate_names[relevant_idx[li]].clone();
-                        r_sel.insert(name.clone(), candidate_codes[li].clone());
-                        if !selected_union.contains(&name) {
-                            selected_union.push(name.clone());
-                        }
-                        new_features.push(name);
-                    }
-
-                    // ---- Ranking (Algorithm 2). ----
-                    let hop_score = compute_score(&rel_scores, &red_scores);
-                    let path_score = accumulate(entry.score, hop_score);
-                    let new_path = entry.path.extended(hop);
-                    let mut path_features = entry.features.clone();
-                    path_features.extend(new_features);
-                    ranked.push(RankedPath {
-                        path: new_path.clone(),
-                        score: path_score,
-                        features: path_features.clone(),
-                    });
-                    // Even a join contributing nothing stays in the queue:
-                    // it may be the gateway to a deeper, relevant table
-                    // (streaming-FS requirement, §V-A).
-                    next_level.push(Frontier {
-                        node: next,
-                        path: new_path,
+                    let relevant_names: Vec<String> = relevant_idx
+                        .iter()
+                        .map(|&i| candidate_names[i].clone())
+                        .collect();
+                    HopEval::Scored(ScoredHop {
                         table: out.table,
-                        score: path_score,
-                        features: path_features,
-                    });
+                        relevant_names,
+                        rel_scores,
+                        codes,
+                    })
+                };
+                build_indexed_with(workers, cands.len(), eval_one)
+            };
+            n_joins += cands.len();
+
+            // ---- Stage B (sequential, stateful): streaming redundancy
+            // against R_sel, ranking, and counter merging — replayed in
+            // candidate-index order, exactly as the sequential walk would.
+            let mut next_level: Vec<Frontier> = Vec::new();
+            for (c, eval) in cands.iter().zip(evals) {
+                match eval {
+                    HopEval::Failed(error) => failures.push(PathFailure {
+                        path: current[c.entry].path.clone(),
+                        hop: c.hop.clone(),
+                        error,
+                    }),
+                    HopEval::Unjoinable => n_unjoinable += 1,
+                    HopEval::LowQuality => n_quality += 1,
+                    HopEval::Scored(sh) => {
+                        let entry = &current[c.entry];
+
+                        // ---- Redundancy analysis (streaming, vs R_sel). ----
+                        let (kept_local, red_scores): (Vec<usize>, Vec<f64>) =
+                            match &redundancy_scorer {
+                                Some(scorer) => {
+                                    let cands2: Vec<(usize, &Discretized)> =
+                                        sh.codes.iter().enumerate().collect();
+                                    let already: Vec<&Discretized> =
+                                        r_sel.iter().map(|(_, d)| d).collect();
+                                    let kept = select_non_redundant(
+                                        &cands2,
+                                        &already,
+                                        &label_codes,
+                                        scorer,
+                                    );
+                                    (
+                                        kept.iter().map(|s| s.index).collect(),
+                                        kept.iter().map(|s| s.score).collect(),
+                                    )
+                                }
+                                // Ablation: redundancy off ⇒ keep all
+                                // relevant.
+                                None => ((0..sh.codes.len()).collect(), Vec::new()),
+                            };
+
+                        // Update R_sel (Algorithm 1, line 18).
+                        let mut new_features = Vec::with_capacity(kept_local.len());
+                        for &li in &kept_local {
+                            let name = sh.relevant_names[li].clone();
+                            match r_sel.iter_mut().find(|(n, _)| *n == name) {
+                                Some((_, d)) => *d = sh.codes[li].clone(),
+                                None => r_sel.push((name.clone(), sh.codes[li].clone())),
+                            }
+                            if !selected_union.contains(&name) {
+                                selected_union.push(name.clone());
+                            }
+                            new_features.push(name);
+                        }
+
+                        // ---- Ranking (Algorithm 2). ----
+                        let hop_score = compute_score(&sh.rel_scores, &red_scores);
+                        let path_score = accumulate(entry.score, hop_score);
+                        let new_path = entry.path.extended(c.hop.clone());
+                        let mut path_features = entry.features.clone();
+                        path_features.extend(new_features);
+                        ranked.push(RankedPath {
+                            path: new_path.clone(),
+                            score: path_score,
+                            features: path_features.clone(),
+                        });
+                        // Even a join contributing nothing stays in the
+                        // queue: it may be the gateway to a deeper, relevant
+                        // table (streaming-FS requirement, §V-A).
+                        next_level.push(Frontier {
+                            node: c.next,
+                            path: new_path,
+                            table: sh.table,
+                            score: path_score,
+                            features: path_features,
+                        });
+                    }
                 }
             }
+            if truncation.is_some() {
+                break;
             }
             if let Some(beam) = cfg.beam_width {
                 next_level.sort_by(|a, b| {
@@ -450,6 +567,7 @@ impl AutoFeat {
             failures,
             elapsed: t0.elapsed(),
             selected_features: selected_union,
+            threads_used: workers,
         })
     }
 }
@@ -782,8 +900,117 @@ mod tests {
         assert_eq!(a.ranked.len(), b.ranked.len());
         for (x, y) in a.ranked.iter().zip(&b.ranked) {
             assert_eq!(x.path, y.path);
-            assert!((x.score - y.score).abs() < 1e-12);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
         }
+    }
+
+    /// Assert two discovery results are bit-identical in everything except
+    /// the informational `threads_used`/`elapsed` fields.
+    fn assert_results_identical(a: &DiscoveryResult, b: &DiscoveryResult) {
+        assert_eq!(a.ranked.len(), b.ranked.len());
+        for (x, y) in a.ranked.iter().zip(&b.ranked) {
+            assert_eq!(x.path, y.path);
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "path {}", x.path);
+            assert_eq!(x.features, y.features);
+        }
+        assert_eq!(a.n_joins_evaluated, b.n_joins_evaluated);
+        assert_eq!(a.n_pruned_unjoinable, b.n_pruned_unjoinable);
+        assert_eq!(a.n_pruned_quality, b.n_pruned_quality);
+        assert_eq!(a.truncation, b.truncation);
+        assert_eq!(a.failures.len(), b.failures.len());
+        assert_eq!(a.selected_features, b.selected_features);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let ctx = chain_ctx(160);
+        let baseline = AutoFeat::new(AutoFeatConfig::default().with_threads(1))
+            .discover(&ctx)
+            .unwrap();
+        assert_eq!(baseline.threads_used, 1);
+        for threads in [2usize, 4, 8] {
+            let r = AutoFeat::new(AutoFeatConfig::default().with_threads(threads))
+                .discover(&ctx)
+                .unwrap();
+            assert_eq!(r.threads_used, threads);
+            assert_results_identical(&baseline, &r);
+        }
+    }
+
+    /// Regression for the traversal-order coupling bug: with one shared RNG
+    /// threaded through the BFS, an *unrelated* neighbour evaluated earlier
+    /// consumed RNG draws and perturbed the representative picks — and
+    /// hence the scores — of every later join. Per-hop seed derivation
+    /// makes each path's picks a function of its own identity only.
+    #[test]
+    fn unrelated_table_does_not_perturb_other_paths() {
+        let n = 120usize;
+        let labels: Vec<i64> = (0..n as i64).map(|i| i % 2).collect();
+        let base = Table::new(
+            "base",
+            vec![
+                ("k", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+                ("target", Column::from_ints(labels.iter().copied().map(Some).collect::<Vec<_>>())),
+            ],
+        )
+        .unwrap();
+        // `dup` has 4 rows per key with *different* feature values, so its
+        // hop score depends on which representative each key gets.
+        let dup_keys: Vec<Option<i64>> = (0..(n * 4) as i64).map(|i| Some(i / 4)).collect();
+        let dup_vals: Vec<Option<f64>> = (0..(n * 4) as i64)
+            .map(|i| Some(((i * 31) % 97) as f64 + ((i / 4) % 2) as f64 * 50.0))
+            .collect();
+        let dup = Table::new(
+            "dup",
+            vec![
+                ("k", Column::from_ints(dup_keys)),
+                ("val", Column::from_floats(dup_vals)),
+            ],
+        )
+        .unwrap();
+        // `aaa` also has duplicated keys (so the old shared RNG would have
+        // drawn for it) but contributes no features — only the join column.
+        let aaa = Table::new(
+            "aaa",
+            vec![("k", Column::from_ints((0..(n * 3) as i64).map(|i| Some(i / 3)).collect::<Vec<_>>()))],
+        )
+        .unwrap();
+
+        let without = SearchContext::from_kfk(
+            vec![base.clone(), dup.clone()],
+            &[("base".into(), "k".into(), "dup".into(), "k".into())],
+            "base",
+            "target",
+        )
+        .unwrap();
+        // `aaa` sits *before* `dup` in table order, so its hop is evaluated
+        // first within the level.
+        let with = SearchContext::from_kfk(
+            vec![base, aaa, dup],
+            &[
+                ("base".into(), "k".into(), "aaa".into(), "k".into()),
+                ("base".into(), "k".into(), "dup".into(), "k".into()),
+            ],
+            "base",
+            "target",
+        )
+        .unwrap();
+
+        let cfg = AutoFeatConfig { sample_rows: None, ..Default::default() };
+        let a = AutoFeat::new(cfg.clone()).discover(&without).unwrap();
+        let b = AutoFeat::new(cfg).discover(&with).unwrap();
+        let score_of = |r: &DiscoveryResult| {
+            r.ranked
+                .iter()
+                .find(|p| p.path.last_table() == Some("dup"))
+                .map(|p| p.score.to_bits())
+                .expect("dup path ranked")
+        };
+        assert_eq!(
+            score_of(&a),
+            score_of(&b),
+            "adding an unrelated table changed another path's score"
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@ use autofeat_ml::forest::RandomForest;
 
 use crate::context::SearchContext;
 use crate::report::MethodResult;
+use crate::seeding::join_seed;
 use crate::train::evaluate_feature_set;
 
 /// RIFS configuration.
@@ -67,8 +68,10 @@ fn quantile(sorted: &[f64], q: f64) -> f64 {
 
 /// Join every direct neighbour of the base table (ARDA's star join),
 /// using the highest-similarity edge per neighbour. Returns the augmented
-/// table and the number of tables joined.
-fn star_join(ctx: &SearchContext, rng: &mut StdRng) -> Result<(Table, usize)> {
+/// table and the number of tables joined. Each join's representative picks
+/// derive from its endpoints' identity, so they are independent of the
+/// order neighbours are visited in.
+fn star_join(ctx: &SearchContext, seed: u64) -> Result<(Table, usize)> {
     let drg = ctx.drg();
     let mut table = ctx.base_table().clone();
     let mut n_joined = 0usize;
@@ -89,7 +92,14 @@ fn star_join(ctx: &SearchContext, rng: &mut StdRng) -> Result<(Table, usize)> {
         if !table.has_column(from_col) {
             continue;
         }
-        let out = left_join_normalized(&table, right, from_col, to_col, &name, rng)?;
+        let out = left_join_normalized(
+            &table,
+            right,
+            from_col,
+            to_col,
+            &name,
+            join_seed(seed, ctx.base_name(), from_col, &name, to_col),
+        )?;
         if out.matched > 0 {
             table = out.table;
             n_joined += 1;
@@ -108,7 +118,7 @@ pub fn run_arda(
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // 1. Single-hop star join.
-    let (table, n_joined) = star_join(ctx, &mut rng)?;
+    let (table, n_joined) = star_join(ctx, config.seed)?;
     let label = ctx.label();
     let feature_names: Vec<String> = table
         .column_names()

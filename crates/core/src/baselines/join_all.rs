@@ -9,9 +9,6 @@
 
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use autofeat_data::encode::label_encode_column;
 use autofeat_data::join::left_join_normalized;
 use autofeat_data::Result;
@@ -23,6 +20,7 @@ use autofeat_ml::eval::ModelKind;
 use crate::context::SearchContext;
 use crate::executor::qualified_column;
 use crate::report::MethodResult;
+use crate::seeding::join_seed;
 use crate::train::evaluate_feature_set;
 
 /// JoinAll configuration.
@@ -62,7 +60,6 @@ pub fn run_join_all(
         return Ok(None);
     }
 
-    let mut rng = StdRng::seed_from_u64(config.seed);
     let label = ctx.label().to_string();
 
     // Canonical BFS ordering: join each table once, through the
@@ -94,7 +91,14 @@ pub fn run_join_all(
                 if !table.has_column(&left_key) {
                     continue;
                 }
-                let out = left_join_normalized(&table, right, &left_key, to_col, &name, &mut rng)?;
+                let out = left_join_normalized(
+                    &table,
+                    right,
+                    &left_key,
+                    to_col,
+                    &name,
+                    join_seed(config.seed, drg.table_name(u), from_col, &name, to_col),
+                )?;
                 if out.matched > 0 {
                     table = out.table;
                     n_joined += 1;

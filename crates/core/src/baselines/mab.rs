@@ -17,12 +17,14 @@ use rand::SeedableRng;
 use autofeat_data::encode::to_matrix;
 use autofeat_data::join::left_join_normalized;
 use autofeat_data::sample::train_test_split;
+use autofeat_data::stable_hash::mix_u64;
 use autofeat_data::{Result, Table};
 use autofeat_ml::eval::{accuracy, Classifier, ModelKind};
 use autofeat_ml::tree::{DecisionTree, TreeConfig};
 
 use crate::context::SearchContext;
 use crate::report::MethodResult;
+use crate::seeding::join_seed;
 use crate::train::evaluate_feature_set;
 
 /// MAB configuration.
@@ -104,7 +106,6 @@ pub fn run_mab(
     config: &MabConfig,
 ) -> Result<MethodResult> {
     let t0 = Instant::now();
-    let mut rng = StdRng::seed_from_u64(config.seed);
     let label = ctx.label().to_string();
 
     let mut state = ctx.base_table().clone();
@@ -142,7 +143,13 @@ pub fn run_mab(
             .clone();
         let (left_col, table_name, right_col) = chosen;
         let cand = ctx.table(table_name).expect("arm table exists");
-        let out = left_join_normalized(&state, cand, &left_col, &right_col, table_name, &mut rng)?;
+        // An arm can be pulled several times (against an evolving state), so
+        // the pull counter is mixed into the arm's identity seed.
+        let seed = mix_u64(
+            join_seed(config.seed, ctx.base_name(), &left_col, table_name, &right_col),
+            total_pulls as u64,
+        );
+        let out = left_join_normalized(&state, cand, &left_col, &right_col, table_name, seed)?;
         total_pulls += 1;
         let r = if out.matched == 0 {
             0.0

@@ -44,8 +44,15 @@ pub struct AutoFeatConfig {
     /// (§VI: "we use stratified sampling to sample the base table at the
     /// beginning of the process"). `None` = use all rows.
     pub sample_rows: Option<usize>,
-    /// RNG seed (join normalization, sampling).
+    /// RNG seed: drives base-table sampling directly and every join's
+    /// representative picks via per-hop seed derivation
+    /// (see [`crate::seeding::hop_seed`]).
     pub seed: u64,
+    /// Worker threads for the per-level parallel path evaluation. `0` =
+    /// auto: honour the `AUTOFEAT_THREADS` environment variable when set to
+    /// a positive integer, else use the machine's available parallelism.
+    /// Results are bit-identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for AutoFeatConfig {
@@ -62,6 +69,7 @@ impl Default for AutoFeatConfig {
             beam_width: None,
             sample_rows: Some(1000),
             seed: 42,
+            threads: 0,
         }
     }
 }
@@ -94,6 +102,23 @@ impl AutoFeatConfig {
     pub fn with_time_budget(mut self, budget: Duration) -> Self {
         self.time_budget = Some(budget);
         self
+    }
+
+    /// Builder-style worker-thread override (`0` = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective worker count: the explicit `threads` field when
+    /// positive, else the `AUTOFEAT_THREADS` / auto-detect resolution of
+    /// [`autofeat_data::parallel::n_workers`].
+    pub fn resolve_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            autofeat_data::parallel::n_workers()
+        }
     }
 
     /// Ablation variants of Fig. 9, by name.
@@ -148,6 +173,17 @@ mod tests {
         assert_eq!(c.tau, 0.3);
         assert_eq!(c.kappa, 5);
         assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn threads_resolution() {
+        // Explicit config value wins over everything.
+        let c = AutoFeatConfig::default().with_threads(3);
+        assert_eq!(c.resolve_threads(), 3);
+        // 0 = auto: at least one worker, whatever the environment says.
+        let auto = AutoFeatConfig::default();
+        assert_eq!(auto.threads, 0);
+        assert!(auto.resolve_threads() >= 1);
     }
 
     #[test]

@@ -188,9 +188,12 @@ impl SearchContext {
         self.tables.get(name)
     }
 
-    /// All table names (unordered).
+    /// All table names, sorted (so callers iterating the lake do so in a
+    /// process-independent order).
     pub fn table_names(&self) -> Vec<&str> {
-        self.tables.keys().map(String::as_str).collect()
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
     }
 
     /// Number of tables.

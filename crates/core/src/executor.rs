@@ -1,14 +1,18 @@
 //! Join-path materialization: turn a [`JoinPath`] into an augmented table
 //! by replaying its hops as normalized left joins.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//!
+//! Each hop's representative-pick seed is derived from the hop's identity
+//! within its path ([`crate::seeding::hop_seed`]), exactly as during
+//! discovery. This closes the train/serve skew of the earlier shared-RNG
+//! replay: the rows a feature was scored on during discovery are the rows
+//! it is trained on after materialization.
 
 use autofeat_data::join::left_join_normalized;
 use autofeat_data::{DataError, Result, Table};
 use autofeat_graph::JoinPath;
 
 use crate::context::SearchContext;
+use crate::seeding::hop_seed;
 
 /// The column name a hop's left key has inside the intermediate table:
 /// base-table columns keep their names; columns joined in from table `t`
@@ -31,9 +35,8 @@ pub fn materialize_path(
     path: &JoinPath,
     seed: u64,
 ) -> Result<Table> {
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut current = start.clone();
-    for hop in path.hops() {
+    for (i, hop) in path.hops().iter().enumerate() {
         let right = ctx.table(&hop.to_table).ok_or_else(|| {
             DataError::Invalid(format!("table `{}` not in context", hop.to_table))
         })?;
@@ -44,7 +47,7 @@ pub fn materialize_path(
             &left_key,
             &hop.to_column,
             &hop.to_table,
-            &mut rng,
+            hop_seed(seed, &path.hops()[..i], hop),
         )?;
         current = out.table;
     }
@@ -66,14 +69,13 @@ pub fn materialize_tree(
     paths: &[&JoinPath],
     seed: u64,
 ) -> Result<(Table, Vec<String>)> {
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut current = start.clone();
     // `joined` preserves rank order for the caller; `joined_set` gives O(1)
     // membership so tree materialization stays linear in total hop count.
     let mut joined: Vec<String> = Vec::new();
     let mut joined_set: std::collections::HashSet<String> = std::collections::HashSet::new();
     for path in paths {
-        for hop in path.hops() {
+        for (i, hop) in path.hops().iter().enumerate() {
             if joined_set.contains(&hop.to_table) {
                 continue;
             }
@@ -86,13 +88,17 @@ pub fn materialize_tree(
                 // pruned elsewhere); skip this branch.
                 break;
             }
+            // The seed is the hop's identity *within its own path*, so a
+            // table shared by several ranked paths gets the picks of the
+            // first (best-ranked) path that joins it — the same picks its
+            // discovery-time score was computed on.
             let out = left_join_normalized(
                 &current,
                 right,
                 &left_key,
                 &hop.to_column,
                 &hop.to_table,
-                &mut rng,
+                hop_seed(seed, &path.hops()[..i], hop),
             )?;
             current = out.table;
             joined_set.insert(hop.to_table.clone());
@@ -222,6 +228,120 @@ mod tests {
         // No duplicate-suffix columns: `a` joined exactly once.
         assert!(!t.has_column("a.fa#2"));
         assert_eq!(t.n_rows(), 10);
+    }
+
+    /// Context whose `a` table has several rows per key with different
+    /// feature values, so representative picks are observable.
+    fn dup_ctx() -> SearchContext {
+        let n = 12i64;
+        let base = Table::new(
+            "base",
+            vec![
+                ("a_id", Column::from_ints((0..n).map(Some).collect::<Vec<_>>())),
+                ("target", Column::from_ints((0..n).map(|i| Some(i % 2)).collect::<Vec<_>>())),
+            ],
+        )
+        .unwrap();
+        let a = Table::new(
+            "a",
+            vec![
+                ("a_id", Column::from_ints((0..n * 5).map(|i| Some(i / 5)).collect::<Vec<_>>())),
+                (
+                    "fa",
+                    Column::from_floats((0..n * 5).map(|i| Some(i as f64)).collect::<Vec<_>>()),
+                ),
+                ("b_id", Column::from_ints((0..n * 5).map(|i| Some(100 + i / 5)).collect::<Vec<_>>())),
+            ],
+        )
+        .unwrap();
+        let b = Table::new(
+            "b",
+            vec![
+                ("b_id", Column::from_ints((100..100 + n).map(Some).collect::<Vec<_>>())),
+                ("fb", Column::from_floats((0..n).map(|i| Some(i as f64 * 10.0)).collect::<Vec<_>>())),
+            ],
+        )
+        .unwrap();
+        SearchContext::from_kfk(
+            vec![base, a, b],
+            &[
+                ("base".into(), "a_id".into(), "a".into(), "a_id".into()),
+                ("a".into(), "b_id".into(), "b".into(), "b_id".into()),
+            ],
+            "base",
+            "target",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hop_picks_are_prefix_stable() {
+        // Materializing the one-hop prefix and the two-hop path must pick
+        // the SAME representatives for hop 1 — that hop's identity is its
+        // prefix, not its position in some shared RNG stream. (The old
+        // shared-RNG replay happened to satisfy this too, but per-hop seeds
+        // make it a structural guarantee.)
+        let c = dup_ctx();
+        let p1 = JoinPath::from_hops(vec![hop("base", "a_id", "a", "a_id")]);
+        let p12 = JoinPath::from_hops(vec![
+            hop("base", "a_id", "a", "a_id"),
+            hop("a", "b_id", "b", "b_id"),
+        ]);
+        let t1 = materialize_path(&c, c.base_table(), &p1, 42).unwrap();
+        let t12 = materialize_path(&c, c.base_table(), &p12, 42).unwrap();
+        for row in 0..t1.n_rows() {
+            assert_eq!(t1.value("a.fa", row).unwrap(), t12.value("a.fa", row).unwrap());
+        }
+    }
+
+    #[test]
+    fn materialization_matches_manual_hop_seeded_joins() {
+        // Pins the discovery/serve contract: materialize_path replays hops
+        // with exactly `hop_seed(seed, prefix, hop)` — the seed discovery
+        // used when it scored the path.
+        use crate::seeding::hop_seed;
+        use autofeat_data::join::left_join_normalized;
+        let c = dup_ctx();
+        let hops =
+            vec![hop("base", "a_id", "a", "a_id"), hop("a", "b_id", "b", "b_id")];
+        let path = JoinPath::from_hops(hops.clone());
+        let via_executor = materialize_path(&c, c.base_table(), &path, 7).unwrap();
+
+        let mut manual = c.base_table().clone();
+        for (i, h) in hops.iter().enumerate() {
+            let left_key = qualified_column(c.base_name(), &h.from_table, &h.from_column);
+            manual = left_join_normalized(
+                &manual,
+                c.table(&h.to_table).unwrap(),
+                &left_key,
+                &h.to_column,
+                &h.to_table,
+                hop_seed(7, &hops[..i], h),
+            )
+            .unwrap()
+            .table;
+        }
+        assert_eq!(via_executor, manual);
+    }
+
+    #[test]
+    fn tree_first_path_picks_match_path_materialization() {
+        // A table joined by the tree gets the picks of the first ranked
+        // path that reaches it — identical to materializing that path
+        // alone. This is what keeps tree-trained models consistent with
+        // discovery-time scores.
+        let c = dup_ctx();
+        let p1 = JoinPath::from_hops(vec![hop("base", "a_id", "a", "a_id")]);
+        let p2 = JoinPath::from_hops(vec![
+            hop("base", "a_id", "a", "a_id"),
+            hop("a", "b_id", "b", "b_id"),
+        ]);
+        let (tree, joined) = materialize_tree(&c, c.base_table(), &[&p1, &p2], 42).unwrap();
+        assert_eq!(joined, vec!["a".to_string(), "b".to_string()]);
+        let alone = materialize_path(&c, c.base_table(), &p1, 42).unwrap();
+        for row in 0..alone.n_rows() {
+            assert_eq!(tree.value("a.fa", row).unwrap(), alone.value("a.fa", row).unwrap());
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod context;
 pub mod executor;
 pub mod ranking;
 pub mod report;
+pub mod seeding;
 pub mod train;
 pub mod tuning;
 
@@ -51,5 +52,6 @@ pub use context::{load_lake_dir, LakeLoadReport, QuarantinedTable, SearchContext
 pub use executor::materialize_path;
 pub use ranking::compute_score;
 pub use report::{discovery_health_report, MethodResult};
+pub use seeding::{hop_seed, join_seed};
 pub use train::{train_top_k, TrainOutcome};
 pub use tuning::{tune, TuningGrid, TuningOutcome};

@@ -58,11 +58,12 @@ pub fn discovery_health_report(result: &DiscoveryResult) -> String {
     let _ = writeln!(
         out,
         "discovery: {} path(s) ranked, {} join(s) evaluated, \
-         {} unjoinable, {} below-quality",
+         {} unjoinable, {} below-quality, {} worker thread(s)",
         result.ranked.len(),
         result.n_joins_evaluated,
         result.n_pruned_unjoinable,
-        result.n_pruned_quality
+        result.n_pruned_quality,
+        result.threads_used
     );
     match result.truncation {
         Some(TruncationReason::MaxJoins) => {
@@ -116,6 +117,7 @@ mod tests {
             failures,
             elapsed: Duration::from_millis(10),
             selected_features: vec![],
+            threads_used: 4,
         }
     }
 
@@ -124,6 +126,7 @@ mod tests {
         let r = discovery_health_report(&discovery(vec![], None));
         assert!(r.contains("healthy"), "{r}");
         assert!(r.contains("5 join(s)"), "{r}");
+        assert!(r.contains("4 worker thread(s)"), "{r}");
     }
 
     #[test]

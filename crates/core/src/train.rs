@@ -271,6 +271,7 @@ mod tests {
             failures: vec![],
             elapsed: Duration::ZERO,
             selected_features: vec![],
+            threads_used: 1,
         };
         let out =
             train_top_k(&c, &empty, &[ModelKind::RandomForest], &AutoFeatConfig::default())

@@ -3,18 +3,35 @@
 //! AutoFeat only ever performs **left joins** so that the base table keeps
 //! its exact row count and label distribution. To prevent row duplication on
 //! 1:n and m:n joins, the right-hand table is first *normalized*: rows are
-//! grouped by the join column and one **random representative row** is kept
-//! per key (the strategy ARDA uses, which the AutoFeat paper adopts).
+//! grouped by the join column and one **pseudo-random representative row**
+//! is kept per key (the strategy ARDA uses, which the AutoFeat paper
+//! adopts).
+//!
+//! ## Determinism model
+//!
+//! Representative picks are a pure function of `(seed, key, row content)`:
+//! for each duplicated key, the row whose stable content fingerprint is
+//! minimal wins. This makes the pick independent of
+//!
+//! * **hash-map iteration order** — the old implementation drew from a
+//!   shared RNG while iterating a `HashMap`, so which key consumed which
+//!   draw depended on the map's randomized iteration order and results
+//!   differed across *processes* for the same seed;
+//! * **row insertion order** — permuting the right table's rows permutes
+//!   the candidate indices but not their contents, so the same physical row
+//!   is picked;
+//! * **traversal order** — there is no shared RNG stream, so evaluating
+//!   joins in a different order (or in parallel) cannot perturb the picks
+//!   of unrelated joins.
 
 use std::collections::HashMap;
-
-use rand::rngs::StdRng;
-use rand::RngExt;
+use std::hash::{Hash, Hasher};
 
 use crate::column::Column;
 use crate::error::Result;
+use crate::stable_hash::StableHasher;
 use crate::table::Table;
-use crate::value::Key;
+use crate::value::{Key, Value};
 
 /// Output of a left join: the joined table plus match statistics used by
 /// the data-quality pruning rule.
@@ -31,22 +48,72 @@ pub struct JoinOutput {
 }
 
 impl JoinOutput {
-    /// Fraction of left rows that found a match, in `[0, 1]`.
-    pub fn match_ratio(&self) -> f64 {
+    /// Fraction of left rows that found a match, in `[0, 1]` — or `None`
+    /// when the left table has no rows.
+    ///
+    /// The distinction matters for pruning diagnostics: an **empty base**
+    /// is *vacuous* (there was nothing to match), not *unjoinable* (keys
+    /// exist but none overlap). Callers that count unjoinable paths should
+    /// only do so when this returns `Some(0.0)`.
+    pub fn match_ratio(&self) -> Option<f64> {
         if self.table.n_rows() == 0 {
-            0.0
+            None
         } else {
-            self.matched as f64 / self.table.n_rows() as f64
+            Some(self.matched as f64 / self.table.n_rows() as f64)
         }
     }
 }
 
+/// Stable fingerprint of one cell value (NaN floats hash like nulls, `-0.0`
+/// like `0.0`, mirroring `Value::is_null` / `Value::key` semantics).
+fn hash_value(h: &mut StableHasher, v: &Value) {
+    match v {
+        Value::Null => h.write_u8(0),
+        Value::Int(i) => {
+            h.write_u8(1);
+            h.write_i64(*i);
+        }
+        Value::Float(f) if f.is_nan() => h.write_u8(0),
+        Value::Float(f) => {
+            h.write_u8(2);
+            let f = if *f == 0.0 { 0.0 } else { *f };
+            h.write_u64(f.to_bits());
+        }
+        Value::Str(s) => {
+            h.write_u8(3);
+            h.write(s.as_bytes());
+            h.write_u8(0xff);
+        }
+        Value::Bool(b) => {
+            h.write_u8(4);
+            h.write_u8(u8::from(*b));
+        }
+    }
+}
+
+/// Content fingerprint of one right-table row under `seed`: hashes the seed,
+/// the join key, and every cell of the row. Two rows with identical content
+/// always fingerprint identically, so the representative pick cannot depend
+/// on where in the table a row happens to sit.
+fn row_fingerprint(right: &Table, row: usize, seed: u64, key: &Key) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(seed);
+    key.hash(&mut h);
+    for c in 0..right.n_cols() {
+        hash_value(&mut h, &right.column_at(c).get(row));
+    }
+    h.finish()
+}
+
 /// Build the key → representative-row map for the right table.
 ///
-/// Groups rows by join key; for keys with multiple rows one representative is
-/// chosen uniformly at random (deterministic given the RNG), implementing the
-/// paper's join-cardinality normalization.
-fn representative_rows(right_key: &Column, rng: &mut StdRng) -> HashMap<Key, usize> {
+/// Rows are grouped by join key; for keys with multiple rows the
+/// representative is the row with the minimal content fingerprint under
+/// `seed` — a pseudo-random pick that is deterministic per seed and
+/// independent of both map-iteration and row-insertion order (ties on the
+/// fingerprint mean identical row content, where any pick is equivalent;
+/// the lower row index wins for full in-table determinism).
+fn representative_rows(right: &Table, right_key: &Column, seed: u64) -> HashMap<Key, usize> {
     let mut groups: HashMap<Key, Vec<usize>> = HashMap::new();
     for row in 0..right_key.len() {
         if let Some(k) = right_key.key(row) {
@@ -56,7 +123,14 @@ fn representative_rows(right_key: &Column, rng: &mut StdRng) -> HashMap<Key, usi
     groups
         .into_iter()
         .map(|(k, rows)| {
-            let pick = if rows.len() == 1 { rows[0] } else { rows[rng.random_range(0..rows.len())] };
+            let pick = if rows.len() == 1 {
+                rows[0]
+            } else {
+                rows.iter()
+                    .copied()
+                    .min_by_key(|&r| (row_fingerprint(right, r, seed, &k), r))
+                    .expect("duplicate-key group is non-empty")
+            };
             (k, pick)
         })
         .collect()
@@ -81,6 +155,12 @@ fn disambiguate(base: &str, taken: &dyn Fn(&str) -> bool) -> String {
 /// normalizing join cardinality so the result has exactly `left.n_rows()`
 /// rows.
 ///
+/// `seed` drives the representative-row picks for duplicated keys (see the
+/// module docs for the determinism model); callers performing a sequence of
+/// joins should derive a distinct seed per join from a stable identity
+/// (e.g. the join path) rather than reusing one value, so that picks stay
+/// decoupled across joins.
+///
 /// Right-hand columns are renamed to `{prefix}.{col}` (idempotently — a
 /// column already carrying the prefix keeps it) and deduplicated against the
 /// left schema. Null keys on either side never match, so a join between
@@ -92,11 +172,11 @@ pub fn left_join_normalized(
     left_key: &str,
     right_key: &str,
     prefix: &str,
-    rng: &mut StdRng,
+    seed: u64,
 ) -> Result<JoinOutput> {
     let lk = left.column(left_key)?;
     let rk = right.column(right_key)?;
-    let reps = representative_rows(rk, rng);
+    let reps = representative_rows(right, rk, seed);
 
     let n = left.n_rows();
     let mut indices: Vec<Option<usize>> = Vec::with_capacity(n);
@@ -136,11 +216,6 @@ pub fn left_join_normalized(
 mod tests {
     use super::*;
     use crate::value::Value;
-    use rand::SeedableRng;
-
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
-    }
 
     fn left() -> Table {
         Table::new(
@@ -166,23 +241,37 @@ mod tests {
 
     #[test]
     fn preserves_left_row_count() {
-        let out = left_join_normalized(&left(), &right(), "id", "key", "ext", &mut rng()).unwrap();
+        let out = left_join_normalized(&left(), &right(), "id", "key", "ext", 42).unwrap();
         assert_eq!(out.table.n_rows(), 4);
     }
 
     #[test]
     fn unmatched_and_null_keys_get_nulls() {
-        let out = left_join_normalized(&left(), &right(), "id", "key", "ext", &mut rng()).unwrap();
+        let out = left_join_normalized(&left(), &right(), "id", "key", "ext", 42).unwrap();
         // id=2 has no match; id=None never matches.
         assert_eq!(out.table.value("ext.feat", 1).unwrap(), Value::Null);
         assert_eq!(out.table.value("ext.feat", 3).unwrap(), Value::Null);
         assert_eq!(out.matched, 2);
-        assert!((out.match_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(out.match_ratio(), Some(0.5));
+    }
+
+    #[test]
+    fn empty_left_table_is_vacuous_not_unjoinable() {
+        let empty = Table::new(
+            "base",
+            vec![("id", Column::from_ints(Vec::<Option<i64>>::new()))],
+        )
+        .unwrap();
+        let out = left_join_normalized(&empty, &right(), "id", "key", "ext", 42).unwrap();
+        assert_eq!(out.matched, 0);
+        // No rows ⇒ no ratio — distinct from a populated table with zero
+        // matches, which reports Some(0.0).
+        assert_eq!(out.match_ratio(), None);
     }
 
     #[test]
     fn duplicate_keys_are_normalized_to_one_representative() {
-        let out = left_join_normalized(&left(), &right(), "id", "key", "ext", &mut rng()).unwrap();
+        let out = left_join_normalized(&left(), &right(), "id", "key", "ext", 42).unwrap();
         // id=1 matches exactly one of the two candidate rows (10.0 or 20.0),
         // never duplicating the left row.
         let v = out.table.value("ext.feat", 0).unwrap();
@@ -192,14 +281,82 @@ mod tests {
 
     #[test]
     fn representative_choice_is_deterministic_per_seed() {
-        let a = left_join_normalized(&left(), &right(), "id", "key", "ext", &mut rng()).unwrap();
-        let b = left_join_normalized(&left(), &right(), "id", "key", "ext", &mut rng()).unwrap();
+        let a = left_join_normalized(&left(), &right(), "id", "key", "ext", 42).unwrap();
+        let b = left_join_normalized(&left(), &right(), "id", "key", "ext", 42).unwrap();
         assert_eq!(a.table, b.table);
     }
 
     #[test]
+    fn representative_choice_varies_with_seed() {
+        // With many duplicates per key, different seeds must (for at least
+        // one key) pick different representatives — the pick is seeded, not
+        // a fixed "first row wins".
+        let n = 64i64;
+        let rkeys: Vec<Option<i64>> = (0..n).map(|i| Some(i / 8)).collect();
+        let rvals: Vec<Option<i64>> = (0..n).map(Some).collect();
+        let r = Table::new(
+            "ext",
+            vec![("key", Column::from_ints(rkeys)), ("v", Column::from_ints(rvals))],
+        )
+        .unwrap();
+        let lkeys: Vec<Option<i64>> = (0..n / 8).map(Some).collect();
+        let l = Table::new("base", vec![("id", Column::from_ints(lkeys))]).unwrap();
+        let a = left_join_normalized(&l, &r, "id", "key", "ext", 1).unwrap();
+        let b = left_join_normalized(&l, &r, "id", "key", "ext", 2).unwrap();
+        assert_ne!(a.table, b.table, "seed must influence representative picks");
+    }
+
+    #[test]
+    fn representative_picks_survive_row_permutation() {
+        // Regression for the HashMap-iteration-order bug: permuting the
+        // right table's row order must not change which representative each
+        // key gets — picks are content-addressed, not index- or
+        // RNG-stream-addressed.
+        let rkeys = [3i64, 1, 1, 9, 3, 1, 3, 9];
+        let rvals = [30i64, 10, 11, 90, 31, 12, 32, 91];
+        let make_right = |order: &[usize]| {
+            Table::new(
+                "ext",
+                vec![
+                    (
+                        "key",
+                        Column::from_ints(order.iter().map(|&i| Some(rkeys[i])).collect::<Vec<_>>()),
+                    ),
+                    (
+                        "feat",
+                        Column::from_ints(order.iter().map(|&i| Some(rvals[i])).collect::<Vec<_>>()),
+                    ),
+                ],
+            )
+            .unwrap()
+        };
+        let l = Table::new(
+            "base",
+            vec![("id", Column::from_ints([Some(1), Some(3), Some(9)]))],
+        )
+        .unwrap();
+        let identity: Vec<usize> = (0..rkeys.len()).collect();
+        let baseline = left_join_normalized(&l, &make_right(&identity), "id", "key", "ext", 7)
+            .unwrap();
+        // Try several permutations, including full reversal.
+        let perms: Vec<Vec<usize>> = vec![
+            identity.iter().rev().copied().collect(),
+            vec![4, 0, 6, 2, 5, 1, 7, 3],
+            vec![1, 5, 2, 0, 3, 7, 4, 6],
+        ];
+        for p in perms {
+            let permuted = left_join_normalized(&l, &make_right(&p), "id", "key", "ext", 7)
+                .unwrap();
+            assert_eq!(
+                baseline.table, permuted.table,
+                "row insertion order {p:?} changed representative picks"
+            );
+        }
+    }
+
+    #[test]
     fn right_columns_are_prefixed() {
-        let out = left_join_normalized(&left(), &right(), "id", "key", "ext", &mut rng()).unwrap();
+        let out = left_join_normalized(&left(), &right(), "id", "key", "ext", 42).unwrap();
         assert_eq!(out.right_columns, vec!["ext.key".to_string(), "ext.feat".to_string()]);
         assert!(out.table.has_column("ext.key"));
         assert!(out.table.has_column("label"));
@@ -208,9 +365,9 @@ mod tests {
     #[test]
     fn self_join_disambiguates_names() {
         let l = left();
-        let out1 = left_join_normalized(&l, &right(), "id", "key", "ext", &mut rng()).unwrap();
+        let out1 = left_join_normalized(&l, &right(), "id", "key", "ext", 42).unwrap();
         let out2 =
-            left_join_normalized(&out1.table, &right(), "id", "key", "ext", &mut rng()).unwrap();
+            left_join_normalized(&out1.table, &right(), "id", "key", "ext", 43).unwrap();
         assert!(out2.table.has_column("ext.feat"));
         assert!(out2.table.has_column("ext.feat#2"));
     }
@@ -225,8 +382,9 @@ mod tests {
             ],
         )
         .unwrap();
-        let out = left_join_normalized(&left(), &r, "id", "key", "ext", &mut rng()).unwrap();
+        let out = left_join_normalized(&left(), &r, "id", "key", "ext", 42).unwrap();
         assert_eq!(out.matched, 0);
+        assert_eq!(out.match_ratio(), Some(0.0));
         assert_eq!(out.table.column("ext.feat").unwrap().null_count(), 4);
     }
 
@@ -240,14 +398,14 @@ mod tests {
             ],
         )
         .unwrap();
-        let out = left_join_normalized(&left(), &r, "id", "key", "ext", &mut rng()).unwrap();
+        let out = left_join_normalized(&left(), &r, "id", "key", "ext", 42).unwrap();
         assert_eq!(out.table.value("ext.feat", 0).unwrap(), Value::Int(100));
         assert_eq!(out.table.value("ext.feat", 1).unwrap(), Value::Int(200));
     }
 
     #[test]
     fn missing_key_column_errors() {
-        assert!(left_join_normalized(&left(), &right(), "nope", "key", "p", &mut rng()).is_err());
-        assert!(left_join_normalized(&left(), &right(), "id", "nope", "p", &mut rng()).is_err());
+        assert!(left_join_normalized(&left(), &right(), "nope", "key", "p", 1).is_err());
+        assert!(left_join_normalized(&left(), &right(), "id", "nope", "p", 1).is_err());
     }
 }

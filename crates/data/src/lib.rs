@@ -17,10 +17,16 @@
 //! * label encoding / numeric-matrix extraction for the ML substrate
 //!   ([`encode`]);
 //! * data-quality statistics such as the null-value ratio used by the τ
-//!   pruning rule ([`stats`]).
+//!   pruning rule ([`stats`]);
+//! * a process-stable hasher for determinism-critical derivations
+//!   ([`stable_hash`]) and deterministic scoped-thread fan-out
+//!   ([`parallel`]).
 //!
-//! All randomized operations take an explicit [`rand::rngs::StdRng`] so that
-//! experiments are reproducible.
+//! Randomized operations either take an explicit [`rand::rngs::StdRng`]
+//! (sampling, splitting) or an explicit `u64` seed (join normalization,
+//! whose representative picks are a pure function of `(seed, key, row
+//! content)` — see [`join`]) so that experiments are reproducible
+//! bit-for-bit, across processes and thread counts.
 
 // Fail-soft discipline: non-test code must propagate errors, not unwrap.
 // CI runs clippy with `-D warnings`, so this is effectively a deny there.
@@ -33,8 +39,10 @@ pub mod error;
 pub mod impute;
 pub mod join;
 pub mod ops;
+pub mod parallel;
 pub mod sample;
 pub mod schema;
+pub mod stable_hash;
 pub mod stats;
 pub mod table;
 pub mod value;

@@ -1,0 +1,117 @@
+//! Deterministic fan-out over scoped worker threads.
+//!
+//! Shared by the ML ensembles (tree fitting) and the discovery BFS
+//! (per-level join evaluation). Work is split by item index and every item
+//! must be a pure function of its index, so the output is bit-identical at
+//! any worker count — parallelism changes wall-clock time, never results.
+//!
+//! Worker-count resolution honours the `AUTOFEAT_THREADS` environment
+//! variable (`0`, unset, or unparsable = auto-detect via
+//! `available_parallelism`). Callers with their own configuration knob
+//! (e.g. `AutoFeatConfig::threads`) should resolve that knob first and pass
+//! an explicit count to [`build_indexed_with`].
+
+use crossbeam::thread;
+
+/// Number of worker threads to use when the caller has no explicit
+/// configuration: the `AUTOFEAT_THREADS` environment variable when set to a
+/// positive integer, otherwise the machine's available parallelism.
+pub fn n_workers() -> usize {
+    match std::env::var("AUTOFEAT_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        // 0 or absent/invalid = auto.
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// Build `n_items` values with `make(i)` across `workers` scoped threads,
+/// preserving index order. `make` must be pure given `i` (all randomness
+/// derived from `i`), so the result is identical for every `workers` value.
+pub fn build_indexed_with<T, F>(workers: usize, n_items: usize, make: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1).min(n_items.max(1));
+    if workers <= 1 || n_items <= 1 {
+        return (0..n_items).map(make).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..n_items).map(|_| None).collect();
+    let make_ref = &make;
+    let chunk_len = n_items.div_ceil(workers);
+    thread::scope(|s| {
+        for (w, chunk) in slots.chunks_mut(chunk_len).enumerate() {
+            let start = w * chunk_len;
+            s.spawn(move |_| {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(make_ref(start + off));
+                }
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// [`build_indexed_with`] at the default worker count ([`n_workers`]).
+pub fn build_indexed<T, F>(n_items: usize, make: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    build_indexed_with(n_workers(), n_items, make)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order() {
+        let v = build_indexed(100, |i| i * 2);
+        assert_eq!(v, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_item_sequential_path() {
+        assert_eq!(build_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn zero_items() {
+        let v: Vec<usize> = build_indexed(0, |i| i);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn matches_sequential_for_any_size_and_worker_count() {
+        for workers in [1usize, 2, 3, 8, 64] {
+            for n in [2usize, 3, 7, 8, 9, 33] {
+                let par = build_indexed_with(workers, n, |i| i * i);
+                let seq: Vec<usize> = (0..n).map(|i| i * i).collect();
+                assert_eq!(par, seq, "workers = {workers}, n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn env_override_controls_worker_count() {
+        // Other tests may race on reads of this variable, but they only use
+        // it to pick a worker count — results are worker-count independent
+        // by construction, so the race is benign.
+        std::env::set_var("AUTOFEAT_THREADS", "3");
+        assert_eq!(n_workers(), 3);
+        std::env::set_var("AUTOFEAT_THREADS", "0"); // 0 = auto
+        assert!(n_workers() >= 1);
+        std::env::set_var("AUTOFEAT_THREADS", "not-a-number");
+        assert!(n_workers() >= 1);
+        std::env::remove_var("AUTOFEAT_THREADS");
+        assert!(n_workers() >= 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! A process- and platform-stable 64-bit hasher (FNV-1a).
+//!
+//! `std::collections::HashMap` uses a per-instance randomized hasher, and
+//! even `DefaultHasher::new()` is only stable within one compiler release.
+//! Determinism-critical code (per-hop join seeding, representative-row
+//! picks) must instead hash through this FNV-1a implementation, whose
+//! output is a pure function of the bytes fed to it — identical across
+//! processes, platforms, and Rust versions.
+
+use std::hash::Hasher;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit [`Hasher`]. Construct with `StableHasher::default()`, feed
+/// it via the `Hash`/`Hasher` traits, and read the digest with `finish()`.
+#[derive(Debug, Clone)]
+pub struct StableHasher(u64);
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher(FNV_OFFSET)
+    }
+}
+
+impl StableHasher {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Hash one string with a seed — convenience for call sites that would
+/// otherwise build a hasher for a single field.
+pub fn stable_hash_str(seed: u64, s: &str) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(seed);
+    h.write(s.as_bytes());
+    h.write_u8(0xff); // length terminator, as std's str hashing does
+    h.finish()
+}
+
+/// Bit-mix a pair of `u64`s into one (SplitMix64 finalizer over the XOR of
+/// the rotated halves). Used to fold derived seeds together cheaply.
+pub fn mix_u64(a: u64, b: u64) -> u64 {
+    // The golden-gamma offset keeps (0, 0) away from the finalizer's fixed
+    // point at zero.
+    let mut z = a.wrapping_add(0x9E37_79B9_7F4A_7C15) ^ b.rotate_left(31);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c
+        let mut h = StableHasher::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let digest = |s: &str| {
+            let mut h = StableHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest("join-path"), digest("join-path"));
+        assert_ne!(digest("join-path"), digest("join-patH"));
+    }
+
+    #[test]
+    fn seeded_str_hash_varies_with_seed_and_content() {
+        assert_ne!(stable_hash_str(1, "x"), stable_hash_str(2, "x"));
+        assert_ne!(stable_hash_str(1, "x"), stable_hash_str(1, "y"));
+        assert_eq!(stable_hash_str(7, "x"), stable_hash_str(7, "x"));
+    }
+
+    #[test]
+    fn mix_is_not_symmetric_or_trivial() {
+        assert_ne!(mix_u64(1, 2), mix_u64(2, 1));
+        assert_ne!(mix_u64(0, 0), 0);
+    }
+}

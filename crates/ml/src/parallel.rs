@@ -1,78 +1,14 @@
-//! Parallel ensemble fitting with `crossbeam` scoped threads.
+//! Parallel ensemble fitting — re-exported from the shared
+//! [`autofeat_data::parallel`] module.
 //!
 //! Trees of a bagged ensemble are independent given their seeds, so they
 //! fit in parallel without changing results: work is split by tree index
 //! and each tree derives its RNG from the ensemble seed and its own index,
 //! exactly as in the sequential path. Determinism is preserved because the
 //! output order is by tree index, not completion order.
+//!
+//! The fan-out primitive moved to `autofeat-data` so the discovery BFS can
+//! share it (both must honour the `AUTOFEAT_THREADS` override); this module
+//! remains the ML-facing path for existing callers.
 
-use crossbeam::thread;
-
-/// Number of worker threads used for ensemble fitting.
-pub fn n_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
-}
-
-/// Build `n_items` values with `make(i)` in parallel, preserving index
-/// order. `make` must be pure given `i` (all randomness derived from `i`).
-pub fn build_indexed<T, F>(n_items: usize, make: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let workers = n_workers().min(n_items.max(1));
-    if workers <= 1 || n_items <= 1 {
-        return (0..n_items).map(make).collect();
-    }
-    let mut slots: Vec<Option<T>> = (0..n_items).map(|_| None).collect();
-    let make_ref = &make;
-    thread::scope(|s| {
-        for (w, chunk) in slots.chunks_mut(n_items.div_ceil(workers)).enumerate() {
-            let start = w * n_items.div_ceil(workers);
-            s.spawn(move |_| {
-                for (off, slot) in chunk.iter_mut().enumerate() {
-                    *slot = Some(make_ref(start + off));
-                }
-            });
-        }
-    })
-    .expect("ensemble worker panicked");
-    slots
-        .into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_index_order() {
-        let v = build_indexed(100, |i| i * 2);
-        assert_eq!(v, (0..100).map(|i| i * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn single_item_sequential_path() {
-        assert_eq!(build_indexed(1, |i| i + 7), vec![7]);
-    }
-
-    #[test]
-    fn zero_items() {
-        let v: Vec<usize> = build_indexed(0, |i| i);
-        assert!(v.is_empty());
-    }
-
-    #[test]
-    fn matches_sequential_for_any_size() {
-        for n in [2usize, 3, 7, 8, 9, 33] {
-            let par = build_indexed(n, |i| i * i);
-            let seq: Vec<usize> = (0..n).map(|i| i * i).collect();
-            assert_eq!(par, seq, "n = {n}");
-        }
-    }
-}
+pub use autofeat_data::parallel::{build_indexed, build_indexed_with, n_workers};

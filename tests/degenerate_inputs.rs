@@ -35,9 +35,14 @@ fn empty_base_table_discovers_cleanly() {
     .unwrap();
     let ctx = kfk_ctx(vec![base, ext]);
     let r = AutoFeat::paper().discover(&ctx).unwrap();
-    // A join against zero base rows matches nothing: pruned, not fatal.
-    assert!(r.ranked.is_empty());
+    // A join against zero base rows is *vacuous*, not unjoinable: there is
+    // no evidence the keys mismatch (`match_ratio()` is `None`), so it must
+    // not be counted as a pruned-unjoinable path. It contributes no
+    // features either way.
+    assert_eq!(r.n_pruned_unjoinable, 0);
     assert!(r.selected_features.is_empty());
+    assert!(r.ranked.iter().all(|p| p.features.is_empty()));
+    assert!(r.failures.is_empty());
 }
 
 #[test]

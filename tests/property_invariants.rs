@@ -33,8 +33,7 @@ proptest! {
             vec![("k", int_column(&right_keys)), ("v", Column::from_floats(rvals))],
         )
         .unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let out = left_join_normalized(&left, &right, "k", "k", "r", &mut rng).unwrap();
+        let out = left_join_normalized(&left, &right, "k", "k", "r", seed).unwrap();
         prop_assert_eq!(out.table.n_rows(), left.n_rows());
     }
 
@@ -55,8 +54,7 @@ proptest! {
             vec![("k", int_column(&rkeys)), ("v", Column::from_ints(rvals))],
         )
         .unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let out = left_join_normalized(&left, &right, "k", "k", "r", &mut rng).unwrap();
+        let out = left_join_normalized(&left, &right, "k", "k", "r", seed).unwrap();
         for i in 0..out.table.n_rows() {
             if let Value::Int(v) = out.table.value("r.v", i).unwrap() {
                 let k = match out.table.value("k", i).unwrap() {
