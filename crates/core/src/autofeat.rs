@@ -35,7 +35,7 @@ use autofeat_data::join::left_join_normalized;
 use autofeat_data::parallel::build_indexed_with;
 use autofeat_data::sample::stratified_sample;
 use autofeat_data::stats::completeness;
-use autofeat_data::{Result, Table};
+use autofeat_data::{CacheStats, Result, Table};
 use autofeat_graph::{JoinHop, JoinPath, NodeId};
 use autofeat_metrics::discretize::{discretize_equal_frequency, Discretized};
 use autofeat_metrics::redundancy::RedundancyScorer;
@@ -113,6 +113,13 @@ pub struct DiscoveryResult {
     /// Worker threads used for path evaluation. Informational only —
     /// results are bit-identical at any thread count.
     pub threads_used: usize,
+    /// Lake-index-cache activity attributable to this run (hit/miss/build
+    /// counters are deltas over the run; resident bytes and entry count are
+    /// the cache's occupancy when the run finished, since the cache is owned
+    /// by the context and persists across runs). `None` when the run was
+    /// configured with `cache: false`. Informational only — results are
+    /// bit-identical with the cache on or off.
+    pub cache: Option<CacheStats>,
 }
 
 impl DiscoveryResult {
@@ -210,6 +217,11 @@ impl AutoFeat {
         let t0 = Instant::now();
         let cfg = &self.config;
         let workers = cfg.resolve_threads();
+        // Snapshot the shared cache's counters so the result can report this
+        // run's activity as a delta (the cache outlives individual runs).
+        let cache_start = cfg.cache.then(|| ctx.lake_cache().stats());
+        let cache_delta =
+            |start: &Option<CacheStats>| start.map(|s| ctx.lake_cache().stats().since(&s));
 
         // Stratified sample of the base table (only affects feature
         // selection, not final training — §VI). The RNG is used for the
@@ -274,6 +286,7 @@ impl AutoFeat {
                 elapsed: t0.elapsed(),
                 selected_features: Vec::new(),
                 threads_used: workers,
+                cache: cache_delta(&cache_start),
             });
         };
 
@@ -374,14 +387,29 @@ impl AutoFeat {
                     let c = &cands[i];
                     let entry = &current[c.entry];
                     let seed = hop_seed(cfg.seed, entry.path.hops(), &c.hop);
-                    let out = match left_join_normalized(
-                        &entry.table,
-                        c.right,
-                        &c.left_key,
-                        &c.hop.to_column,
-                        &c.next_name,
-                        seed,
-                    ) {
+                    // Cached and uncached joins are bit-identical by
+                    // construction (the uncached path builds a transient
+                    // index and runs the same indexed kernel).
+                    let joined = if cfg.cache {
+                        ctx.lake_cache().left_join_normalized(
+                            &entry.table,
+                            c.right,
+                            &c.left_key,
+                            &c.hop.to_column,
+                            &c.next_name,
+                            seed,
+                        )
+                    } else {
+                        left_join_normalized(
+                            &entry.table,
+                            c.right,
+                            &c.left_key,
+                            &c.hop.to_column,
+                            &c.next_name,
+                            seed,
+                        )
+                    };
+                    let out = match joined {
                         Ok(out) => out,
                         Err(e) => return HopEval::Failed(e.to_string()),
                     };
@@ -405,13 +433,13 @@ impl AutoFeat {
                     // ---- Relevance analysis (select-κ-best). ----
                     // Join columns of the DRG never become feature
                     // candidates (see join_cols above).
+                    let next_prefix = format!("{}.", c.next_name);
                     let candidate_names: Vec<String> = out
                         .right_columns
                         .iter()
                         .filter(|qualified| {
-                            let original = qualified
-                                .strip_prefix(&format!("{}.", c.next_name))
-                                .unwrap_or(qualified);
+                            let original =
+                                qualified.strip_prefix(&next_prefix).unwrap_or(qualified);
                             !join_cols.contains(&(c.next_name.clone(), original.to_string()))
                         })
                         .cloned()
@@ -568,6 +596,7 @@ impl AutoFeat {
             elapsed: t0.elapsed(),
             selected_features: selected_union,
             threads_used: workers,
+            cache: cache_delta(&cache_start),
         })
     }
 }
@@ -935,6 +964,36 @@ mod tests {
             assert_eq!(r.threads_used, threads);
             assert_results_identical(&baseline, &r);
         }
+    }
+
+    #[test]
+    fn cached_and_uncached_discovery_identical() {
+        let ctx = chain_ctx(160);
+        let cached = AutoFeat::new(AutoFeatConfig::default().with_cache(true))
+            .discover(&ctx)
+            .unwrap();
+        let uncached = AutoFeat::new(AutoFeatConfig::default().with_cache(false))
+            .discover(&ctx)
+            .unwrap();
+        assert_results_identical(&cached, &uncached);
+        assert!(cached.cache.is_some());
+        assert!(uncached.cache.is_none());
+    }
+
+    #[test]
+    fn repeat_run_reports_cache_hits_as_delta() {
+        let ctx = chain_ctx(120);
+        let engine = AutoFeat::paper();
+        let first = engine.discover(&ctx).unwrap();
+        let s1 = first.cache.expect("cache enabled by default");
+        assert!(s1.misses > 0, "first run must build indexes");
+        assert_eq!(s1.hits, 0, "nothing to hit on a cold cache");
+        let second = engine.discover(&ctx).unwrap();
+        let s2 = second.cache.expect("cache enabled by default");
+        assert_eq!(s2.misses, 0, "second run must reuse every index");
+        assert!(s2.hits > 0);
+        assert_eq!(s2.entries, s1.entries, "occupancy unchanged");
+        assert_results_identical(&first, &second);
     }
 
     /// Regression for the traversal-order coupling bug: with one shared RNG

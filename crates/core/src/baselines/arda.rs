@@ -17,7 +17,6 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use autofeat_data::encode::to_matrix;
-use autofeat_data::join::left_join_normalized;
 use autofeat_data::sample::train_test_split;
 use autofeat_data::{Result, Table};
 use autofeat_ml::eval::{accuracy, Classifier, ModelKind};
@@ -92,7 +91,7 @@ fn star_join(ctx: &SearchContext, seed: u64) -> Result<(Table, usize)> {
         if !table.has_column(from_col) {
             continue;
         }
-        let out = left_join_normalized(
+        let out = ctx.lake_cache().left_join_normalized(
             &table,
             right,
             from_col,

@@ -10,7 +10,6 @@
 use std::time::Instant;
 
 use autofeat_data::encode::label_encode_column;
-use autofeat_data::join::left_join_normalized;
 use autofeat_data::Result;
 use autofeat_graph::traversal::join_all_path_count;
 use autofeat_metrics::relevance::RelevanceMethod;
@@ -91,7 +90,7 @@ pub fn run_join_all(
                 if !table.has_column(&left_key) {
                     continue;
                 }
-                let out = left_join_normalized(
+                let out = ctx.lake_cache().left_join_normalized(
                     &table,
                     right,
                     &left_key,

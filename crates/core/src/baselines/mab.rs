@@ -15,7 +15,6 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use autofeat_data::encode::to_matrix;
-use autofeat_data::join::left_join_normalized;
 use autofeat_data::sample::train_test_split;
 use autofeat_data::stable_hash::mix_u64;
 use autofeat_data::{Result, Table};
@@ -149,7 +148,9 @@ pub fn run_mab(
             join_seed(config.seed, ctx.base_name(), &left_col, table_name, &right_col),
             total_pulls as u64,
         );
-        let out = left_join_normalized(&state, cand, &left_col, &right_col, table_name, seed)?;
+        let out = ctx
+            .lake_cache()
+            .left_join_normalized(&state, cand, &left_col, &right_col, table_name, seed)?;
         total_pulls += 1;
         let r = if out.matched == 0 {
             0.0

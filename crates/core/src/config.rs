@@ -53,6 +53,11 @@ pub struct AutoFeatConfig {
     /// a positive integer, else use the machine's available parallelism.
     /// Results are bit-identical at any thread count.
     pub threads: usize,
+    /// Use the context's lake-wide [`LakeIndexCache`](autofeat_data::LakeIndexCache)
+    /// for normalized joins. `false` rebuilds every join index from scratch
+    /// (the pre-cache kernel) — results are bit-identical either way; the
+    /// switch exists for benchmarking and determinism audits.
+    pub cache: bool,
 }
 
 impl Default for AutoFeatConfig {
@@ -70,6 +75,7 @@ impl Default for AutoFeatConfig {
             sample_rows: Some(1000),
             seed: 42,
             threads: 0,
+            cache: true,
         }
     }
 }
@@ -107,6 +113,12 @@ impl AutoFeatConfig {
     /// Builder-style worker-thread override (`0` = auto).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Builder-style join-index-cache toggle.
+    pub fn with_cache(mut self, cache: bool) -> Self {
+        self.cache = cache;
         self
     }
 

@@ -3,9 +3,10 @@
 
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
 
 use autofeat_data::csv::{read_csv_opts, CsvReadOptions, IngestDiagnostics};
-use autofeat_data::{DataError, Result, Table};
+use autofeat_data::{DataError, LakeIndexCache, Result, Table};
 use autofeat_discovery::SchemaMatcher;
 use autofeat_graph::{Drg, DrgBuilder};
 
@@ -94,13 +95,16 @@ fn fs_read_dir(dir: &Path) -> Result<Vec<std::path::PathBuf>> {
 }
 
 /// Everything a discovery run needs: the dataset collection, the base table
-/// with its label column, and the joinability graph.
+/// with its label column, the joinability graph, and the lake-wide join-index
+/// cache shared (via `Arc` — clones of the context share one cache) by
+/// discovery, path materialization, and the baselines.
 #[derive(Debug, Clone)]
 pub struct SearchContext {
     tables: HashMap<String, Table>,
     base: String,
     label: String,
     drg: Drg,
+    cache: Arc<LakeIndexCache>,
 }
 
 impl SearchContext {
@@ -122,7 +126,13 @@ impl SearchContext {
         if !base_table.has_column(&label) {
             return Err(DataError::ColumnNotFound { table: base, column: label });
         }
-        Ok(SearchContext { tables: map, base, label, drg: drg.clone() })
+        Ok(SearchContext {
+            tables: map,
+            base,
+            label,
+            drg: drg.clone(),
+            cache: Arc::new(LakeIndexCache::new()),
+        })
     }
 
     /// Build the *benchmark setting* context from tables plus known KFK
@@ -204,6 +214,12 @@ impl SearchContext {
     /// The joinability graph.
     pub fn drg(&self) -> &Drg {
         &self.drg
+    }
+
+    /// The lake-wide join-index cache. Shared across clones of this context,
+    /// so indexes built by one run (or one worker thread) serve all others.
+    pub fn lake_cache(&self) -> &LakeIndexCache {
+        &self.cache
     }
 
     /// Feature columns of the base table: everything except the label.

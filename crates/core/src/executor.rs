@@ -7,7 +7,6 @@
 //! replay: the rows a feature was scored on during discovery are the rows
 //! it is trained on after materialization.
 
-use autofeat_data::join::left_join_normalized;
 use autofeat_data::{DataError, Result, Table};
 use autofeat_graph::JoinPath;
 
@@ -41,7 +40,10 @@ pub fn materialize_path(
             DataError::Invalid(format!("table `{}` not in context", hop.to_table))
         })?;
         let left_key = qualified_column(ctx.base_name(), &hop.from_table, &hop.from_column);
-        let out = left_join_normalized(
+        // Joins go through the context's lake-wide index cache: replaying a
+        // path discovery already explored reuses the indexes discovery
+        // built, and the cached kernel is bit-identical to the uncached one.
+        let out = ctx.lake_cache().left_join_normalized(
             &current,
             right,
             &left_key,
@@ -92,7 +94,7 @@ pub fn materialize_tree(
             // table shared by several ranked paths gets the picks of the
             // first (best-ranked) path that joins it — the same picks its
             // discovery-time score was computed on.
-            let out = left_join_normalized(
+            let out = ctx.lake_cache().left_join_normalized(
                 &current,
                 right,
                 &left_key,

@@ -65,6 +65,19 @@ pub fn discovery_health_report(result: &DiscoveryResult) -> String {
         result.n_pruned_quality,
         result.threads_used
     );
+    match &result.cache {
+        Some(c) => {
+            let _ = writeln!(
+                out,
+                "join-index cache: {} hit(s), {} miss(es), {:?} build time, \
+                 {} index(es) resident ({} bytes)",
+                c.hits, c.misses, c.build_time, c.entries, c.resident_bytes
+            );
+        }
+        None => {
+            let _ = writeln!(out, "join-index cache: disabled");
+        }
+    }
     match result.truncation {
         Some(TruncationReason::MaxJoins) => {
             let _ = writeln!(out, "truncated: max_joins cap reached");
@@ -118,6 +131,13 @@ mod tests {
             elapsed: Duration::from_millis(10),
             selected_features: vec![],
             threads_used: 4,
+            cache: Some(autofeat_data::CacheStats {
+                hits: 8,
+                misses: 2,
+                build_time: Duration::from_millis(3),
+                resident_bytes: 4096,
+                entries: 2,
+            }),
         }
     }
 
@@ -127,6 +147,16 @@ mod tests {
         assert!(r.contains("healthy"), "{r}");
         assert!(r.contains("5 join(s)"), "{r}");
         assert!(r.contains("4 worker thread(s)"), "{r}");
+        assert!(r.contains("join-index cache: 8 hit(s), 2 miss(es)"), "{r}");
+        assert!(r.contains("2 index(es) resident (4096 bytes)"), "{r}");
+    }
+
+    #[test]
+    fn health_report_cache_disabled() {
+        let mut d = discovery(vec![], None);
+        d.cache = None;
+        let r = discovery_health_report(&d);
+        assert!(r.contains("join-index cache: disabled"), "{r}");
     }
 
     #[test]

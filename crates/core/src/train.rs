@@ -272,6 +272,7 @@ mod tests {
             elapsed: Duration::ZERO,
             selected_features: vec![],
             threads_used: 1,
+            cache: None,
         };
         let out =
             train_top_k(&c, &empty, &[ModelKind::RandomForest], &AutoFeatConfig::default())

@@ -1,0 +1,304 @@
+//! Lake-wide join-index cache.
+//!
+//! Discovery evaluates many join paths that funnel through the same few
+//! satellite tables: every hop that joins against table `T` on column `c`
+//! needs the same key → row-group index, yet the uncached kernel rebuilds it
+//! (grouping + fingerprinting every duplicate row) per call. The
+//! [`LakeIndexCache`] builds each `(table, join column)` index **once**,
+//! thread-safely, and serves it to every subsequent join — the per-seed work
+//! then degrades to one hash probe plus a [`mix_u64`](crate::stable_hash::mix_u64)
+//! per duplicate candidate.
+//!
+//! ## Concurrency
+//!
+//! The map of entries sits behind an [`RwLock`]; each entry is an
+//! `Arc<OnceLock<…>>` so that index **construction happens outside the map
+//! lock** — two threads racing on the same cold entry serialize only on that
+//! entry's `OnceLock` (one builds and counts a miss, the other waits and
+//! counts a hit), while joins against other tables proceed untouched.
+//!
+//! ## Determinism
+//!
+//! Cached and uncached execution are bit-identical by construction:
+//! [`join::left_join_normalized`](crate::join::left_join_normalized) is a
+//! wrapper that builds a transient index and calls
+//! [`join::left_join_with_index`](crate::join::left_join_with_index), the
+//! same function the cache path calls with a memoized index. Fingerprints
+//! are seed-independent, so one index serves every seed.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+use crate::error::Result;
+use crate::join::{left_join_with_index, JoinIndex, JoinOutput};
+use crate::table::Table;
+
+/// A point-in-time snapshot of [`LakeIndexCache`] counters, for
+/// observability (discovery results, health reports, benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Joins served from an already-built index.
+    pub hits: u64,
+    /// Joins that had to build the index first (equals distinct cold
+    /// entries touched, absent racing builders).
+    pub misses: u64,
+    /// Total wall time spent building indexes.
+    pub build_time: Duration,
+    /// Approximate heap footprint of all resident indexes, in bytes.
+    pub resident_bytes: u64,
+    /// Number of `(table, join column)` indexes resident.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Counter delta `self − earlier` for the monotonic counters (hits,
+    /// misses, build time); resident bytes and entries stay absolute, since
+    /// they describe current occupancy rather than cumulative work.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            build_time: self.build_time.saturating_sub(earlier.build_time),
+            resident_bytes: self.resident_bytes,
+            entries: self.entries,
+        }
+    }
+}
+
+type EntryKey = (String, String);
+type Entry = Arc<OnceLock<Arc<JoinIndex>>>;
+
+/// Thread-safe, lazily-populated cache of [`JoinIndex`]es keyed by
+/// `(table name, join column)`.
+///
+/// Owned (behind an `Arc`) by the search context so that discovery, path
+/// materialization, and every baseline share one set of indexes per lake.
+/// Indexes are immutable once built; the cache never evicts (a data lake's
+/// satellite tables are fixed for the lifetime of a search context).
+#[derive(Debug, Default)]
+pub struct LakeIndexCache {
+    entries: RwLock<HashMap<EntryKey, Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    build_nanos: AtomicU64,
+    resident_bytes: AtomicU64,
+}
+
+impl LakeIndexCache {
+    /// Create an empty cache.
+    pub fn new() -> LakeIndexCache {
+        LakeIndexCache::default()
+    }
+
+    /// The join index for `(table, column)`, building it on first use.
+    ///
+    /// Errors only when `column` is missing from `table` (resolved before
+    /// any locking, so a bad column name never poisons an entry). The first
+    /// caller per entry builds and counts a **miss**; every other caller —
+    /// including threads that waited on a racing build — counts a **hit**.
+    pub fn get_or_build(&self, table: &Table, column: &str) -> Result<Arc<JoinIndex>> {
+        let key_col = table.column(column)?;
+
+        let entry = self.entry(table.name(), column);
+        let mut built = false;
+        let index = entry.get_or_init(|| {
+            built = true;
+            let t0 = Instant::now();
+            let index = Arc::new(JoinIndex::build(table, key_col));
+            self.build_nanos
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.resident_bytes
+                .fetch_add(index.resident_bytes() as u64, Ordering::Relaxed);
+            index
+        });
+        if built {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(Arc::clone(index))
+    }
+
+    /// Cached equivalent of
+    /// [`join::left_join_normalized`](crate::join::left_join_normalized):
+    /// resolves (or builds) the index for `(right, right_key)` and performs
+    /// the indexed join. Bit-identical to the uncached call.
+    pub fn left_join_normalized(
+        &self,
+        left: &Table,
+        right: &Table,
+        left_key: &str,
+        right_key: &str,
+        prefix: &str,
+        seed: u64,
+    ) -> Result<JoinOutput> {
+        let index = self.get_or_build(right, right_key)?;
+        left_join_with_index(left, right, &index, left_key, prefix, seed)
+    }
+
+    /// Point-in-time counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .entries
+            .read()
+            .map(|m| m.values().filter(|e| e.get().is_some()).count() as u64)
+            .unwrap_or(0);
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            build_time: Duration::from_nanos(self.build_nanos.load(Ordering::Relaxed)),
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    fn entry(&self, table: &str, column: &str) -> Entry {
+        // Fast path: shared read lock.
+        if let Ok(map) = self.entries.read() {
+            if let Some(e) = map.get(&(table.to_string(), column.to_string())) {
+                return Arc::clone(e);
+            }
+        }
+        // Slow path: insert a fresh (empty) entry. Index construction
+        // happens later, outside this lock, via the entry's OnceLock.
+        match self.entries.write() {
+            Ok(mut map) => Arc::clone(
+                map.entry((table.to_string(), column.to_string()))
+                    .or_default(),
+            ),
+            // A poisoned lock means a builder thread panicked while holding
+            // the write lock; fall back to an uncached transient entry so
+            // callers still make progress.
+            Err(_) => Entry::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::join::left_join_normalized;
+
+    fn lake_table(name: &str, dup: i64) -> Table {
+        let n = 48i64;
+        Table::new(
+            name,
+            vec![
+                ("key", Column::from_ints((0..n).map(|i| Some(i / dup)))),
+                ("v", Column::from_ints((0..n).map(Some))),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn base() -> Table {
+        Table::new("base", vec![("id", Column::from_ints((0..8).map(Some)))]).unwrap()
+    }
+
+    #[test]
+    fn second_join_through_same_entry_hits() {
+        let cache = LakeIndexCache::new();
+        let r = lake_table("sat", 6);
+        let l = base();
+        cache.left_join_normalized(&l, &r, "id", "key", "sat", 1).unwrap();
+        let s1 = cache.stats();
+        assert_eq!((s1.hits, s1.misses, s1.entries), (0, 1, 1));
+        cache.left_join_normalized(&l, &r, "id", "key", "sat", 2).unwrap();
+        let s2 = cache.stats();
+        assert_eq!((s2.hits, s2.misses, s2.entries), (1, 1, 1));
+        assert!(s2.resident_bytes > 0);
+        assert_eq!(s2.resident_bytes, s1.resident_bytes, "no rebuild on hit");
+    }
+
+    #[test]
+    fn distinct_columns_get_distinct_entries() {
+        let cache = LakeIndexCache::new();
+        let t = Table::new(
+            "sat",
+            vec![
+                ("a", Column::from_ints([Some(1), Some(2)])),
+                ("b", Column::from_ints([Some(3), Some(3)])),
+            ],
+        )
+        .unwrap();
+        cache.get_or_build(&t, "a").unwrap();
+        cache.get_or_build(&t, "b").unwrap();
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn cached_join_is_bit_identical_to_uncached() {
+        let cache = LakeIndexCache::new();
+        let r = lake_table("sat", 6);
+        let l = base();
+        for seed in [1u64, 7, 42] {
+            let plain = left_join_normalized(&l, &r, "id", "key", "sat", seed).unwrap();
+            let cached = cache.left_join_normalized(&l, &r, "id", "key", "sat", seed).unwrap();
+            assert_eq!(plain.table, cached.table, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn missing_column_errors_without_poisoning() {
+        let cache = LakeIndexCache::new();
+        let r = lake_table("sat", 6);
+        assert!(cache.get_or_build(&r, "ghost").is_err());
+        assert_eq!(cache.stats().entries, 0);
+        cache.get_or_build(&r, "key").unwrap();
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn concurrent_builders_build_once() {
+        use std::sync::Barrier;
+        let cache = Arc::new(LakeIndexCache::new());
+        let r = Arc::new(lake_table("sat", 6));
+        let n = 8;
+        let barrier = Arc::new(Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let (cache, r, barrier) = (Arc::clone(&cache), Arc::clone(&r), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.get_or_build(&r, "key").unwrap()
+                })
+            })
+            .collect();
+        let indexes: Vec<Arc<JoinIndex>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for ix in &indexes[1..] {
+            assert!(Arc::ptr_eq(&indexes[0], ix), "all callers share one index");
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "exactly one build");
+        assert_eq!(s.hits, (n as u64) - 1);
+        assert_eq!(s.entries, 1);
+    }
+
+    #[test]
+    fn stats_since_deltas_counters_keeps_occupancy() {
+        let earlier = CacheStats {
+            hits: 2,
+            misses: 1,
+            build_time: Duration::from_millis(5),
+            resident_bytes: 100,
+            entries: 1,
+        };
+        let later = CacheStats {
+            hits: 10,
+            misses: 3,
+            build_time: Duration::from_millis(12),
+            resident_bytes: 300,
+            entries: 3,
+        };
+        let d = later.since(&earlier);
+        assert_eq!(d.hits, 8);
+        assert_eq!(d.misses, 2);
+        assert_eq!(d.build_time, Duration::from_millis(7));
+        assert_eq!(d.resident_bytes, 300);
+        assert_eq!(d.entries, 3);
+    }
+}

@@ -11,65 +11,86 @@ use crate::value::{DType, Key, Value};
 /// Each variant stores `Option<T>` per row; `None` is the SQL NULL. Float
 /// `NaN`s are normalized to `None` on insertion so that nulls have exactly
 /// one representation.
+///
+/// The dense payload is behind an [`Arc`], so **cloning a column is O(1)**:
+/// tables produced by joins share their left-hand columns with the input
+/// table instead of deep-copying them (the frontier tables of the discovery
+/// BFS grow by one table's worth of columns per hop, not by a full copy of
+/// the accumulated table). Mutating operations ([`Column::push`],
+/// [`Column::push_null`]) copy-on-write via [`Arc::make_mut`], so sharing is
+/// never observable.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Column {
     /// 64-bit integers.
-    Int(Vec<Option<i64>>),
+    Int(Arc<Vec<Option<i64>>>),
     /// 64-bit floats (never `NaN`; `NaN` is stored as `None`).
-    Float(Vec<Option<f64>>),
+    Float(Arc<Vec<Option<f64>>>),
     /// UTF-8 strings with cheap `Arc` clones.
-    Str(Vec<Option<Arc<str>>>),
+    Str(Arc<Vec<Option<Arc<str>>>>),
     /// Booleans.
-    Bool(Vec<Option<bool>>),
+    Bool(Arc<Vec<Option<bool>>>),
 }
 
 impl Column {
     /// An empty column of the given type.
     pub fn empty(dtype: DType) -> Self {
         match dtype {
-            DType::Int => Column::Int(Vec::new()),
-            DType::Float => Column::Float(Vec::new()),
-            DType::Str => Column::Str(Vec::new()),
-            DType::Bool => Column::Bool(Vec::new()),
+            DType::Int => Column::Int(Arc::new(Vec::new())),
+            DType::Float => Column::Float(Arc::new(Vec::new())),
+            DType::Str => Column::Str(Arc::new(Vec::new())),
+            DType::Bool => Column::Bool(Arc::new(Vec::new())),
         }
     }
 
     /// An empty column of the given type with pre-reserved capacity.
     pub fn with_capacity(dtype: DType, cap: usize) -> Self {
         match dtype {
-            DType::Int => Column::Int(Vec::with_capacity(cap)),
-            DType::Float => Column::Float(Vec::with_capacity(cap)),
-            DType::Str => Column::Str(Vec::with_capacity(cap)),
-            DType::Bool => Column::Bool(Vec::with_capacity(cap)),
+            DType::Int => Column::Int(Arc::new(Vec::with_capacity(cap))),
+            DType::Float => Column::Float(Arc::new(Vec::with_capacity(cap))),
+            DType::Str => Column::Str(Arc::new(Vec::with_capacity(cap))),
+            DType::Bool => Column::Bool(Arc::new(Vec::with_capacity(cap))),
         }
     }
 
     /// Build an int column from an iterator of optional values.
     pub fn from_ints<I: IntoIterator<Item = Option<i64>>>(iter: I) -> Self {
-        Column::Int(iter.into_iter().collect())
+        Column::Int(Arc::new(iter.into_iter().collect()))
     }
 
     /// Build a float column; `NaN`s become nulls.
     pub fn from_floats<I: IntoIterator<Item = Option<f64>>>(iter: I) -> Self {
-        Column::Float(
+        Column::Float(Arc::new(
             iter.into_iter()
                 .map(|v| v.filter(|f| !f.is_nan()))
                 .collect(),
-        )
+        ))
     }
 
     /// Build a string column from anything string-like.
     pub fn from_strs<S: AsRef<str>, I: IntoIterator<Item = Option<S>>>(iter: I) -> Self {
-        Column::Str(
+        Column::Str(Arc::new(
             iter.into_iter()
                 .map(|v| v.map(|s| Arc::from(s.as_ref())))
                 .collect(),
-        )
+        ))
     }
 
     /// Build a bool column.
     pub fn from_bools<I: IntoIterator<Item = Option<bool>>>(iter: I) -> Self {
-        Column::Bool(iter.into_iter().collect())
+        Column::Bool(Arc::new(iter.into_iter().collect()))
+    }
+
+    /// Whether two columns share the same underlying payload allocation —
+    /// true after an O(1) clone, false once either side has been mutated
+    /// (copy-on-write) or was built independently.
+    pub fn shares_payload(&self, other: &Column) -> bool {
+        match (self, other) {
+            (Column::Int(a), Column::Int(b)) => Arc::ptr_eq(a, b),
+            (Column::Float(a), Column::Float(b)) => Arc::ptr_eq(a, b),
+            (Column::Str(a), Column::Str(b)) => Arc::ptr_eq(a, b),
+            (Column::Bool(a), Column::Bool(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 
     /// The column's data type.
@@ -155,6 +176,9 @@ impl Column {
 
     /// Append a value; coerces ints→floats into float columns, errors on any
     /// other type mismatch. Nulls (and float NaNs) append as null.
+    ///
+    /// Copy-on-write: a column still sharing its payload with a clone
+    /// detaches (deep-copies) before the append.
     pub fn push(&mut self, value: Value) -> Result<()> {
         match (self, value) {
             (col, Value::Null) => {
@@ -162,23 +186,23 @@ impl Column {
                 Ok(())
             }
             (Column::Int(v), Value::Int(i)) => {
-                v.push(Some(i));
+                Arc::make_mut(v).push(Some(i));
                 Ok(())
             }
             (Column::Float(v), Value::Float(f)) => {
-                v.push(if f.is_nan() { None } else { Some(f) });
+                Arc::make_mut(v).push(if f.is_nan() { None } else { Some(f) });
                 Ok(())
             }
             (Column::Float(v), Value::Int(i)) => {
-                v.push(Some(i as f64));
+                Arc::make_mut(v).push(Some(i as f64));
                 Ok(())
             }
             (Column::Str(v), Value::Str(s)) => {
-                v.push(Some(s));
+                Arc::make_mut(v).push(Some(s));
                 Ok(())
             }
             (Column::Bool(v), Value::Bool(b)) => {
-                v.push(Some(b));
+                Arc::make_mut(v).push(Some(b));
                 Ok(())
             }
             (col, value) => Err(DataError::TypeMismatch {
@@ -188,13 +212,13 @@ impl Column {
         }
     }
 
-    /// Append a null.
+    /// Append a null (copy-on-write, as [`Column::push`]).
     pub fn push_null(&mut self) {
         match self {
-            Column::Int(v) => v.push(None),
-            Column::Float(v) => v.push(None),
-            Column::Str(v) => v.push(None),
-            Column::Bool(v) => v.push(None),
+            Column::Int(v) => Arc::make_mut(v).push(None),
+            Column::Float(v) => Arc::make_mut(v).push(None),
+            Column::Str(v) => Arc::make_mut(v).push(None),
+            Column::Bool(v) => Arc::make_mut(v).push(None),
         }
     }
 
@@ -202,31 +226,47 @@ impl Column {
     /// unmatched side of a left join).
     pub fn take_opt(&self, indices: &[Option<usize>]) -> Column {
         match self {
-            Column::Int(v) => Column::Int(
+            Column::Int(v) => Column::Int(Arc::new(
                 indices.iter().map(|ix| ix.and_then(|i| v[i])).collect(),
-            ),
-            Column::Float(v) => Column::Float(
+            )),
+            Column::Float(v) => Column::Float(Arc::new(
                 indices.iter().map(|ix| ix.and_then(|i| v[i])).collect(),
-            ),
-            Column::Str(v) => Column::Str(
+            )),
+            Column::Str(v) => Column::Str(Arc::new(
                 indices
                     .iter()
                     .map(|ix| ix.and_then(|i| v[i].clone()))
                     .collect(),
-            ),
-            Column::Bool(v) => Column::Bool(
+            )),
+            Column::Bool(v) => Column::Bool(Arc::new(
                 indices.iter().map(|ix| ix.and_then(|i| v[i])).collect(),
-            ),
+            )),
         }
     }
 
     /// Gather rows by index (all present).
     pub fn take(&self, indices: &[usize]) -> Column {
         match self {
-            Column::Int(v) => Column::Int(indices.iter().map(|&i| v[i]).collect()),
-            Column::Float(v) => Column::Float(indices.iter().map(|&i| v[i]).collect()),
-            Column::Str(v) => Column::Str(indices.iter().map(|&i| v[i].clone()).collect()),
-            Column::Bool(v) => Column::Bool(indices.iter().map(|&i| v[i]).collect()),
+            Column::Int(v) => Column::from_ints(indices.iter().map(|&i| v[i])),
+            Column::Float(v) => {
+                Column::Float(Arc::new(indices.iter().map(|&i| v[i]).collect()))
+            }
+            Column::Str(v) => {
+                Column::Str(Arc::new(indices.iter().map(|&i| v[i].clone()).collect()))
+            }
+            Column::Bool(v) => Column::from_bools(indices.iter().map(|&i| v[i])),
+        }
+    }
+
+    /// Approximate heap footprint of the dense payload in bytes (used for
+    /// cache observability; string payloads count the `Arc<str>` headers,
+    /// not the shared string bytes).
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len() * std::mem::size_of::<Option<i64>>(),
+            Column::Float(v) => v.len() * std::mem::size_of::<Option<f64>>(),
+            Column::Str(v) => v.len() * std::mem::size_of::<Option<Arc<str>>>(),
+            Column::Bool(v) => v.len() * std::mem::size_of::<Option<bool>>(),
         }
     }
 
@@ -394,5 +434,37 @@ mod tests {
         assert_eq!(c.get_f64(0), Some(1.0));
         assert_eq!(c.get_f64(1), Some(0.0));
         assert_eq!(c.get_f64(2), None);
+    }
+
+    #[test]
+    fn clone_is_zero_copy() {
+        let c = int_col();
+        let d = c.clone();
+        assert!(c.shares_payload(&d), "clone must share the payload Arc");
+        // Independent builds never share, even with equal contents.
+        assert!(!c.shares_payload(&int_col()));
+    }
+
+    #[test]
+    fn mutation_detaches_shared_payload() {
+        let c = int_col();
+        let mut d = c.clone();
+        d.push(Value::Int(99)).unwrap();
+        assert!(!c.shares_payload(&d), "push must copy-on-write");
+        assert_eq!(c.len(), 4, "original untouched by clone's mutation");
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.get(4), Value::Int(99));
+
+        let mut e = c.clone();
+        e.push_null();
+        assert_eq!(c.len(), 4);
+        assert_eq!(e.null_count(), c.null_count() + 1);
+    }
+
+    #[test]
+    fn payload_bytes_scales_with_len() {
+        let c = int_col();
+        assert_eq!(c.payload_bytes(), 4 * std::mem::size_of::<Option<i64>>());
+        assert_eq!(Column::empty(DType::Str).payload_bytes(), 0);
     }
 }

@@ -18,9 +18,7 @@ use crate::value::Key;
 pub fn label_encode_column(col: &Column) -> Column {
     match col {
         Column::Int(_) | Column::Float(_) => col.clone(),
-        Column::Bool(v) => {
-            Column::Int(v.iter().map(|b| b.map(i64::from)).collect())
-        }
+        Column::Bool(v) => Column::from_ints(v.iter().map(|b| b.map(i64::from))),
         Column::Str(_) => {
             let mut codes: HashMap<Key, i64> = HashMap::new();
             let mut out: Vec<Option<i64>> = Vec::with_capacity(col.len());
@@ -34,7 +32,7 @@ pub fn label_encode_column(col: &Column) -> Column {
                     }
                 }
             }
-            Column::Int(out)
+            Column::from_ints(out)
         }
     }
 }

@@ -10,8 +10,9 @@
 //! ## Determinism model
 //!
 //! Representative picks are a pure function of `(seed, key, row content)`:
-//! for each duplicated key, the row whose stable content fingerprint is
-//! minimal wins. This makes the pick independent of
+//! each row carries a **seed-independent** stable content fingerprint, and
+//! for each duplicated key the row minimizing `mix(seed, fingerprint)` wins.
+//! This makes the pick independent of
 //!
 //! * **hash-map iteration order** — the old implementation drew from a
 //!   shared RNG while iterating a `HashMap`, so which key consumed which
@@ -22,14 +23,20 @@
 //!   is picked;
 //! * **traversal order** — there is no shared RNG stream, so evaluating
 //!   joins in a different order (or in parallel) cannot perturb the picks
-//!   of unrelated joins.
+//!   of unrelated joins;
+//! * **caching** — because fingerprints do not bake the seed in, a
+//!   [`JoinIndex`] built once per `(table, join column)` serves every seed:
+//!   the per-seed work degrades from re-hashing every duplicate row's full
+//!   content to one [`mix_u64`] per candidate. Cached and uncached joins are
+//!   bit-identical by construction — [`left_join_normalized`] is literally
+//!   [`left_join_with_index`] over a transient index.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 
 use crate::column::Column;
 use crate::error::Result;
-use crate::stable_hash::StableHasher;
+use crate::stable_hash::{mix_u64, StableHasher};
 use crate::table::Table;
 use crate::value::{Key, Value};
 
@@ -91,13 +98,14 @@ fn hash_value(h: &mut StableHasher, v: &Value) {
     }
 }
 
-/// Content fingerprint of one right-table row under `seed`: hashes the seed,
-/// the join key, and every cell of the row. Two rows with identical content
+/// Seed-independent content fingerprint of one right-table row: hashes the
+/// join key and every cell of the row. Two rows with identical content
 /// always fingerprint identically, so the representative pick cannot depend
-/// on where in the table a row happens to sit.
-fn row_fingerprint(right: &Table, row: usize, seed: u64, key: &Key) -> u64 {
+/// on where in the table a row happens to sit — and because the seed is
+/// *not* part of the fingerprint, one fingerprint pass serves every seed
+/// (the per-seed pick folds the seed in with [`mix_u64`]).
+fn content_fingerprint(right: &Table, row: usize, key: &Key) -> u64 {
     let mut h = StableHasher::new();
-    h.write_u64(seed);
     key.hash(&mut h);
     for c in 0..right.n_cols() {
         hash_value(&mut h, &right.column_at(c).get(row));
@@ -105,46 +113,123 @@ fn row_fingerprint(right: &Table, row: usize, seed: u64, key: &Key) -> u64 {
     h.finish()
 }
 
-/// Build the key → representative-row map for the right table.
-///
-/// Rows are grouped by join key; for keys with multiple rows the
-/// representative is the row with the minimal content fingerprint under
-/// `seed` — a pseudo-random pick that is deterministic per seed and
-/// independent of both map-iteration and row-insertion order (ties on the
-/// fingerprint mean identical row content, where any pick is equivalent;
-/// the lower row index wins for full in-table determinism).
-fn representative_rows(right: &Table, right_key: &Column, seed: u64) -> HashMap<Key, usize> {
-    let mut groups: HashMap<Key, Vec<usize>> = HashMap::new();
-    for row in 0..right_key.len() {
-        if let Some(k) = right_key.key(row) {
-            groups.entry(k).or_default().push(row);
-        }
-    }
-    groups
-        .into_iter()
-        .map(|(k, rows)| {
-            let pick = if rows.len() == 1 {
-                rows[0]
-            } else {
-                rows.iter()
-                    .copied()
-                    .min_by_key(|&r| (row_fingerprint(right, r, seed, &k), r))
-                    .expect("duplicate-key group is non-empty")
-            };
-            (k, pick)
-        })
-        .collect()
+/// The candidate rows of one join key inside a [`JoinIndex`].
+#[derive(Debug, Clone)]
+enum KeyGroup {
+    /// Exactly one row carries this key: no fingerprint needed, the pick is
+    /// forced for every seed.
+    Unique(u32),
+    /// Duplicated key: `(content fingerprint, row)` per candidate. The
+    /// per-seed representative minimizes `(mix(seed, fingerprint), row)`.
+    Dups(Vec<(u64, u32)>),
 }
 
-/// Choose a fresh name for a right-hand column in the join result.
-fn disambiguate(base: &str, taken: &dyn Fn(&str) -> bool) -> String {
-    if !taken(base) {
+/// A reusable join index for one `(right table, join column)` pair: join key
+/// → candidate row group with precomputed seed-independent content
+/// fingerprints.
+///
+/// Building the index does all the per-row work a normalized left join needs
+/// from the right table — grouping rows by key and fingerprinting duplicate
+/// rows — **once**. Resolving a seed's representative for a key is then one
+/// hash probe plus one cheap [`mix_u64`] per duplicate candidate, instead of
+/// a full re-hash of every duplicate row's content. Indexes are immutable
+/// and shareable across threads ([`Send`]`+`[`Sync`]), which is what lets a
+/// lake-wide cache serve the parallel discovery fan-out.
+#[derive(Debug, Clone)]
+pub struct JoinIndex {
+    groups: HashMap<Key, KeyGroup>,
+    n_rows: usize,
+    n_dup_rows: usize,
+}
+
+impl JoinIndex {
+    /// Build the index for `right` grouped by its `right_key` column.
+    /// Fingerprints are only computed for keys with ≥ 2 rows, so unique-key
+    /// tables pay nothing beyond the grouping.
+    pub fn build(right: &Table, right_key: &Column) -> JoinIndex {
+        let mut groups: HashMap<Key, KeyGroup> = HashMap::new();
+        let mut n_dup_rows = 0usize;
+        for row in 0..right_key.len() {
+            let Some(k) = right_key.key(row) else { continue };
+            match groups.entry(k) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(KeyGroup::Unique(row as u32));
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    n_dup_rows += 1;
+                    let k = e.key().clone();
+                    match e.get_mut() {
+                        KeyGroup::Unique(first) => {
+                            let first = *first;
+                            n_dup_rows += 1; // the first row becomes a dup too
+                            let dups = vec![
+                                (content_fingerprint(right, first as usize, &k), first),
+                                (content_fingerprint(right, row, &k), row as u32),
+                            ];
+                            e.insert(KeyGroup::Dups(dups));
+                        }
+                        KeyGroup::Dups(dups) => {
+                            dups.push((content_fingerprint(right, row, &k), row as u32));
+                        }
+                    }
+                }
+            }
+        }
+        JoinIndex { groups, n_rows: right_key.len(), n_dup_rows }
+    }
+
+    /// The representative row for `key` under `seed`, or `None` when the key
+    /// is absent. For duplicated keys the row minimizing
+    /// `(mix(seed, fingerprint), row)` wins: deterministic per seed,
+    /// independent of row insertion order (ties on the mix imply identical
+    /// row content, where any pick is value-equivalent; the lower row index
+    /// breaks them for full in-table determinism).
+    pub fn representative(&self, key: &Key, seed: u64) -> Option<usize> {
+        match self.groups.get(key)? {
+            KeyGroup::Unique(row) => Some(*row as usize),
+            KeyGroup::Dups(dups) => dups
+                .iter()
+                .min_by_key(|&&(fp, row)| (mix_u64(seed, fp), row))
+                .map(|&(_, row)| row as usize),
+        }
+    }
+
+    /// Number of distinct non-null join keys.
+    pub fn n_keys(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of right-table rows indexed (including null-key rows, which
+    /// are never indexed but were scanned).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of rows belonging to duplicated keys (each carries a cached
+    /// fingerprint).
+    pub fn n_dup_rows(&self) -> usize {
+        self.n_dup_rows
+    }
+
+    /// Approximate heap footprint in bytes (keys + group table + dup lists),
+    /// for cache observability.
+    pub fn resident_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<(Key, KeyGroup)>();
+        self.groups.len() * entry + self.n_dup_rows * std::mem::size_of::<(u64, u32)>()
+    }
+}
+
+/// Choose a fresh name for a right-hand column in the join result; `taken`
+/// holds every name already present (left schema plus previously renamed
+/// right columns).
+fn disambiguate(base: &str, taken: &HashSet<String>) -> String {
+    if !taken.contains(base) {
         return base.to_string();
     }
     let mut k = 2usize;
     loop {
         let cand = format!("{base}#{k}");
-        if !taken(&cand) {
+        if !taken.contains(cand.as_str()) {
             return cand;
         }
         k += 1;
@@ -174,36 +259,61 @@ pub fn left_join_normalized(
     prefix: &str,
     seed: u64,
 ) -> Result<JoinOutput> {
-    let lk = left.column(left_key)?;
     let rk = right.column(right_key)?;
-    let reps = representative_rows(right, rk, seed);
+    let index = JoinIndex::build(right, rk);
+    left_join_with_index(left, right, &index, left_key, prefix, seed)
+}
+
+/// [`left_join_normalized`] with a prebuilt [`JoinIndex`] for the right
+/// table's join column.
+///
+/// The index must have been built over `right`'s join column (the caller —
+/// typically a lake-wide cache — owns that association). Output is
+/// **bit-identical** to [`left_join_normalized`] with the same arguments:
+/// the uncached entry point is a thin wrapper that builds a transient index
+/// and calls this function.
+pub fn left_join_with_index(
+    left: &Table,
+    right: &Table,
+    index: &JoinIndex,
+    left_key: &str,
+    prefix: &str,
+    seed: u64,
+) -> Result<JoinOutput> {
+    let lk = left.column(left_key)?;
 
     let n = left.n_rows();
     let mut indices: Vec<Option<usize>> = Vec::with_capacity(n);
     let mut matched = 0usize;
     for row in 0..n {
-        let ix = lk.key(row).and_then(|k| reps.get(&k).copied());
+        let ix = lk.key(row).and_then(|k| index.representative(&k, seed));
         if ix.is_some() {
             matched += 1;
         }
         indices.push(ix);
     }
 
-    // Assemble: all left columns, then all right columns (renamed).
+    // Assemble: all left columns, then all right columns (renamed). Left
+    // columns are Arc-backed, so the clones here are O(1) pointer bumps —
+    // the accumulated frontier is shared across hops, not deep-copied.
     let mut cols: Vec<(String, Column)> = Vec::with_capacity(left.n_cols() + right.n_cols());
+    let mut taken: HashSet<String> = HashSet::with_capacity(left.n_cols() + right.n_cols());
     for i in 0..left.n_cols() {
-        cols.push((left.field_at(i).name.clone(), left.column_at(i).clone()));
+        let name = left.field_at(i).name.clone();
+        taken.insert(name.clone());
+        cols.push((name, left.column_at(i).clone()));
     }
+    let prefix_dot = format!("{prefix}.");
     let mut right_columns = Vec::with_capacity(right.n_cols());
     for i in 0..right.n_cols() {
         let rname = &right.field_at(i).name;
-        let base = if rname.starts_with(&format!("{prefix}.")) {
+        let base = if rname.starts_with(&prefix_dot) {
             rname.clone()
         } else {
-            format!("{prefix}.{rname}")
+            format!("{prefix_dot}{rname}")
         };
-        let taken = |cand: &str| cols.iter().any(|(n, _)| n == cand);
         let name = disambiguate(&base, &taken);
+        taken.insert(name.clone());
         right_columns.push(name.clone());
         cols.push((name, right.column_at(i).take_opt(&indices)));
     }
@@ -407,5 +517,71 @@ mod tests {
     fn missing_key_column_errors() {
         assert!(left_join_normalized(&left(), &right(), "nope", "key", "p", 1).is_err());
         assert!(left_join_normalized(&left(), &right(), "id", "nope", "p", 1).is_err());
+    }
+
+    #[test]
+    fn indexed_join_is_bit_identical_to_uncached() {
+        let l = left();
+        let r = right();
+        let index = JoinIndex::build(&r, r.column("key").unwrap());
+        for seed in [1u64, 7, 42, 0xdead_beef] {
+            let plain = left_join_normalized(&l, &r, "id", "key", "ext", seed).unwrap();
+            let indexed = left_join_with_index(&l, &r, &index, "id", "ext", seed).unwrap();
+            assert_eq!(plain.table, indexed.table, "seed {seed}");
+            assert_eq!(plain.matched, indexed.matched);
+            assert_eq!(plain.right_columns, indexed.right_columns);
+        }
+    }
+
+    #[test]
+    fn one_index_serves_many_seeds() {
+        // The whole point of seed-independent fingerprints: a single index
+        // must reproduce every seed's picks, including seeds that differ.
+        let n = 64i64;
+        let rkeys: Vec<Option<i64>> = (0..n).map(|i| Some(i / 8)).collect();
+        let rvals: Vec<Option<i64>> = (0..n).map(Some).collect();
+        let r = Table::new(
+            "ext",
+            vec![("key", Column::from_ints(rkeys)), ("v", Column::from_ints(rvals))],
+        )
+        .unwrap();
+        let lkeys: Vec<Option<i64>> = (0..n / 8).map(Some).collect();
+        let l = Table::new("base", vec![("id", Column::from_ints(lkeys))]).unwrap();
+        let index = JoinIndex::build(&r, r.column("key").unwrap());
+        let a = left_join_with_index(&l, &r, &index, "id", "ext", 1).unwrap();
+        let b = left_join_with_index(&l, &r, &index, "id", "ext", 2).unwrap();
+        assert_ne!(a.table, b.table, "seed must influence picks through the index");
+        for seed in [1u64, 2, 99] {
+            let plain = left_join_normalized(&l, &r, "id", "key", "ext", seed).unwrap();
+            let indexed = left_join_with_index(&l, &r, &index, "id", "ext", seed).unwrap();
+            assert_eq!(plain.table, indexed.table, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn index_counts_keys_and_dups() {
+        let r = right(); // keys 1,1,3,9 → 3 distinct, one dup group of 2
+        let index = JoinIndex::build(&r, r.column("key").unwrap());
+        assert_eq!(index.n_keys(), 3);
+        assert_eq!(index.n_rows(), 4);
+        assert_eq!(index.n_dup_rows(), 2);
+        assert!(index.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn index_ignores_null_keys() {
+        let r = Table::new(
+            "ext",
+            vec![
+                ("key", Column::from_ints([Some(1), None, Some(2)])),
+                ("v", Column::from_ints([Some(10), Some(20), Some(30)])),
+            ],
+        )
+        .unwrap();
+        let index = JoinIndex::build(&r, r.column("key").unwrap());
+        assert_eq!(index.n_keys(), 2);
+        assert_eq!(index.representative(&Key::Num(1), 42), Some(0));
+        assert_eq!(index.representative(&Key::Num(2), 42), Some(2));
+        assert_eq!(index.representative(&Key::Num(77), 42), None);
     }
 }

@@ -32,6 +32,7 @@
 // CI runs clippy with `-D warnings`, so this is effectively a deny there.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod cache;
 pub mod column;
 pub mod csv;
 pub mod encode;
@@ -47,6 +48,7 @@ pub mod stats;
 pub mod table;
 pub mod value;
 
+pub use cache::{CacheStats, LakeIndexCache};
 pub use column::Column;
 pub use error::{DataError, Result};
 pub use schema::{Field, Schema};

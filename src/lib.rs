@@ -68,7 +68,7 @@ pub mod prelude {
         DiscoveryResult, LakeLoadReport, MethodResult, PathFailure, QuarantinedTable, RankedPath,
         SearchContext, TrainOutcome, TruncationReason,
     };
-    pub use autofeat_data::{Column, DType, Table, Value};
+    pub use autofeat_data::{CacheStats, Column, DType, LakeIndexCache, Table, Value};
     pub use autofeat_discovery::{MatcherConfig, SchemaMatcher};
     pub use autofeat_graph::{Drg, DrgBuilder, JoinPath};
     pub use autofeat_metrics::{RedundancyMethod, RelevanceMethod};

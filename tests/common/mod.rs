@@ -1,0 +1,126 @@
+//! Shared fixtures and assertions for the integration tests.
+//!
+//! Each test binary compiles this module independently and typically uses a
+//! subset of it, so dead-code lints are suppressed at the module level.
+#![allow(dead_code)]
+
+use autofeat::prelude::*;
+
+/// A snowflake-ish lake with duplicate join keys (so representative picks
+/// matter), a transitive chain, a fan-out of siblings, and an unjoinable
+/// table — enough structure to exercise every pruning branch.
+pub fn lake_ctx(n: usize) -> SearchContext {
+    lake_ctx_permuted(n, 1)
+}
+
+/// [`lake_ctx`] with every satellite's rows reordered by the permutation
+/// `i ↦ (i * stride) mod m` (`stride` must be coprime to every satellite's
+/// row count; any odd stride is, since row counts here are `3n` and `n`
+/// with even `n`). `stride == 1` is the identity layout. Representative
+/// picks are content-addressed, so discovery results must be bit-identical
+/// across strides.
+pub fn lake_ctx_permuted(n: usize, stride: usize) -> SearchContext {
+    let permute = |m: usize| -> Vec<usize> {
+        let p: Vec<usize> = (0..m).map(|i| (i * stride) % m).collect();
+        let mut seen = vec![false; m];
+        for &i in &p {
+            assert!(!seen[i], "stride {stride} is not coprime to {m}");
+            seen[i] = true;
+        }
+        p
+    };
+    let ints = |vals: &[i64], order: &[usize]| {
+        Column::from_ints(order.iter().map(|&i| Some(vals[i])).collect::<Vec<_>>())
+    };
+    let floats = |vals: &[f64], order: &[usize]| {
+        Column::from_floats(order.iter().map(|&i| Some(vals[i])).collect::<Vec<_>>())
+    };
+
+    let labels: Vec<i64> = (0..n as i64).map(|i| (i * 7) % 2).collect();
+    let base = Table::new(
+        "base",
+        vec![
+            ("k", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+            (
+                "b0",
+                Column::from_floats((0..n).map(|i| Some(((i * 29) % 23) as f64)).collect::<Vec<_>>()),
+            ),
+            ("target", Column::from_ints(labels.iter().copied().map(Some).collect::<Vec<_>>())),
+        ],
+    )
+    .unwrap();
+    // 3 rows per key, feature values differ per duplicate: picks observable.
+    let m3 = n * 3;
+    let p3 = permute(m3);
+    let p1 = permute(n);
+    let dup_keys: Vec<i64> = (0..m3 as i64).map(|i| i / 3).collect();
+    let s1 = Table::new(
+        "s1",
+        vec![
+            ("k", ints(&dup_keys, &p3)),
+            ("k2", ints(&(0..m3 as i64).map(|i| 500 + i / 3).collect::<Vec<_>>(), &p3)),
+            ("f1", floats(&(0..m3 as i64).map(|i| ((i * 13) % 41) as f64).collect::<Vec<_>>(), &p3)),
+        ],
+    )
+    .unwrap();
+    let s2 = Table::new(
+        "s2",
+        vec![
+            ("k2", ints(&(0..n as i64).map(|i| 500 + i).collect::<Vec<_>>(), &p1)),
+            ("deep", floats(&labels.iter().map(|&l| l as f64).collect::<Vec<_>>(), &p1)),
+        ],
+    )
+    .unwrap();
+    let sib = Table::new(
+        "sib",
+        vec![
+            ("k", ints(&dup_keys, &p3)),
+            ("g", floats(&(0..m3 as i64).map(|i| ((i * 5) % 17) as f64).collect::<Vec<_>>(), &p3)),
+        ],
+    )
+    .unwrap();
+    // Keys never match the base: the unjoinable-pruning branch.
+    let orphan = Table::new(
+        "orphan",
+        vec![
+            ("k", ints(&(9000..9000 + n as i64).collect::<Vec<_>>(), &p1)),
+            ("h", floats(&(0..n).map(|i| i as f64).collect::<Vec<_>>(), &p1)),
+        ],
+    )
+    .unwrap();
+    SearchContext::from_kfk(
+        vec![base, s1, s2, sib, orphan],
+        &[
+            ("base".into(), "k".into(), "s1".into(), "k".into()),
+            ("s1".into(), "k2".into(), "s2".into(), "k2".into()),
+            ("base".into(), "k".into(), "sib".into(), "k".into()),
+            ("base".into(), "k".into(), "orphan".into(), "k".into()),
+        ],
+        "base",
+        "target",
+    )
+    .unwrap()
+}
+
+/// Everything except the informational `threads_used`/`elapsed`/`cache`
+/// fields must match to the bit.
+pub fn assert_bit_identical(a: &DiscoveryResult, b: &DiscoveryResult, what: &str) {
+    assert_eq!(a.ranked.len(), b.ranked.len(), "{what}: ranked length");
+    for (x, y) in a.ranked.iter().zip(&b.ranked) {
+        assert_eq!(x.path, y.path, "{what}");
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "{what}: score bits of {}",
+            x.path
+        );
+        assert_eq!(x.features, y.features, "{what}: features of {}", x.path);
+    }
+    assert_eq!(a.n_joins_evaluated, b.n_joins_evaluated, "{what}");
+    assert_eq!(a.n_pruned_unjoinable, b.n_pruned_unjoinable, "{what}");
+    assert_eq!(a.n_pruned_quality, b.n_pruned_quality, "{what}");
+    assert_eq!(a.truncated, b.truncated, "{what}");
+    assert_eq!(a.truncation, b.truncation, "{what}");
+    assert_eq!(a.failures.len(), b.failures.len(), "{what}");
+    assert_eq!(a.selected_features, b.selected_features, "{what}");
+}

@@ -1,0 +1,100 @@
+//! The tentpole guarantee of the lake-wide join-index cache: discovery with
+//! the cache on is **bit-identical** to discovery with it off — across
+//! seeds, worker-thread counts, and right-table row permutations — and a
+//! repeat run through the same `(table, join column)` entries actually hits
+//! the cache instead of rebuilding.
+
+use autofeat::prelude::*;
+
+mod common;
+use common::{assert_bit_identical, lake_ctx, lake_ctx_permuted};
+
+fn discover(ctx: &SearchContext, seed: u64, threads: usize, cache: bool) -> DiscoveryResult {
+    AutoFeat::new(
+        AutoFeatConfig::default()
+            .with_seed(seed)
+            .with_threads(threads)
+            .with_cache(cache),
+    )
+    .discover(ctx)
+    .unwrap()
+}
+
+#[test]
+fn cached_discovery_is_bit_identical_across_seeds_threads_and_permutations() {
+    // Strides are odd ⇒ coprime to the satellite row counts (3n and n,
+    // n = 120): three distinct physical layouts of the same logical lake.
+    for stride in [1usize, 7, 113] {
+        let ctx = lake_ctx_permuted(120, stride);
+        for seed in [7u64, 42, 1234] {
+            let reference = discover(&ctx, seed, 1, false);
+            assert!(
+                !reference.ranked.is_empty(),
+                "stride {stride}, seed {seed}: search must rank paths for the \
+                 comparison to mean anything"
+            );
+            for threads in [1usize, 2, 4] {
+                let cached = discover(&ctx, seed, threads, true);
+                assert!(cached.cache.is_some(), "cache stats must be reported");
+                assert_bit_identical(
+                    &reference,
+                    &cached,
+                    &format!("stride {stride}, seed {seed}, {threads} thread(s), cached"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn row_permutations_do_not_change_cached_results() {
+    // Representative picks are content-addressed and the cache memoizes
+    // per-(table, column) indexes — neither may couple results to the
+    // physical row order of the satellites.
+    let reference = discover(&lake_ctx(120), 42, 2, true);
+    for stride in [7usize, 113] {
+        let permuted = discover(&lake_ctx_permuted(120, stride), 42, 2, true);
+        assert_bit_identical(&reference, &permuted, &format!("stride {stride}"));
+    }
+}
+
+#[test]
+fn second_run_hits_cache_without_rebuilding() {
+    let ctx = lake_ctx(100);
+    let engine = AutoFeat::new(AutoFeatConfig::default());
+    let first = engine.discover(&ctx).unwrap();
+    let s1 = first.cache.expect("cache on by default");
+    assert!(s1.misses > 0, "cold run must build indexes");
+    assert_eq!(s1.hits, 0, "nothing resident on the first run");
+    assert!(s1.entries > 0);
+    assert!(s1.resident_bytes > 0);
+
+    let second = engine.discover(&ctx).unwrap();
+    let s2 = second.cache.expect("cache on by default");
+    assert_eq!(s2.misses, 0, "warm run must not rebuild anything");
+    assert!(s2.hits > 0, "warm run must hit the cache");
+    assert_eq!(s2.entries, s1.entries, "occupancy unchanged");
+    assert_eq!(s2.resident_bytes, s1.resident_bytes);
+    assert_bit_identical(&first, &second, "cold vs warm run");
+}
+
+#[test]
+fn second_join_through_same_table_column_hits() {
+    // Unit-level check straight on the cache: two joins through the same
+    // (table, column) build once and hit once.
+    let ctx = lake_ctx(60);
+    let cache = LakeIndexCache::new();
+    let base = ctx.base_table();
+    let sat = ctx.table("s1").unwrap();
+    let a = cache
+        .left_join_normalized(base, sat, "k", "k", "s1", 7)
+        .unwrap();
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 1));
+    let b = cache
+        .left_join_normalized(base, sat, "k", "k", "s1", 7)
+        .unwrap();
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    assert_eq!(a.table, b.table, "hit must reproduce the miss bit-for-bit");
+}

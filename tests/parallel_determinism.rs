@@ -5,108 +5,8 @@
 
 use autofeat::prelude::*;
 
-/// A snowflake-ish lake with duplicate join keys (so representative picks
-/// matter), a transitive chain, a fan-out of siblings, and an unjoinable
-/// table — enough structure to exercise every pruning branch.
-fn lake_ctx(n: usize) -> SearchContext {
-    let labels: Vec<i64> = (0..n as i64).map(|i| (i * 7) % 2).collect();
-    let base = Table::new(
-        "base",
-        vec![
-            ("k", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
-            (
-                "b0",
-                Column::from_floats((0..n).map(|i| Some(((i * 29) % 23) as f64)).collect::<Vec<_>>()),
-            ),
-            ("target", Column::from_ints(labels.iter().copied().map(Some).collect::<Vec<_>>())),
-        ],
-    )
-    .unwrap();
-    // 3 rows per key, feature values differ per duplicate: picks observable.
-    let dup_keys: Vec<Option<i64>> = (0..(n * 3) as i64).map(|i| Some(i / 3)).collect();
-    let s1 = Table::new(
-        "s1",
-        vec![
-            ("k", Column::from_ints(dup_keys.clone())),
-            ("k2", Column::from_ints((0..(n * 3) as i64).map(|i| Some(500 + i / 3)).collect::<Vec<_>>())),
-            (
-                "f1",
-                Column::from_floats(
-                    (0..(n * 3) as i64).map(|i| Some(((i * 13) % 41) as f64)).collect::<Vec<_>>(),
-                ),
-            ),
-        ],
-    )
-    .unwrap();
-    let s2 = Table::new(
-        "s2",
-        vec![
-            ("k2", Column::from_ints((0..n as i64).map(|i| Some(500 + i)).collect::<Vec<_>>())),
-            (
-                "deep",
-                Column::from_floats(labels.iter().map(|&l| Some(l as f64)).collect::<Vec<_>>()),
-            ),
-        ],
-    )
-    .unwrap();
-    let sib = Table::new(
-        "sib",
-        vec![
-            ("k", Column::from_ints(dup_keys)),
-            (
-                "g",
-                Column::from_floats(
-                    (0..(n * 3) as i64).map(|i| Some(((i * 5) % 17) as f64)).collect::<Vec<_>>(),
-                ),
-            ),
-        ],
-    )
-    .unwrap();
-    // Keys never match the base: the unjoinable-pruning branch.
-    let orphan = Table::new(
-        "orphan",
-        vec![
-            ("k", Column::from_ints((9000..9000 + n as i64).map(Some).collect::<Vec<_>>())),
-            ("h", Column::from_floats((0..n).map(|i| Some(i as f64)).collect::<Vec<_>>())),
-        ],
-    )
-    .unwrap();
-    SearchContext::from_kfk(
-        vec![base, s1, s2, sib, orphan],
-        &[
-            ("base".into(), "k".into(), "s1".into(), "k".into()),
-            ("s1".into(), "k2".into(), "s2".into(), "k2".into()),
-            ("base".into(), "k".into(), "sib".into(), "k".into()),
-            ("base".into(), "k".into(), "orphan".into(), "k".into()),
-        ],
-        "base",
-        "target",
-    )
-    .unwrap()
-}
-
-/// Everything except the informational `threads_used`/`elapsed` fields must
-/// match to the bit.
-fn assert_bit_identical(a: &DiscoveryResult, b: &DiscoveryResult, what: &str) {
-    assert_eq!(a.ranked.len(), b.ranked.len(), "{what}: ranked length");
-    for (x, y) in a.ranked.iter().zip(&b.ranked) {
-        assert_eq!(x.path, y.path, "{what}");
-        assert_eq!(
-            x.score.to_bits(),
-            y.score.to_bits(),
-            "{what}: score bits of {}",
-            x.path
-        );
-        assert_eq!(x.features, y.features, "{what}: features of {}", x.path);
-    }
-    assert_eq!(a.n_joins_evaluated, b.n_joins_evaluated, "{what}");
-    assert_eq!(a.n_pruned_unjoinable, b.n_pruned_unjoinable, "{what}");
-    assert_eq!(a.n_pruned_quality, b.n_pruned_quality, "{what}");
-    assert_eq!(a.truncated, b.truncated, "{what}");
-    assert_eq!(a.truncation, b.truncation, "{what}");
-    assert_eq!(a.failures.len(), b.failures.len(), "{what}");
-    assert_eq!(a.selected_features, b.selected_features, "{what}");
-}
+mod common;
+use common::{assert_bit_identical, lake_ctx};
 
 #[test]
 fn search_is_bit_identical_across_thread_counts_and_seeds() {
