@@ -96,6 +96,8 @@ fn results_identical(a: &DiscoveryResult, b: &DiscoveryResult) -> bool {
         && a.n_joins_evaluated == b.n_joins_evaluated
         && a.n_pruned_unjoinable == b.n_pruned_unjoinable
         && a.n_pruned_quality == b.n_pruned_quality
+        && a.n_pruned_similarity == b.n_pruned_similarity
+        && a.n_pruned_budget == b.n_pruned_budget
         && a.truncation == b.truncation
         && a.selected_features == b.selected_features
 }
@@ -172,7 +174,11 @@ fn main() {
     let jps = |secs: f64| n_joins as f64 / secs.max(1e-9);
     let (jps_1t, jps_uncached, jps_cold, jps_warm) =
         (jps(secs_1t), jps(secs_uncached), jps(secs_cold), jps(secs_warm));
-    let thread_speedup = secs_1t / secs_uncached.max(1e-9);
+    // On a single-core box the "N workers" run IS the 1-worker run (threads
+    // is clamped above), so a speedup ratio would just be run-to-run noise
+    // around 1.0 — report it as not-applicable instead of a bogus number.
+    let thread_speedup =
+        (avail > 1 && threads > 1).then(|| secs_1t / secs_uncached.max(1e-9));
     let cache_speedup = secs_uncached / secs_warm.max(1e-9);
 
     println!(
@@ -181,14 +187,14 @@ fn main() {
         "cache_spd", "identical"
     );
     println!(
-        "{:<10} {:>8} {:>9.1} {:>11.1} {:>9.1} {:>9.1} {:>10.2}x {:>10.2}x {:>10}",
+        "{:<10} {:>8} {:>9.1} {:>11.1} {:>9.1} {:>9.1} {:>11} {:>10.2}x {:>10}",
         if full { "wide-full" } else { "wide" },
         n_joins,
         jps_1t,
         jps_uncached,
         jps_cold,
         jps_warm,
-        thread_speedup,
+        thread_speedup.map_or("n/a".to_string(), |s| format!("{s:.2}x")),
         cache_speedup,
         identical,
     );
@@ -232,7 +238,16 @@ fn main() {
     let _ = writeln!(json, "  \"joins_per_sec_uncached\": {jps_uncached:.3},");
     let _ = writeln!(json, "  \"joins_per_sec_cold_cache\": {jps_cold:.3},");
     let _ = writeln!(json, "  \"joins_per_sec_warm_cache\": {jps_warm:.3},");
-    let _ = writeln!(json, "  \"thread_speedup\": {thread_speedup:.4},");
+    // `null` (not a fake ~1.0 ratio) when single-core made the comparison
+    // meaningless.
+    match thread_speedup {
+        Some(s) => {
+            let _ = writeln!(json, "  \"thread_speedup\": {s:.4},");
+        }
+        None => {
+            let _ = writeln!(json, "  \"thread_speedup\": null,");
+        }
+    }
     let _ = writeln!(json, "  \"cache_speedup\": {cache_speedup:.4},");
     let _ = writeln!(json, "  \"cache_cold\": {},", cache_json(&cold_stats));
     let _ = writeln!(json, "  \"cache_warm\": {},", cache_json(&warm_stats));

@@ -31,6 +31,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use autofeat_data::encode::label_encode_column;
+use autofeat_obs as obs;
+use autofeat_obs::RunTrace;
 use autofeat_data::join::left_join_normalized;
 use autofeat_data::parallel::build_indexed_with;
 use autofeat_data::sample::stratified_sample;
@@ -97,6 +99,14 @@ pub struct DiscoveryResult {
     pub n_pruned_unjoinable: usize,
     /// Paths pruned by the τ data-quality rule.
     pub n_pruned_quality: usize,
+    /// Candidate edges pruned by the similarity-score rule (per neighbour,
+    /// only the top-scored join column(s) are expanded; the rest are
+    /// counted here without ever being joined).
+    pub n_pruned_similarity: usize,
+    /// Enumerated candidates dropped without evaluation because a budget
+    /// gate fired: the `max_joins` quota truncated the level, or the
+    /// `time_budget` deadline expired before the level ran.
+    pub n_pruned_budget: usize,
     /// Whether exploration stopped early (see `truncation` for why).
     pub truncated: bool,
     /// Why exploration stopped early, when it did.
@@ -120,6 +130,11 @@ pub struct DiscoveryResult {
     /// configured with `cache: false`. Informational only — results are
     /// bit-identical with the cache on or off.
     pub cache: Option<CacheStats>,
+    /// Structured run trace (per-phase wall times, pipeline counters,
+    /// bounded event log), present when the run was configured with
+    /// tracing (`trace`, `trace_path`, or `AUTOFEAT_TRACE`). Informational
+    /// only — results are bit-identical with tracing on or off.
+    pub trace: Option<RunTrace>,
 }
 
 impl DiscoveryResult {
@@ -213,7 +228,36 @@ impl AutoFeat {
     }
 
     /// Run Algorithm 1 over the context, producing the ranked path list.
+    ///
+    /// When tracing is enabled (config `trace`/`trace_path` or the
+    /// `AUTOFEAT_TRACE` environment variable), the whole run executes under
+    /// an ambient [`Tracer`](autofeat_obs::Tracer); the aggregated
+    /// [`RunTrace`] is attached to the result and, when a path is
+    /// configured, written as JSON. Trace collection never changes the
+    /// result: traced and untraced runs are bit-identical, and counter
+    /// totals are invariant across worker-thread counts.
     pub fn discover(&self, ctx: &SearchContext) -> Result<DiscoveryResult> {
+        if !self.config.trace_enabled() {
+            return self.discover_inner(ctx);
+        }
+        let tracer = obs::Tracer::enabled();
+        let mut result = obs::with_tracer(&tracer, || self.discover_inner(ctx))?;
+        let trace = tracer.snapshot();
+        if let Some(path) = self.config.resolve_trace_path() {
+            // Fail-soft: a bad trace destination must not fail a discovery
+            // run that already succeeded.
+            if let Err(e) = std::fs::write(&path, trace.to_json()) {
+                eprintln!("autofeat: could not write trace to {}: {e}", path.display());
+            }
+        }
+        result.trace = Some(trace);
+        Ok(result)
+    }
+
+    /// Algorithm 1 proper, running under whatever ambient tracer (possibly
+    /// the inert one) the caller installed.
+    fn discover_inner(&self, ctx: &SearchContext) -> Result<DiscoveryResult> {
+        let _discover_span = obs::span("discover");
         let t0 = Instant::now();
         let cfg = &self.config;
         let workers = cfg.resolve_threads();
@@ -226,6 +270,7 @@ impl AutoFeat {
         // Stratified sample of the base table (only affects feature
         // selection, not final training — §VI). The RNG is used for the
         // sample only; joins derive their seeds per hop.
+        let sample_span = obs::span("sample");
         let base = ctx.base_table();
         let sampled = match cfg.sample_rows {
             Some(cap) if base.n_rows() > cap => {
@@ -272,6 +317,7 @@ impl AutoFeat {
         }
 
         let redundancy_scorer = cfg.redundancy.map(RedundancyScorer::new);
+        drop(sample_span);
 
         let Some(base_node) = drg.node(ctx.base_name()) else {
             // Base is disconnected from the graph: nothing to discover.
@@ -280,6 +326,8 @@ impl AutoFeat {
                 n_joins_evaluated: 0,
                 n_pruned_unjoinable: 0,
                 n_pruned_quality: 0,
+                n_pruned_similarity: 0,
+                n_pruned_budget: 0,
                 truncated: false,
                 truncation: None,
                 failures: Vec::new(),
@@ -287,6 +335,7 @@ impl AutoFeat {
                 selected_features: Vec::new(),
                 threads_used: workers,
                 cache: cache_delta(&cache_start),
+                trace: None,
             });
         };
 
@@ -294,6 +343,9 @@ impl AutoFeat {
         let mut n_joins = 0usize;
         let mut n_unjoinable = 0usize;
         let mut n_quality = 0usize;
+        let mut n_similarity = 0usize;
+        let mut n_budget = 0usize;
+        let mut n_levels = 0usize;
         let mut truncation: Option<TruncationReason> = None;
         let mut failures: Vec<PathFailure> = Vec::new();
         let mut selected_union: Vec<String> = Vec::new();
@@ -311,8 +363,11 @@ impl AutoFeat {
         }];
 
         while !current.is_empty() {
+            let _level_span = obs::span("level");
+            n_levels += 1;
             // ---- Enumerate this level's candidates, in deterministic
             // order: frontier index, then ascending neighbour, then edge.
+            let enumerate_span = obs::span("enumerate");
             let mut cands: Vec<HopCandidate> = Vec::new();
             for (ei, entry) in current.iter().enumerate() {
                 if entry.path.len() >= cfg.max_path_length {
@@ -328,7 +383,10 @@ impl AutoFeat {
                     };
                     // Similarity-score pruning: expand only the top-scored
                     // join column(s) toward this neighbour.
-                    for eid in drg.best_edges(&edge_ids) {
+                    let n_edges = edge_ids.len();
+                    let best = drg.best_edges(&edge_ids);
+                    n_similarity += n_edges - best.len();
+                    for eid in best {
                         let edge = drg.edge(eid);
                         let Some((_, from_col, to_col)) = edge.oriented_from(entry.node)
                         else {
@@ -360,6 +418,9 @@ impl AutoFeat {
                 }
             }
 
+            obs::add("discover.candidates_enumerated", cands.len() as u64);
+            drop(enumerate_span);
+
             // ---- Truncation gates, applied level-wise so the evaluated
             // candidate set is a deterministic prefix of the enumeration
             // order regardless of thread count.
@@ -367,11 +428,13 @@ impl AutoFeat {
                 if let Some(budget) = cfg.time_budget {
                     if t0.elapsed() >= budget {
                         truncation = Some(TruncationReason::Deadline);
+                        n_budget += cands.len();
                         break;
                     }
                 }
                 let quota = cfg.max_joins.saturating_sub(n_joins);
                 if cands.len() > quota {
+                    n_budget += cands.len() - quota;
                     cands.truncate(quota);
                     truncation = Some(TruncationReason::MaxJoins);
                 }
@@ -379,6 +442,7 @@ impl AutoFeat {
 
             // ---- Stage A (parallel, pure): join + τ quality + relevance +
             // discretization per candidate, fanned out by candidate index.
+            let eval_span = obs::span("eval");
             let evals: Vec<HopEval> = {
                 let current = &current;
                 let labels = &labels;
@@ -468,10 +532,12 @@ impl AutoFeat {
                         // through, no relevance score.
                         None => ((0..candidate_names.len()).collect(), Vec::new()),
                     };
+                    let discretize_span = obs::span("discretize");
                     let codes: Vec<Discretized> = relevant_idx
                         .iter()
                         .map(|&i| discretize_equal_frequency(&candidate_data[i], DEFAULT_BINS))
                         .collect();
+                    drop(discretize_span);
                     let relevant_names: Vec<String> = relevant_idx
                         .iter()
                         .map(|&i| candidate_names[i].clone())
@@ -485,21 +551,51 @@ impl AutoFeat {
                 };
                 build_indexed_with(workers, cands.len(), eval_one)
             };
+            drop(eval_span);
             n_joins += cands.len();
 
             // ---- Stage B (sequential, stateful): streaming redundancy
             // against R_sel, ranking, and counter merging — replayed in
             // candidate-index order, exactly as the sequential walk would.
+            // Trace events are emitted only here, so the event log is
+            // identical at any worker-thread count.
+            let merge_span = obs::span("merge");
             let mut next_level: Vec<Frontier> = Vec::new();
             for (c, eval) in cands.iter().zip(evals) {
                 match eval {
-                    HopEval::Failed(error) => failures.push(PathFailure {
-                        path: current[c.entry].path.clone(),
-                        hop: c.hop.clone(),
-                        error,
-                    }),
-                    HopEval::Unjoinable => n_unjoinable += 1,
-                    HopEval::LowQuality => n_quality += 1,
+                    HopEval::Failed(error) => {
+                        obs::event("hop_failed", || {
+                            format!(
+                                "{} -> {} after [{}]: {error}",
+                                c.hop.from_table,
+                                c.hop.to_table,
+                                current[c.entry].path
+                            )
+                        });
+                        failures.push(PathFailure {
+                            path: current[c.entry].path.clone(),
+                            hop: c.hop.clone(),
+                            error,
+                        });
+                    }
+                    HopEval::Unjoinable => {
+                        obs::event("path_pruned", || {
+                            format!(
+                                "unjoinable: [{}] + {} -> {}",
+                                current[c.entry].path, c.hop.from_table, c.hop.to_table
+                            )
+                        });
+                        n_unjoinable += 1;
+                    }
+                    HopEval::LowQuality => {
+                        obs::event("path_pruned", || {
+                            format!(
+                                "below τ quality: [{}] + {} -> {}",
+                                current[c.entry].path, c.hop.from_table, c.hop.to_table
+                            )
+                        });
+                        n_quality += 1;
+                    }
                     HopEval::Scored(sh) => {
                         let entry = &current[c.entry];
 
@@ -565,6 +661,7 @@ impl AutoFeat {
                     }
                 }
             }
+            drop(merge_span);
             if truncation.is_some() {
                 break;
             }
@@ -579,17 +676,44 @@ impl AutoFeat {
             current = next_level;
         }
 
+        let rank_span = obs::span("rank");
         ranked.sort_by(|a, b| {
             rank_key(b.score)
                 .total_cmp(&rank_key(a.score))
                 .then_with(|| a.path.len().cmp(&b.path.len()))
                 .then_with(|| a.path.to_string().cmp(&b.path.to_string()))
         });
+        drop(rank_span);
+
+        match truncation {
+            Some(TruncationReason::MaxJoins) => {
+                obs::event("truncated", || "max_joins cap reached".to_string());
+            }
+            Some(TruncationReason::Deadline) => {
+                obs::event("truncated", || "time budget exhausted".to_string());
+            }
+            None => {}
+        }
+        // Emit the run totals once, from the same values the result (and
+        // hence the health report) carries — so trace counters and report
+        // numbers agree by construction.
+        obs::add("discover.joins_evaluated", n_joins as u64);
+        obs::add("discover.pruned_unjoinable", n_unjoinable as u64);
+        obs::add("discover.pruned_quality", n_quality as u64);
+        obs::add("discover.pruned_similarity", n_similarity as u64);
+        obs::add("discover.pruned_budget", n_budget as u64);
+        obs::add("discover.paths_ranked", ranked.len() as u64);
+        obs::add("discover.features_selected", selected_union.len() as u64);
+        obs::add("discover.hop_failures", failures.len() as u64);
+        obs::add("discover.levels", n_levels as u64);
+
         Ok(DiscoveryResult {
             ranked,
             n_joins_evaluated: n_joins,
             n_pruned_unjoinable: n_unjoinable,
             n_pruned_quality: n_quality,
+            n_pruned_similarity: n_similarity,
+            n_pruned_budget: n_budget,
             truncated: truncation.is_some(),
             truncation,
             failures,
@@ -597,6 +721,7 @@ impl AutoFeat {
             selected_features: selected_union,
             threads_used: workers,
             cache: cache_delta(&cache_start),
+            trace: None,
         })
     }
 }
@@ -945,6 +1070,8 @@ mod tests {
         assert_eq!(a.n_joins_evaluated, b.n_joins_evaluated);
         assert_eq!(a.n_pruned_unjoinable, b.n_pruned_unjoinable);
         assert_eq!(a.n_pruned_quality, b.n_pruned_quality);
+        assert_eq!(a.n_pruned_similarity, b.n_pruned_similarity);
+        assert_eq!(a.n_pruned_budget, b.n_pruned_budget);
         assert_eq!(a.truncation, b.truncation);
         assert_eq!(a.failures.len(), b.failures.len());
         assert_eq!(a.selected_features, b.selected_features);

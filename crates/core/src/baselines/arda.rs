@@ -113,6 +113,7 @@ pub fn run_arda(
     models: &[ModelKind],
     config: &ArdaConfig,
 ) -> Result<MethodResult> {
+    let _span = autofeat_obs::span("baseline_arda");
     let t0 = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
 

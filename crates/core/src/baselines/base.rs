@@ -17,6 +17,7 @@ pub fn run_base(
     models: &[ModelKind],
     seed: u64,
 ) -> Result<MethodResult> {
+    let _span = autofeat_obs::span("baseline_base");
     let t0 = Instant::now();
     let features = ctx.base_features();
     let refs: Vec<&str> = features.iter().map(String::as_str).collect();

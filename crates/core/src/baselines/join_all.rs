@@ -49,6 +49,7 @@ pub fn run_join_all(
     models: &[ModelKind],
     config: &JoinAllConfig,
 ) -> Result<Option<MethodResult>> {
+    let _span = autofeat_obs::span("baseline_join_all");
     let t0 = Instant::now();
     let drg = ctx.drg();
     let Some(base_node) = drg.node(ctx.base_name()) else {

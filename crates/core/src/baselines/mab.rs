@@ -104,6 +104,7 @@ pub fn run_mab(
     models: &[ModelKind],
     config: &MabConfig,
 ) -> Result<MethodResult> {
+    let _span = autofeat_obs::span("baseline_mab");
     let t0 = Instant::now();
     let label = ctx.label().to_string();
 

@@ -1,5 +1,6 @@
 //! AutoFeat configuration (hyper-parameters of §VI/§VII).
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use autofeat_metrics::redundancy::RedundancyMethod;
@@ -58,6 +59,19 @@ pub struct AutoFeatConfig {
     /// (the pre-cache kernel) — results are bit-identical either way; the
     /// switch exists for benchmarking and determinism audits.
     pub cache: bool,
+    /// Collect a structured [`RunTrace`](autofeat_obs::RunTrace) for every
+    /// discovery run: per-phase wall times, pipeline counters, and a bounded
+    /// event log, attached to the result as `DiscoveryResult::trace`.
+    /// Tracing never perturbs results — traced and untraced runs are
+    /// bit-identical. Also enabled implicitly by `trace_path` or the
+    /// `AUTOFEAT_TRACE` environment variable.
+    pub trace: bool,
+    /// Where to write the run trace as JSON (schema
+    /// [`autofeat_obs::TRACE_SCHEMA_VERSION`]). Setting a path implies
+    /// `trace`. When unset, the `AUTOFEAT_TRACE` environment variable (a
+    /// file path) is honoured instead. Write failures are fail-soft: the
+    /// run still succeeds and the trace stays on the result.
+    pub trace_path: Option<PathBuf>,
 }
 
 impl Default for AutoFeatConfig {
@@ -76,6 +90,8 @@ impl Default for AutoFeatConfig {
             seed: 42,
             threads: 0,
             cache: true,
+            trace: false,
+            trace_path: None,
         }
     }
 }
@@ -122,6 +138,32 @@ impl AutoFeatConfig {
         self
     }
 
+    /// Builder-style trace toggle (in-memory trace on the result, no file).
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Builder-style trace output path (implies tracing).
+    pub fn with_trace_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_path = Some(path.into());
+        self
+    }
+
+    /// Whether this run should collect a trace: the explicit `trace` flag, a
+    /// configured `trace_path`, or a non-empty `AUTOFEAT_TRACE` environment
+    /// variable.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace || self.trace_path.is_some() || env_trace_path().is_some()
+    }
+
+    /// The JSON output path for the trace, if any: the explicit `trace_path`
+    /// wins over the `AUTOFEAT_TRACE` environment variable. `None` means the
+    /// trace stays in-memory only.
+    pub fn resolve_trace_path(&self) -> Option<PathBuf> {
+        self.trace_path.clone().or_else(env_trace_path)
+    }
+
     /// The effective worker count: the explicit `threads` field when
     /// positive, else the `AUTOFEAT_THREADS` / auto-detect resolution of
     /// [`autofeat_data::parallel::n_workers`].
@@ -166,6 +208,14 @@ impl AutoFeatConfig {
     }
 }
 
+/// The `AUTOFEAT_TRACE` environment variable as a path, when set non-empty.
+fn env_trace_path() -> Option<PathBuf> {
+    match std::env::var("AUTOFEAT_TRACE") {
+        Ok(v) if !v.trim().is_empty() => Some(PathBuf::from(v)),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +246,16 @@ mod tests {
         let auto = AutoFeatConfig::default();
         assert_eq!(auto.threads, 0);
         assert!(auto.resolve_threads() >= 1);
+    }
+
+    #[test]
+    fn trace_builders_enable_tracing() {
+        let c = AutoFeatConfig::default().with_trace(true);
+        assert!(c.trace_enabled());
+        // A path implies tracing and wins over the environment.
+        let c2 = AutoFeatConfig::default().with_trace_path("/tmp/trace.json");
+        assert!(c2.trace_enabled());
+        assert_eq!(c2.resolve_trace_path(), Some(PathBuf::from("/tmp/trace.json")));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use autofeat_data::csv::{read_csv_opts, CsvReadOptions, IngestDiagnostics};
 use autofeat_data::{DataError, LakeIndexCache, Result, Table};
+use autofeat_obs as obs;
 use autofeat_discovery::SchemaMatcher;
 use autofeat_graph::{Drg, DrgBuilder};
 
@@ -53,6 +54,7 @@ impl LakeLoadReport {
 /// failures land in [`LakeLoadReport::quarantined`] with their reason so a
 /// discovery run can proceed over the healthy remainder of the lake.
 pub fn load_lake_dir(dir: impl AsRef<Path>, opts: &CsvReadOptions) -> Result<LakeLoadReport> {
+    let _span = obs::span("ingest");
     let dir = dir.as_ref();
     let mut paths: Vec<_> = fs_read_dir(dir)?
         .into_iter()
@@ -75,10 +77,14 @@ pub fn load_lake_dir(dir: impl AsRef<Path>, opts: &CsvReadOptions) -> Result<Lak
                 report.tables.push(ingest.table);
             }
             Err(e) => {
+                obs::event("table_quarantined", || format!("{name}: {e}"));
                 report.quarantined.push(QuarantinedTable { name, reason: e.to_string() });
             }
         }
     }
+    obs::add("ingest.tables_loaded", report.tables.len() as u64);
+    obs::add("ingest.tables_quarantined", report.quarantined.len() as u64);
+    obs::add("ingest.tables_repaired", report.diagnostics.len() as u64);
     Ok(report)
 }
 

@@ -34,6 +34,7 @@ pub fn materialize_path(
     path: &JoinPath,
     seed: u64,
 ) -> Result<Table> {
+    let _span = autofeat_obs::span("materialize");
     let mut current = start.clone();
     for (i, hop) in path.hops().iter().enumerate() {
         let right = ctx.table(&hop.to_table).ok_or_else(|| {
@@ -71,6 +72,7 @@ pub fn materialize_tree(
     paths: &[&JoinPath],
     seed: u64,
 ) -> Result<(Table, Vec<String>)> {
+    let _span = autofeat_obs::span("materialize");
     let mut current = start.clone();
     // `joined` preserves rank order for the caller; `joined_set` gives O(1)
     // membership so tree materialization stays linear in total hop count.

@@ -47,6 +47,7 @@ pub mod train;
 pub mod tuning;
 
 pub use autofeat::{AutoFeat, DiscoveryResult, PathFailure, RankedPath, TruncationReason};
+pub use autofeat_obs::{RunTrace, Tracer, TRACE_SCHEMA_VERSION};
 pub use config::AutoFeatConfig;
 pub use context::{load_lake_dir, LakeLoadReport, QuarantinedTable, SearchContext};
 pub use executor::materialize_path;

@@ -78,6 +78,13 @@ pub fn discovery_health_report(result: &DiscoveryResult) -> String {
             let _ = writeln!(out, "join-index cache: disabled");
         }
     }
+    if result.n_pruned_similarity > 0 || result.n_pruned_budget > 0 {
+        let _ = writeln!(
+            out,
+            "also pruned: {} similarity-pruned edge(s), {} budget-dropped candidate(s)",
+            result.n_pruned_similarity, result.n_pruned_budget
+        );
+    }
     match result.truncation {
         Some(TruncationReason::MaxJoins) => {
             let _ = writeln!(out, "truncated: max_joins cap reached");
@@ -110,6 +117,12 @@ pub fn discovery_health_report(result: &DiscoveryResult) -> String {
             );
         }
     }
+    // Phase-timing section, present only when the run was traced (the
+    // trace is informational: its absence never hides health problems).
+    if let Some(trace) = &result.trace {
+        let _ = writeln!(out, "phase timings:");
+        trace.render_phases_into(&mut out);
+    }
     out
 }
 
@@ -125,6 +138,8 @@ mod tests {
             n_joins_evaluated: 5,
             n_pruned_unjoinable: 1,
             n_pruned_quality: 2,
+            n_pruned_similarity: 0,
+            n_pruned_budget: 0,
             truncated: truncation.is_some(),
             truncation,
             failures,
@@ -138,6 +153,7 @@ mod tests {
                 resident_bytes: 4096,
                 entries: 2,
             }),
+            trace: None,
         }
     }
 
@@ -181,6 +197,85 @@ mod tests {
         assert!(r.contains("type mismatch"), "{r}");
         assert!(r.contains("time budget"), "{r}");
         assert!(!r.contains("healthy"), "{r}");
+    }
+
+    // ---- Golden-style tests: the report is a stable, line-oriented text
+    // format; these pin the exact output for inputs whose every field is
+    // deterministic (durations are fixed via the fixture).
+
+    #[test]
+    fn golden_healthy_report_is_exact() {
+        let r = discovery_health_report(&discovery(vec![], None));
+        let expected = "\
+discovery: 0 path(s) ranked, 5 join(s) evaluated, 1 unjoinable, 2 below-quality, 4 worker thread(s)
+join-index cache: 8 hit(s), 2 miss(es), 3ms build time, 2 index(es) resident (4096 bytes)
+healthy: no hop failures
+";
+        assert_eq!(r, expected);
+    }
+
+    #[test]
+    fn golden_truncation_section_is_exact() {
+        let r = discovery_health_report(&discovery(vec![], Some(TruncationReason::MaxJoins)));
+        let expected = "\
+discovery: 0 path(s) ranked, 5 join(s) evaluated, 1 unjoinable, 2 below-quality, 4 worker thread(s)
+join-index cache: 8 hit(s), 2 miss(es), 3ms build time, 2 index(es) resident (4096 bytes)
+truncated: max_joins cap reached
+";
+        assert_eq!(r, expected);
+    }
+
+    #[test]
+    fn golden_failure_section_is_exact() {
+        let failure = PathFailure {
+            path: JoinPath::empty(),
+            hop: JoinHop {
+                from_table: "base".into(),
+                from_column: "k".into(),
+                to_table: "bad".into(),
+                to_column: "k2".into(),
+                weight: 1.0,
+            },
+            error: "column not found".into(),
+        };
+        let r = discovery_health_report(&discovery(vec![failure], None));
+        let expected = "\
+discovery: 0 path(s) ranked, 5 join(s) evaluated, 1 unjoinable, 2 below-quality, 4 worker thread(s)
+join-index cache: 8 hit(s), 2 miss(es), 3ms build time, 2 index(es) resident (4096 bytes)
+1 hop failure(s) isolated:
+  - base -> bad (on k=k2) after [(empty path)]: column not found
+";
+        assert_eq!(r, expected);
+    }
+
+    #[test]
+    fn report_mentions_similarity_and_budget_pruning() {
+        let mut d = discovery(vec![], None);
+        d.n_pruned_similarity = 3;
+        d.n_pruned_budget = 7;
+        let r = discovery_health_report(&d);
+        assert!(
+            r.contains("also pruned: 3 similarity-pruned edge(s), 7 budget-dropped candidate(s)"),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn report_includes_phase_timings_when_traced() {
+        let tracer = autofeat_obs::Tracer::enabled();
+        autofeat_obs::with_tracer(&tracer, || {
+            let _discover = autofeat_obs::span("discover");
+            let _level = autofeat_obs::span("level");
+        });
+        let mut d = discovery(vec![], None);
+        d.trace = Some(tracer.snapshot());
+        let r = discovery_health_report(&d);
+        assert!(r.contains("phase timings:"), "{r}");
+        assert!(r.contains("discover"), "{r}");
+        assert!(r.contains("level"), "{r}");
+        // Untraced runs keep the legacy format, without the section.
+        d.trace = None;
+        assert!(!discovery_health_report(&d).contains("phase timings:"));
     }
 
     fn result() -> MethodResult {

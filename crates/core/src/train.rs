@@ -37,6 +37,7 @@ pub fn evaluate_feature_set(
     models: &[ModelKind],
     seed: u64,
 ) -> Result<Vec<(ModelKind, f64)>> {
+    let _span = autofeat_obs::span("model_eval");
     let mut rng = StdRng::seed_from_u64(seed);
     let split = train_test_split(table, label, TEST_FRAC, &mut rng)?;
     let train_m = to_matrix(&split.train, features, label)?;
@@ -44,6 +45,7 @@ pub fn evaluate_feature_set(
     let mut out = Vec::with_capacity(models.len());
     for &kind in models {
         let mut model = kind.build(seed);
+        autofeat_obs::incr("ml.models_evaluated");
         let acc = match model.fit(&train_m) {
             Ok(()) => accuracy(&model.predict(&test_m), &test_m.labels),
             // A learner that cannot handle the task (e.g. >2 classes for the
@@ -75,6 +77,7 @@ pub fn train_top_k(
     models: &[ModelKind],
     config: &AutoFeatConfig,
 ) -> Result<TrainOutcome> {
+    let _span = autofeat_obs::span("train");
     let t0 = Instant::now();
     let base_features = ctx.base_features();
     let label = ctx.label();
@@ -266,6 +269,8 @@ mod tests {
             n_joins_evaluated: 0,
             n_pruned_unjoinable: 0,
             n_pruned_quality: 0,
+            n_pruned_similarity: 0,
+            n_pruned_budget: 0,
             truncated: false,
             truncation: None,
             failures: vec![],
@@ -273,6 +278,7 @@ mod tests {
             selected_features: vec![],
             threads_used: 1,
             cache: None,
+            trace: None,
         };
         let out =
             train_top_k(&c, &empty, &[ModelKind::RandomForest], &AutoFeatConfig::default())

@@ -31,6 +31,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
+use autofeat_obs as obs;
+
 use crate::error::Result;
 use crate::join::{left_join_with_index, JoinIndex, JoinOutput};
 use crate::table::Table;
@@ -105,18 +107,26 @@ impl LakeIndexCache {
         let mut built = false;
         let index = entry.get_or_init(|| {
             built = true;
+            let _span = obs::span("index_build");
             let t0 = Instant::now();
             let index = Arc::new(JoinIndex::build(table, key_col));
+            let elapsed = t0.elapsed();
+            obs::record_secs("cache.index_build_secs", elapsed.as_secs_f64());
             self.build_nanos
-                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
             self.resident_bytes
                 .fetch_add(index.resident_bytes() as u64, Ordering::Relaxed);
             index
         });
+        // Exactly one miss per cold entry even when builders race: the
+        // OnceLock winner counts the miss, waiters count hits — so the
+        // hit/miss totals are invariant across worker thread counts.
         if built {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            obs::incr("cache.misses");
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            obs::incr("cache.hits");
         }
         Ok(Arc::clone(index))
     }

@@ -174,6 +174,48 @@ impl Column {
         self.get(row).key()
     }
 
+    /// Feed one cell's stable fingerprint into `h` without materializing a
+    /// [`Value`] (no `Arc` bump for strings, no enum construction) — the
+    /// hot path of join-index builds, where every duplicate-key row hashes
+    /// every cell. Byte-for-byte identical to hashing [`Column::get`]'s
+    /// value: nulls and float `NaN`s write tag 0, `-0.0` hashes as `0.0`.
+    pub fn hash_cell_into(&self, row: usize, h: &mut crate::stable_hash::StableHasher) {
+        use std::hash::Hasher as _;
+        match self {
+            Column::Int(v) => match v[row] {
+                None => h.write_u8(0),
+                Some(i) => {
+                    h.write_u8(1);
+                    h.write_i64(i);
+                }
+            },
+            Column::Float(v) => match v[row] {
+                None => h.write_u8(0),
+                Some(f) if f.is_nan() => h.write_u8(0),
+                Some(f) => {
+                    h.write_u8(2);
+                    let f = if f == 0.0 { 0.0 } else { f };
+                    h.write_u64(f.to_bits());
+                }
+            },
+            Column::Str(v) => match v[row].as_ref() {
+                None => h.write_u8(0),
+                Some(s) => {
+                    h.write_u8(3);
+                    h.write(s.as_bytes());
+                    h.write_u8(0xff);
+                }
+            },
+            Column::Bool(v) => match v[row] {
+                None => h.write_u8(0),
+                Some(b) => {
+                    h.write_u8(4);
+                    h.write_u8(u8::from(b));
+                }
+            },
+        }
+    }
+
     /// Append a value; coerces ints→floats into float columns, errors on any
     /// other type mismatch. Nulls (and float NaNs) append as null.
     ///

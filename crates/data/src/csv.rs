@@ -21,6 +21,8 @@
 use std::fs;
 use std::path::Path;
 
+use autofeat_obs as obs;
+
 use crate::column::Column;
 use crate::error::{DataError, Result};
 use crate::table::Table;
@@ -300,6 +302,7 @@ fn dedupe_headers(
 /// Parse CSV text into a table named `name`, honouring `opts`. Returns the
 /// table plus diagnostics; in strict mode any defect is an `Err` instead.
 pub fn read_csv_str_opts(name: &str, text: &str, opts: &CsvReadOptions) -> Result<CsvIngest> {
+    let _span = obs::span("csv_parse");
     let mut diags = IngestDiagnostics::default();
     let max_samples = opts.max_issue_samples;
 
@@ -436,6 +439,10 @@ pub fn read_csv_str_opts(name: &str, text: &str, opts: &CsvReadOptions) -> Resul
     }
     let table = Table::new(name, cols)?;
     diags.n_rows = table.n_rows();
+    obs::add("ingest.rows_loaded", diags.n_rows as u64);
+    obs::add("ingest.rows_repaired", diags.n_repaired_rows as u64);
+    obs::add("ingest.rows_skipped", diags.n_skipped_rows as u64);
+    obs::add("ingest.cells_coerced", diags.n_coerced_cells as u64);
     Ok(CsvIngest { table, diagnostics: diags })
 }
 

@@ -32,13 +32,15 @@
 //!   [`left_join_with_index`] over a transient index.
 
 use std::collections::{HashMap, HashSet};
-use std::hash::{Hash, Hasher};
+use std::hash::Hasher;
+
+use autofeat_obs as obs;
 
 use crate::column::Column;
 use crate::error::Result;
 use crate::stable_hash::{mix_u64, StableHasher};
 use crate::table::Table;
-use crate::value::{Key, Value};
+use crate::value::Key;
 
 /// Output of a left join: the joined table plus match statistics used by
 /// the data-quality pruning rule.
@@ -71,47 +73,37 @@ impl JoinOutput {
     }
 }
 
-/// Stable fingerprint of one cell value (NaN floats hash like nulls, `-0.0`
-/// like `0.0`, mirroring `Value::is_null` / `Value::key` semantics).
-fn hash_value(h: &mut StableHasher, v: &Value) {
-    match v {
-        Value::Null => h.write_u8(0),
-        Value::Int(i) => {
-            h.write_u8(1);
-            h.write_i64(*i);
-        }
-        Value::Float(f) if f.is_nan() => h.write_u8(0),
-        Value::Float(f) => {
-            h.write_u8(2);
-            let f = if *f == 0.0 { 0.0 } else { *f };
-            h.write_u64(f.to_bits());
-        }
-        Value::Str(s) => {
-            h.write_u8(3);
-            h.write(s.as_bytes());
-            h.write_u8(0xff);
-        }
-        Value::Bool(b) => {
-            h.write_u8(4);
-            h.write_u8(u8::from(*b));
-        }
-    }
-}
-
-/// Seed-independent content fingerprint of one right-table row: hashes the
-/// join key and every cell of the row. Two rows with identical content
-/// always fingerprint identically, so the representative pick cannot depend
-/// on where in the table a row happens to sit — and because the seed is
-/// *not* part of the fingerprint, one fingerprint pass serves every seed
-/// (the per-seed pick folds the seed in with [`mix_u64`]).
-fn content_fingerprint(right: &Table, row: usize, key: &Key) -> u64 {
+/// Seed-independent content fingerprint of one right-table row: hashes
+/// every cell of the row (per-cell semantics live in
+/// [`Column::hash_cell_into`]: NaN floats hash like nulls, `-0.0` like
+/// `0.0`). Two rows with identical content always fingerprint identically,
+/// so the representative pick cannot depend on where in the table a row
+/// happens to sit — and because the seed is *not* part of the fingerprint,
+/// one fingerprint pass serves every seed (the per-seed pick folds the
+/// seed in with [`mix_u64`]).
+///
+/// The join key is deliberately **not** hashed separately: fingerprints
+/// are only ever compared within one key's group, where the key — being
+/// one of the row's cells — is already part of every fingerprint and a
+/// second hash of it would only cost build time (this function is the hot
+/// loop of index construction; see `cache.index_build_secs` in run
+/// traces).
+fn content_fingerprint(right: &Table, row: usize) -> u64 {
     let mut h = StableHasher::new();
-    key.hash(&mut h);
     for c in 0..right.n_cols() {
-        hash_value(&mut h, &right.column_at(c).get(row));
+        right.column_at(c).hash_cell_into(row, &mut h);
     }
     h.finish()
 }
+
+/// Key → group map of a [`JoinIndex`]. Hashed with the process-stable FNV
+/// hasher: index builds hash every right-table row once and probes hash
+/// every left row once, so hashing cost is on the critical path, and the
+/// DoS resistance of the default SipHash buys nothing against trusted lake
+/// data. (Map *iteration* order never influences results — lookups and
+/// per-group minimization are order-free — so the hasher choice is purely
+/// a performance decision.)
+type GroupMap = HashMap<Key, KeyGroup, std::hash::BuildHasherDefault<StableHasher>>;
 
 /// The candidate rows of one join key inside a [`JoinIndex`].
 #[derive(Debug, Clone)]
@@ -137,7 +129,7 @@ enum KeyGroup {
 /// lake-wide cache serve the parallel discovery fan-out.
 #[derive(Debug, Clone)]
 pub struct JoinIndex {
-    groups: HashMap<Key, KeyGroup>,
+    groups: GroupMap,
     n_rows: usize,
     n_dup_rows: usize,
 }
@@ -147,7 +139,7 @@ impl JoinIndex {
     /// Fingerprints are only computed for keys with ≥ 2 rows, so unique-key
     /// tables pay nothing beyond the grouping.
     pub fn build(right: &Table, right_key: &Column) -> JoinIndex {
-        let mut groups: HashMap<Key, KeyGroup> = HashMap::new();
+        let mut groups: GroupMap = GroupMap::default();
         let mut n_dup_rows = 0usize;
         for row in 0..right_key.len() {
             let Some(k) = right_key.key(row) else { continue };
@@ -157,19 +149,18 @@ impl JoinIndex {
                 }
                 std::collections::hash_map::Entry::Occupied(mut e) => {
                     n_dup_rows += 1;
-                    let k = e.key().clone();
                     match e.get_mut() {
                         KeyGroup::Unique(first) => {
                             let first = *first;
                             n_dup_rows += 1; // the first row becomes a dup too
                             let dups = vec![
-                                (content_fingerprint(right, first as usize, &k), first),
-                                (content_fingerprint(right, row, &k), row as u32),
+                                (content_fingerprint(right, first as usize), first),
+                                (content_fingerprint(right, row), row as u32),
                             ];
                             e.insert(KeyGroup::Dups(dups));
                         }
                         KeyGroup::Dups(dups) => {
-                            dups.push((content_fingerprint(right, row, &k), row as u32));
+                            dups.push((content_fingerprint(right, row), row as u32));
                         }
                     }
                 }
@@ -260,7 +251,10 @@ pub fn left_join_normalized(
     seed: u64,
 ) -> Result<JoinOutput> {
     let rk = right.column(right_key)?;
-    let index = JoinIndex::build(right, rk);
+    let index = {
+        let _span = obs::span("index_build");
+        JoinIndex::build(right, rk)
+    };
     left_join_with_index(left, right, &index, left_key, prefix, seed)
 }
 
@@ -280,9 +274,12 @@ pub fn left_join_with_index(
     prefix: &str,
     seed: u64,
 ) -> Result<JoinOutput> {
+    let _span = obs::span("join");
     let lk = left.column(left_key)?;
 
     let n = left.n_rows();
+    obs::incr("join.calls");
+    obs::add("join.left_rows", n as u64);
     let mut indices: Vec<Option<usize>> = Vec::with_capacity(n);
     let mut matched = 0usize;
     for row in 0..n {

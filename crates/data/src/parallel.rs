@@ -42,10 +42,17 @@ where
     let mut slots: Vec<Option<T>> = (0..n_items).map(|_| None).collect();
     let make_ref = &make;
     let chunk_len = n_items.div_ceil(workers);
+    // Carry the caller's tracing scope into the workers, so spans recorded
+    // inside `make` nest under the phase that spawned the fan-out. Inert
+    // (one thread-local read, no allocation per worker) when tracing is
+    // disabled.
+    let obs_scope = autofeat_obs::ambient_scope();
     thread::scope(|s| {
         for (w, chunk) in slots.chunks_mut(chunk_len).enumerate() {
             let start = w * chunk_len;
+            let obs_scope = obs_scope.clone();
             s.spawn(move |_| {
+                let _obs = obs_scope.enter();
                 for (off, slot) in chunk.iter_mut().enumerate() {
                     *slot = Some(make_ref(start + off));
                 }

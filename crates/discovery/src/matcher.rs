@@ -98,6 +98,7 @@ impl SchemaMatcher {
         right: &[ColumnProfile],
     ) -> Vec<ColumnMatch> {
         let mut out = Vec::new();
+        autofeat_obs::add("match.pairs_scored", (left.len() * right.len()) as u64);
         for a in left {
             for b in right {
                 let score = self.score_pair(a, b);
@@ -117,6 +118,7 @@ impl SchemaMatcher {
                 .then_with(|| x.left_column.cmp(&y.left_column))
                 .then_with(|| x.right_column.cmp(&y.right_column))
         });
+        autofeat_obs::add("match.pairs_matched", out.len() as u64);
         out
     }
 

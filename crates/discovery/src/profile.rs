@@ -59,6 +59,7 @@ impl ColumnProfile {
 
     /// Profile every column of a table.
     pub fn build_all(table: &Table) -> Vec<ColumnProfile> {
+        autofeat_obs::add("match.profiles_built", table.n_cols() as u64);
         (0..table.n_cols())
             .map(|i| {
                 ColumnProfile::build(

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use autofeat_data::Table;
 use autofeat_discovery::{ColumnProfile, SchemaMatcher};
+use autofeat_obs as obs;
 
 /// Node identifier (index into the DRG's table list).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -226,26 +227,35 @@ impl Drg {
     /// Build a DRG from a dataset collection by running the schema matcher
     /// over every table pair — the *data-lake setting* offline phase.
     pub fn from_discovery(tables: &[&Table], matcher: &SchemaMatcher) -> Drg {
+        let _span = obs::span("drg_build");
         let mut b = DrgBuilder::new();
         for t in tables {
             b.add_table(t.name());
         }
-        let profiles: Vec<Vec<ColumnProfile>> =
-            tables.iter().map(|t| ColumnProfile::build_all(t)).collect();
-        for i in 0..tables.len() {
-            for j in (i + 1)..tables.len() {
-                for m in matcher.match_profiles(&profiles[i], &profiles[j]) {
-                    b.add_discovered(
-                        tables[i].name(),
-                        &m.left_column,
-                        tables[j].name(),
-                        &m.right_column,
-                        m.score,
-                    );
+        let profiles: Vec<Vec<ColumnProfile>> = {
+            let _span = obs::span("profile");
+            tables.iter().map(|t| ColumnProfile::build_all(t)).collect()
+        };
+        {
+            let _span = obs::span("match");
+            for i in 0..tables.len() {
+                for j in (i + 1)..tables.len() {
+                    for m in matcher.match_profiles(&profiles[i], &profiles[j]) {
+                        b.add_discovered(
+                            tables[i].name(),
+                            &m.left_column,
+                            tables[j].name(),
+                            &m.right_column,
+                            m.score,
+                        );
+                    }
                 }
             }
         }
-        b.build()
+        let drg = b.build();
+        obs::add("graph.nodes", drg.n_nodes() as u64);
+        obs::add("graph.edges_added", drg.n_edges() as u64);
+        drg
     }
 
     /// LSH-accelerated discovery: instead of scoring all `O(C²)` column
@@ -255,6 +265,7 @@ impl Drg {
     /// columns (the ones worth joining on) recall is near-perfect.
     pub fn from_discovery_lsh(tables: &[&Table], matcher: &SchemaMatcher) -> Drg {
         use autofeat_discovery::LshIndex;
+        let _span = obs::span("drg_build");
         let mut b = DrgBuilder::new();
         for t in tables {
             b.add_table(t.name());
@@ -276,6 +287,7 @@ impl Drg {
             if ta == tb {
                 continue;
             }
+            obs::incr("match.pairs_scored");
             let score = matcher.score_pair(pa, pb);
             if score >= matcher.config().threshold {
                 // Keep a stable orientation: lower table index first.
@@ -289,7 +301,10 @@ impl Drg {
                 );
             }
         }
-        b.build()
+        let drg = b.build();
+        obs::add("graph.nodes", drg.n_nodes() as u64);
+        obs::add("graph.edges_added", drg.n_edges() as u64);
+        drg
     }
 }
 

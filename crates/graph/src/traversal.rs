@@ -3,6 +3,8 @@
 
 use std::collections::VecDeque;
 
+use autofeat_obs as obs;
+
 use crate::drg::{Drg, NodeId};
 use crate::path::{JoinHop, JoinPath};
 
@@ -10,6 +12,7 @@ use crate::path::{JoinHop, JoinPath};
 /// This is the level-by-level exploration order Algorithm 1 follows (§IV-A
 /// argues BFS contains join-error propagation better than DFS).
 pub fn bfs_levels(drg: &Drg, start: NodeId) -> Vec<Vec<NodeId>> {
+    let _span = obs::span("bfs_levels");
     let mut seen = vec![false; drg.n_nodes()];
     let mut levels: Vec<Vec<NodeId>> = Vec::new();
     let mut frontier: Vec<NodeId> = vec![start];
@@ -57,6 +60,7 @@ pub fn enumerate_paths(
     max_length: usize,
     best_edges_only: bool,
 ) -> Vec<JoinPath> {
+    let _span = obs::span("enumerate_paths");
     let mut out = Vec::new();
     let mut queue: VecDeque<(NodeId, JoinPath)> = VecDeque::new();
     queue.push_back((start, JoinPath::empty()));
@@ -82,6 +86,7 @@ pub fn enumerate_paths(
             }
         }
     }
+    obs::add("graph.paths_enumerated", out.len() as u64);
     out
 }
 

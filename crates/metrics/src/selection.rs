@@ -7,6 +7,8 @@
 //!   a candidate is kept iff its `J` score against the selected-so-far set
 //!   is positive, and once kept it joins the conditioning set.
 
+use autofeat_obs as obs;
+
 use crate::discretize::Discretized;
 use crate::redundancy::RedundancyScorer;
 use crate::relevance::RelevanceMethod;
@@ -30,6 +32,8 @@ pub fn select_k_best(
     kappa: usize,
     min_score: f64,
 ) -> Vec<SelectedFeature> {
+    let _span = obs::span("relevance");
+    obs::add("metrics.features_scored", features.len() as u64);
     let scores = method.scores(features, labels);
     let mut ranked: Vec<SelectedFeature> = scores
         .into_iter()
@@ -60,6 +64,8 @@ pub fn select_non_redundant(
     labels: &Discretized,
     scorer: &RedundancyScorer,
 ) -> Vec<SelectedFeature> {
+    let _span = obs::span("redundancy");
+    obs::add("metrics.redundancy_candidates", candidates.len() as u64);
     let mut kept: Vec<SelectedFeature> = Vec::new();
     let mut conditioning: Vec<&Discretized> = already_selected.to_vec();
     for &(index, codes) in candidates {
@@ -69,6 +75,7 @@ pub fn select_non_redundant(
             conditioning.push(codes);
         }
     }
+    obs::add("metrics.redundancy_kept", kept.len() as u64);
     kept
 }
 

@@ -75,6 +75,7 @@ pub fn evaluate_split(
     train: &Matrix,
     test: &Matrix,
 ) -> Result<f64, MlError> {
+    let _span = autofeat_obs::span("model_eval");
     if train.n_features() != test.n_features() {
         return Err(MlError::FeatureMismatch {
             expected: train.n_features(),
@@ -82,6 +83,7 @@ pub fn evaluate_split(
         });
     }
     model.fit(train)?;
+    autofeat_obs::incr("ml.models_evaluated");
     Ok(accuracy(&model.predict(test), &test.labels))
 }
 

@@ -1,0 +1,350 @@
+//! The recording half of the crate: [`Tracer`] handles, RAII [`Span`]s,
+//! and the cross-thread [`TraceScope`].
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::trace::{DistSummary, PhaseNode, RunTrace, TraceEvent};
+use crate::{thread_key, AMBIENT, Ambient};
+
+/// Maximum number of events retained per trace; later events are counted
+/// in [`RunTrace::events_dropped`] instead of stored.
+pub(crate) const EVENT_CAP: usize = 256;
+
+/// Number of log₂-spaced histogram buckets per distribution. Bucket `i`
+/// has upper bound `1µs × 2^i`, so the range spans 1µs … ~134s.
+pub(crate) const N_DIST_BUCKETS: usize = 28;
+
+#[derive(Default)]
+struct SpanAcc {
+    count: u64,
+    nanos: u64,
+}
+
+pub(crate) struct DistAcc {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; N_DIST_BUCKETS],
+}
+
+impl Default for DistAcc {
+    fn default() -> DistAcc {
+        DistAcc { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, buckets: [0; N_DIST_BUCKETS] }
+    }
+}
+
+impl DistAcc {
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+}
+
+/// The histogram bucket for an observation of `secs`.
+fn bucket_index(secs: f64) -> usize {
+    if secs.is_nan() || secs <= 1e-6 {
+        return 0; // ≤ 1µs, NaN, and negative all land in bucket 0
+    }
+    let idx = (secs / 1e-6).log2().ceil() as usize;
+    idx.min(N_DIST_BUCKETS - 1)
+}
+
+/// Upper bound (seconds) of histogram bucket `i`.
+pub(crate) fn bucket_le_secs(i: usize) -> f64 {
+    1e-6 * (1u64 << i.min(63)) as f64
+}
+
+#[derive(Default)]
+struct EventBuf {
+    entries: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+pub(crate) struct Inner {
+    started: Instant,
+    // Keyed by (span path, thread key): per-thread accumulation feeds the
+    // max-across-threads wall-time aggregation in `snapshot`.
+    spans: Mutex<HashMap<(String, u64), SpanAcc>>,
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    dists: Mutex<BTreeMap<&'static str, DistAcc>>,
+    events: Mutex<EventBuf>,
+}
+
+impl Inner {
+    pub(crate) fn add_counter(&self, name: &'static str, n: u64) {
+        if let Ok(mut c) = self.counters.lock() {
+            *c.entry(name).or_insert(0) += n;
+        }
+    }
+
+    pub(crate) fn record_dist(&self, name: &'static str, secs: f64) {
+        if let Ok(mut d) = self.dists.lock() {
+            d.entry(name).or_default().record(secs);
+        }
+    }
+
+    pub(crate) fn push_event(&self, kind: &'static str, detail: impl FnOnce() -> String) {
+        if let Ok(mut e) = self.events.lock() {
+            if e.entries.len() < EVENT_CAP {
+                e.entries.push(TraceEvent { kind: kind.to_string(), detail: detail() });
+            } else {
+                e.dropped += 1;
+            }
+        }
+    }
+
+    fn record_span(&self, path: String, thread: u64, elapsed: Duration) {
+        if let Ok(mut s) = self.spans.lock() {
+            let acc = s.entry((path, thread)).or_default();
+            acc.count += 1;
+            acc.nanos += elapsed.as_nanos() as u64;
+        }
+    }
+
+    fn snapshot(&self) -> RunTrace {
+        let wall = self.started.elapsed();
+
+        // Aggregate spans per path: count and cpu sum across threads, wall
+        // as the max per-thread sum (critical-path estimate for fan-outs).
+        #[derive(Default)]
+        struct Agg {
+            count: u64,
+            cpu: u64,
+            wall: u64,
+        }
+        let mut by_path: BTreeMap<String, Agg> = BTreeMap::new();
+        if let Ok(spans) = self.spans.lock() {
+            for ((path, _thread), acc) in spans.iter() {
+                let agg = by_path.entry(path.clone()).or_default();
+                agg.count += acc.count;
+                agg.cpu += acc.nanos;
+                agg.wall = agg.wall.max(acc.nanos);
+            }
+        }
+        // A worker-recorded path can exist without its parent having been
+        // recorded yet (or at all, if the parent span outlives the
+        // snapshot); synthesize zero-cost ancestors so the tree is closed.
+        let paths: Vec<String> = by_path.keys().cloned().collect();
+        for p in paths {
+            let mut q = p.as_str();
+            while let Some(i) = q.rfind('.') {
+                q = &q[..i];
+                by_path.entry(q.to_string()).or_default();
+            }
+        }
+
+        // Lexicographic order lists every parent immediately before its
+        // subtree, so one pass with a stack builds the forest.
+        let mut roots: Vec<PhaseNode> = Vec::new();
+        let mut stack: Vec<PhaseNode> = Vec::new();
+        let attach = |stack: &mut Vec<PhaseNode>, roots: &mut Vec<PhaseNode>| {
+            if let Some(done) = stack.pop() {
+                match stack.last_mut() {
+                    Some(parent) => {
+                        parent.self_time = parent.self_time.saturating_sub(done.wall);
+                        parent.children.push(done);
+                    }
+                    None => roots.push(done),
+                }
+            }
+        };
+        for (path, agg) in by_path {
+            while let Some(top) = stack.last() {
+                let is_child = path.len() > top.path.len()
+                    && path.starts_with(top.path.as_str())
+                    && path.as_bytes()[top.path.len()] == b'.';
+                if is_child {
+                    break;
+                }
+                attach(&mut stack, &mut roots);
+            }
+            let name = path.rsplit('.').next().unwrap_or(path.as_str()).to_string();
+            let wall = Duration::from_nanos(agg.wall);
+            stack.push(PhaseNode {
+                name,
+                path,
+                count: agg.count,
+                wall,
+                cpu: Duration::from_nanos(agg.cpu),
+                self_time: wall,
+                children: Vec::new(),
+            });
+        }
+        while !stack.is_empty() {
+            attach(&mut stack, &mut roots);
+        }
+
+        let counters: Vec<(String, u64)> = self
+            .counters
+            .lock()
+            .map(|c| c.iter().map(|(&k, &v)| (k.to_string(), v)).collect())
+            .unwrap_or_default();
+        let dists: Vec<(String, DistSummary)> = self
+            .dists
+            .lock()
+            .map(|d| {
+                d.iter()
+                    .map(|(&k, acc)| {
+                        let buckets: Vec<(f64, u64)> = acc
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &c)| c > 0)
+                            .map(|(i, &c)| (bucket_le_secs(i), c))
+                            .collect();
+                        (
+                            k.to_string(),
+                            DistSummary {
+                                count: acc.count,
+                                sum_secs: acc.sum,
+                                min_secs: if acc.count == 0 { 0.0 } else { acc.min },
+                                max_secs: if acc.count == 0 { 0.0 } else { acc.max },
+                                buckets,
+                            },
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let (events, events_dropped) = self
+            .events
+            .lock()
+            .map(|e| (e.entries.clone(), e.dropped))
+            .unwrap_or_default();
+
+        RunTrace { wall, phases: roots, counters, dists, events, events_dropped }
+    }
+}
+
+/// A handle to one run's trace collector.
+///
+/// Cloning is an `Arc` bump; all clones feed the same collector. The
+/// [disabled](Tracer::disabled) handle records nothing and makes every
+/// instrumentation call site a near-free early return. Install a tracer on
+/// the current thread with [`with_tracer`](crate::with_tracer); the
+/// instrumented pipeline picks it up ambiently.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    pub(crate) inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+impl Tracer {
+    /// A recording tracer; the trace's wall clock starts now.
+    pub fn enabled() -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                started: Instant::now(),
+                spans: Mutex::new(HashMap::new()),
+                counters: Mutex::new(BTreeMap::new()),
+                dists: Mutex::new(BTreeMap::new()),
+                events: Mutex::new(EventBuf::default()),
+            })),
+        }
+    }
+
+    /// The inert tracer: records nothing, snapshots empty.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// Whether this handle records.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Aggregate everything recorded so far into a [`RunTrace`]
+    /// (deterministically ordered). Empty for a disabled tracer.
+    pub fn snapshot(&self) -> RunTrace {
+        match &self.inner {
+            Some(inner) => inner.snapshot(),
+            None => RunTrace::default(),
+        }
+    }
+}
+
+/// A captured `(tracer, span path)` pair, for carrying the ambient tracing
+/// context across a thread boundary — see
+/// [`ambient_scope`](crate::ambient_scope).
+#[derive(Clone)]
+pub struct TraceScope {
+    tracer: Tracer,
+    prefix: Arc<str>,
+}
+
+impl TraceScope {
+    pub(crate) fn new(tracer: Tracer, prefix: &str) -> TraceScope {
+        TraceScope { tracer, prefix: Arc::from(prefix) }
+    }
+
+    /// Install the captured context on the current thread, returning a
+    /// guard that restores the previous context on drop. Inert (and
+    /// allocation-free) when the captured tracer is disabled.
+    pub fn enter(&self) -> ScopeGuard {
+        if self.tracer.inner.is_none() {
+            return ScopeGuard(None);
+        }
+        let prev = AMBIENT.with(|a| {
+            std::mem::replace(
+                &mut *a.borrow_mut(),
+                Ambient { tracer: self.tracer.clone(), prefix: self.prefix.to_string() },
+            )
+        });
+        ScopeGuard(Some(prev))
+    }
+}
+
+/// Restores the previous ambient context when dropped.
+pub struct ScopeGuard(Option<Ambient>);
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.0.take() {
+            AMBIENT.with(|a| *a.borrow_mut() = prev);
+        }
+    }
+}
+
+/// RAII span timer returned by [`span`](crate::span): records the elapsed
+/// wall time against its path when dropped.
+pub struct Span {
+    live: Option<SpanLive>,
+}
+
+struct SpanLive {
+    inner: Arc<Inner>,
+    path: String,
+    prev_len: usize,
+    start: Instant,
+}
+
+impl Span {
+    pub(crate) fn noop() -> Span {
+        Span { live: None }
+    }
+
+    pub(crate) fn live(inner: Arc<Inner>, path: String, prev_len: usize, start: Instant) -> Span {
+        Span { live: Some(SpanLive { inner, path, prev_len, start }) }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(live) = self.live.take() {
+            let elapsed = live.start.elapsed();
+            AMBIENT.with(|a| a.borrow_mut().prefix.truncate(live.prev_len));
+            live.inner.record_span(live.path, thread_key(), elapsed);
+        }
+    }
+}

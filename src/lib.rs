@@ -22,6 +22,7 @@
 //! | [`metrics`] | entropy/MI, the 5 relevance measures, the 5 redundancy criteria |
 //! | [`ml`] | decision trees, Random Forest, Extra-Trees, GBDT (×2 presets), KNN, logistic-L1 |
 //! | [`core`] | Algorithm 1 & 2, the streaming selection pipeline, baselines (BASE/ARDA/MAB/JoinAll) |
+//! | [`obs`] | run tracing: per-phase spans, pipeline counters, machine-readable run traces |
 //! | [`datagen`] | synthetic ground-truth lakes replicating the paper's evaluation corpus |
 //!
 //! ## Quickstart
@@ -59,6 +60,7 @@ pub use autofeat_discovery as discovery;
 pub use autofeat_graph as graph;
 pub use autofeat_metrics as metrics;
 pub use autofeat_ml as ml;
+pub use autofeat_obs as obs;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -73,6 +75,7 @@ pub mod prelude {
     pub use autofeat_graph::{Drg, DrgBuilder, JoinPath};
     pub use autofeat_metrics::{RedundancyMethod, RelevanceMethod};
     pub use autofeat_ml::eval::ModelKind;
+    pub use autofeat_obs::{RunTrace, Tracer};
 }
 
 /// Build a [`core::SearchContext`] straight from a datagen snowflake

@@ -119,6 +119,8 @@ pub fn assert_bit_identical(a: &DiscoveryResult, b: &DiscoveryResult, what: &str
     assert_eq!(a.n_joins_evaluated, b.n_joins_evaluated, "{what}");
     assert_eq!(a.n_pruned_unjoinable, b.n_pruned_unjoinable, "{what}");
     assert_eq!(a.n_pruned_quality, b.n_pruned_quality, "{what}");
+    assert_eq!(a.n_pruned_similarity, b.n_pruned_similarity, "{what}");
+    assert_eq!(a.n_pruned_budget, b.n_pruned_budget, "{what}");
     assert_eq!(a.truncated, b.truncated, "{what}");
     assert_eq!(a.truncation, b.truncation, "{what}");
     assert_eq!(a.failures.len(), b.failures.len(), "{what}");

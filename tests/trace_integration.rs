@@ -1,0 +1,219 @@
+//! End-to-end acceptance tests for structured run tracing: tracing never
+//! perturbs results, counter totals are invariant across worker thread
+//! counts, trace counters agree with the health report, phase self-times
+//! telescope to the run's wall clock, and the JSON layout matches the
+//! checked-in `trace.schema.json`.
+
+mod common;
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use autofeat::prelude::*;
+use common::{assert_bit_identical, lake_ctx};
+
+/// Tracing resolution reads process-global environment variables
+/// (`AUTOFEAT_TRACE`, `AUTOFEAT_THREADS`), so every test in this binary
+/// that runs discovery serializes on this lock — otherwise an env-mutating
+/// test could silently turn tracing on for a concurrently running
+/// "untraced" run.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn discover(threads: usize, traced: bool) -> DiscoveryResult {
+    // Fresh context per run: the lake-wide join-index cache is per-context,
+    // so a fresh one makes cache hit/miss counters deterministic.
+    let ctx = lake_ctx(60);
+    AutoFeat::new(
+        AutoFeatConfig::paper()
+            .with_seed(42)
+            .with_threads(threads)
+            .with_trace(traced),
+    )
+    .discover(&ctx)
+    .expect("discovery runs")
+}
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("autofeat_trace_{}_{tag}.json", std::process::id()))
+}
+
+#[test]
+fn traced_and_untraced_runs_are_bit_identical() {
+    let _g = lock();
+    let untraced = discover(2, false);
+    let traced = discover(2, true);
+    assert!(untraced.trace.is_none(), "tracing must be opt-in");
+    assert!(traced.trace.is_some(), "with_trace(true) attaches a RunTrace");
+    assert_bit_identical(&untraced, &traced, "traced vs untraced");
+}
+
+#[test]
+fn counter_totals_invariant_across_thread_counts() {
+    let _g = lock();
+    let r1 = discover(1, true);
+    let r4 = discover(4, true);
+    assert_eq!(r1.threads_used, 1);
+    assert_eq!(r4.threads_used, 4);
+    assert_bit_identical(&r1, &r4, "1 vs 4 worker threads");
+    let (t1, t4) = (r1.trace.unwrap(), r4.trace.unwrap());
+    assert_eq!(
+        t1.counters, t4.counters,
+        "every counter total must be thread-count invariant"
+    );
+    assert_eq!(
+        t1.events, t4.events,
+        "events come from sequential sections only, so the log is identical"
+    );
+}
+
+#[test]
+fn trace_counters_match_result_and_health_report() {
+    let _g = lock();
+    let r = discover(2, true);
+    let trace = r.trace.as_ref().expect("traced run");
+    let c = |name: &str| trace.counter(name).unwrap_or(0) as usize;
+
+    assert_eq!(c("discover.joins_evaluated"), r.n_joins_evaluated);
+    assert_eq!(c("discover.pruned_unjoinable"), r.n_pruned_unjoinable);
+    assert_eq!(c("discover.pruned_quality"), r.n_pruned_quality);
+    assert_eq!(c("discover.pruned_similarity"), r.n_pruned_similarity);
+    assert_eq!(c("discover.pruned_budget"), r.n_pruned_budget);
+    assert_eq!(c("discover.paths_ranked"), r.ranked.len());
+    assert_eq!(c("discover.features_selected"), r.selected_features.len());
+    assert_eq!(c("discover.hop_failures"), r.failures.len());
+    assert!(c("discover.joins_evaluated") > 0, "fixture evaluates joins");
+
+    // Cache counters equal the result's CacheStats (fresh context: the
+    // delta the result carries is the cache's lifetime totals).
+    let cache = r.cache.as_ref().expect("cache enabled by default");
+    assert_eq!(trace.counter("cache.hits").unwrap_or(0), cache.hits);
+    assert_eq!(trace.counter("cache.misses").unwrap_or(0), cache.misses);
+    // Per-entry build-time histogram: one observation per cache miss.
+    let (_, builds) = trace
+        .dists
+        .iter()
+        .find(|(n, _)| n == "cache.index_build_secs")
+        .expect("index build-time distribution recorded");
+    assert_eq!(builds.count, cache.misses);
+
+    // The health report prints the same numbers it always did — the trace
+    // agrees with it by construction (same source variables).
+    let report = discovery_health_report(&r);
+    assert!(
+        report.contains(&format!("{} join(s) evaluated", c("discover.joins_evaluated"))),
+        "{report}"
+    );
+    assert!(
+        report.contains(&format!(
+            "join-index cache: {} hit(s), {} miss(es)",
+            cache.hits, cache.misses
+        )),
+        "{report}"
+    );
+    assert!(report.contains("phase timings:"), "{report}");
+}
+
+#[test]
+fn phase_self_times_telescope_to_elapsed() {
+    let _g = lock();
+    let r = discover(2, true);
+    let trace = r.trace.as_ref().expect("traced run");
+    let root = trace.phase("discover").expect("root discover phase");
+    assert_eq!(root.count, 1);
+    let sum = trace.self_time_total();
+    // Acceptance bound: self-times sum to within 10% of the measured
+    // elapsed time (plus a small absolute slack for sub-millisecond runs,
+    // where 10% of the total is below timer granularity).
+    let diff = r.elapsed.abs_diff(sum);
+    let bound = std::cmp::max(r.elapsed / 10, Duration::from_millis(2));
+    assert!(
+        diff <= bound,
+        "self-time sum {sum:?} vs elapsed {:?} (diff {diff:?} > bound {bound:?})",
+        r.elapsed
+    );
+}
+
+#[test]
+fn trace_path_writes_json_matching_checked_in_schema() {
+    let _g = lock();
+    let path = tmp_path("config");
+    let _ = std::fs::remove_file(&path);
+    let ctx = lake_ctx(60);
+    let r = AutoFeat::new(
+        AutoFeatConfig::paper()
+            .with_seed(42)
+            .with_threads(2)
+            .with_trace_path(&path),
+    )
+    .discover(&ctx)
+    .expect("discovery runs");
+    assert!(r.trace.is_some(), "trace_path implies tracing");
+
+    let json = std::fs::read_to_string(&path).expect("trace file written");
+    let _ = std::fs::remove_file(&path);
+    assert!(json.contains(&format!("\"schema_version\": {}", autofeat::obs::TRACE_SCHEMA_VERSION)));
+
+    // Schema-stability check: every top-level property the checked-in
+    // schema declares must be present in the emitted JSON, and the schema
+    // must not have drifted to declare fields the emitter doesn't produce.
+    let schema = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("trace.schema.json"),
+    )
+    .expect("trace.schema.json at the repository root");
+    for field in [
+        "schema_version",
+        "generator",
+        "wall_secs",
+        "phases",
+        "counters",
+        "distributions",
+        "events",
+        "events_dropped",
+    ] {
+        let quoted = format!("\"{field}\"");
+        assert!(json.contains(&quoted), "emitted JSON missing {quoted}");
+        assert!(schema.contains(&quoted), "trace.schema.json missing {quoted}");
+    }
+    // Phase-object layout is part of the stable schema too.
+    for field in ["name", "path", "count", "wall_secs", "cpu_secs", "self_secs", "children"] {
+        assert!(
+            schema.contains(&format!("\"{field}\"")),
+            "trace.schema.json missing phase field \"{field}\""
+        );
+    }
+    assert!(json.contains("\"path\": \"discover\""), "root phase serialized");
+}
+
+#[test]
+fn env_var_enables_tracing_across_thread_counts() {
+    let _g = lock();
+    let path = tmp_path("env");
+    let _ = std::fs::remove_file(&path);
+    std::env::set_var("AUTOFEAT_TRACE", &path);
+
+    std::env::set_var("AUTOFEAT_THREADS", "1");
+    let r1 = discover(0, false); // threads 0 = env resolution; trace from env
+    std::env::set_var("AUTOFEAT_THREADS", "4");
+    let r4 = discover(0, false);
+
+    std::env::remove_var("AUTOFEAT_THREADS");
+    std::env::remove_var("AUTOFEAT_TRACE");
+    let written = std::fs::metadata(&path).is_ok();
+    let _ = std::fs::remove_file(&path);
+
+    assert!(written, "AUTOFEAT_TRACE must produce a trace file");
+    assert_eq!(r1.threads_used, 1);
+    assert_eq!(r4.threads_used, 4);
+    assert!(r1.trace.is_some() && r4.trace.is_some(), "env var enables tracing");
+    assert_bit_identical(&r1, &r4, "env-traced 1 vs 4 threads");
+    assert_eq!(
+        r1.trace.unwrap().counters,
+        r4.trace.unwrap().counters,
+        "env-configured runs keep counter invariance"
+    );
+}
