@@ -123,12 +123,14 @@ pub struct DiscoveryResult {
     /// Worker threads used for path evaluation. Informational only —
     /// results are bit-identical at any thread count.
     pub threads_used: usize,
-    /// Lake-index-cache activity attributable to this run (hit/miss/build
-    /// counters are deltas over the run; resident bytes and entry count are
-    /// the cache's occupancy when the run finished, since the cache is owned
-    /// by the context and persists across runs). `None` when the run was
+    /// Lake-index-cache activity attributable to this run
+    /// (hit/miss/build/eviction/rejection counters are deltas over the run;
+    /// resident bytes, entry count, peak-resident, and the budget are the
+    /// cache's state when the run finished, since the cache is owned by the
+    /// context and persists across runs — when this run applied a budget,
+    /// the peak is this run's own high-water mark). `None` when the run was
     /// configured with `cache: false`. Informational only — results are
-    /// bit-identical with the cache on or off.
+    /// bit-identical with the cache on or off, budgeted or not.
     pub cache: Option<CacheStats>,
     /// Structured run trace (per-phase wall times, pipeline counters,
     /// bounded event log), present when the run was configured with
@@ -264,6 +266,19 @@ impl AutoFeat {
         // Snapshot the shared cache's counters so the result can report this
         // run's activity as a delta (the cache outlives individual runs).
         let cache_start = cfg.cache.then(|| ctx.lake_cache().stats());
+        // Apply the configured byte budget (config field, else the
+        // AUTOFEAT_CACHE_BUDGET environment) before any join: a budget below
+        // current residency evicts coldest-first, and the peak-resident
+        // epoch restarts so this run reports its own high-water mark. A
+        // budget-less run leaves the cache's standing budget untouched.
+        // Applied after the snapshot so the eviction burst of bringing an
+        // over-budget cache down to this run's budget is attributed to this
+        // run's stats delta.
+        if cfg.cache {
+            if let Some(budget) = cfg.resolve_cache_budget() {
+                ctx.lake_cache().set_budget(Some(budget));
+            }
+        }
         let cache_delta =
             |start: &Option<CacheStats>| start.map(|s| ctx.lake_cache().stats().since(&s));
 

@@ -1,4 +1,11 @@
 //! The baselines of §VII-B: BASE, ARDA, MAB, JoinAll and JoinAll+F.
+//!
+//! Every baseline joins through the context's lake-wide
+//! [`LakeIndexCache`](autofeat_data::LakeIndexCache), so all of them inherit
+//! that cache's memory governance automatically: a byte budget applied to
+//! the shared cache (programmatically, or via `AUTOFEAT_CACHE_BUDGET` at
+//! context construction) bounds baseline memory exactly as it bounds
+//! discovery, with bit-identical results either way.
 
 pub mod arda;
 pub mod base;

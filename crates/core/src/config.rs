@@ -59,6 +59,15 @@ pub struct AutoFeatConfig {
     /// (the pre-cache kernel) — results are bit-identical either way; the
     /// switch exists for benchmarking and determinism audits.
     pub cache: bool,
+    /// Byte budget for the lake-wide join-index cache (memory governance:
+    /// fit-or-deny admission, LRU eviction on budget shrink — see the
+    /// `autofeat_data::cache` module docs). `Some(b)` is applied to the
+    /// context's cache at the start of each run; `None` defers to the
+    /// `AUTOFEAT_CACHE_BUDGET` environment variable (honoured both here and
+    /// at cache construction), and when that is unset too the cache is
+    /// unbounded. Budgeted, unbounded, and uncached runs are bit-identical —
+    /// the budget bounds memory, never results.
+    pub cache_budget_bytes: Option<u64>,
     /// Collect a structured [`RunTrace`](autofeat_obs::RunTrace) for every
     /// discovery run: per-phase wall times, pipeline counters, and a bounded
     /// event log, attached to the result as `DiscoveryResult::trace`.
@@ -90,6 +99,7 @@ impl Default for AutoFeatConfig {
             seed: 42,
             threads: 0,
             cache: true,
+            cache_budget_bytes: None,
             trace: false,
             trace_path: None,
         }
@@ -138,6 +148,13 @@ impl AutoFeatConfig {
         self
     }
 
+    /// Builder-style cache byte-budget override (see
+    /// [`cache_budget_bytes`](Self::cache_budget_bytes)).
+    pub fn with_cache_budget_bytes(mut self, bytes: u64) -> Self {
+        self.cache_budget_bytes = Some(bytes);
+        self
+    }
+
     /// Builder-style trace toggle (in-memory trace on the result, no file).
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
@@ -162,6 +179,17 @@ impl AutoFeatConfig {
     /// trace stays in-memory only.
     pub fn resolve_trace_path(&self) -> Option<PathBuf> {
         self.trace_path.clone().or_else(env_trace_path)
+    }
+
+    /// The effective cache byte budget for a run: the explicit
+    /// `cache_budget_bytes` when set, else the `AUTOFEAT_CACHE_BUDGET`
+    /// environment variable. `None` means this run imposes no budget (the
+    /// context's cache keeps whatever budget it already has — so a cache
+    /// configured programmatically via
+    /// [`LakeIndexCache::set_budget`](autofeat_data::LakeIndexCache::set_budget)
+    /// is not clobbered by budget-less runs).
+    pub fn resolve_cache_budget(&self) -> Option<u64> {
+        self.cache_budget_bytes.or_else(autofeat_data::cache::env_cache_budget)
     }
 
     /// The effective worker count: the explicit `threads` field when
@@ -246,6 +274,19 @@ mod tests {
         let auto = AutoFeatConfig::default();
         assert_eq!(auto.threads, 0);
         assert!(auto.resolve_threads() >= 1);
+    }
+
+    #[test]
+    fn cache_budget_resolution() {
+        // Default: no budget configured, environment decides (unset here).
+        let c = AutoFeatConfig::default();
+        assert_eq!(c.cache_budget_bytes, None);
+        // (cannot assert the env-free branch strictly — another test binary
+        // may export the variable — but the builder must always win.)
+        let c = AutoFeatConfig::default().with_cache_budget_bytes(24 << 20);
+        assert_eq!(c.resolve_cache_budget(), Some(24 << 20));
+        let c = AutoFeatConfig::default().with_cache_budget_bytes(0);
+        assert_eq!(c.resolve_cache_budget(), Some(0), "zero budget is explicit");
     }
 
     #[test]

@@ -224,8 +224,19 @@ impl SearchContext {
 
     /// The lake-wide join-index cache. Shared across clones of this context,
     /// so indexes built by one run (or one worker thread) serve all others.
+    /// Constructed with [`LakeIndexCache::new`], so it honours an
+    /// `AUTOFEAT_CACHE_BUDGET` byte budget from the environment; discovery
+    /// runs may re-apply a configured budget (see
+    /// [`AutoFeatConfig::resolve_cache_budget`](crate::AutoFeatConfig::resolve_cache_budget)).
     pub fn lake_cache(&self) -> &LakeIndexCache {
         &self.cache
+    }
+
+    /// Convenience for [`LakeIndexCache::set_budget`] on the shared cache:
+    /// (re)apply a byte budget, evicting coldest-first if current residency
+    /// exceeds it. Affects every clone of this context.
+    pub fn set_cache_budget(&self, budget: Option<u64>) {
+        self.cache.set_budget(budget);
     }
 
     /// Feature columns of the base table: everything except the label.

@@ -44,6 +44,10 @@ pub fn materialize_path(
         // Joins go through the context's lake-wide index cache: replaying a
         // path discovery already explored reuses the indexes discovery
         // built, and the cached kernel is bit-identical to the uncached one.
+        // Under a byte budget the cache may deny or evict an index, but the
+        // join holds its own `Arc` for the duration of the hop — governance
+        // changes rebuild frequency, never results (denied builds are simply
+        // handed to this call transiently).
         let out = ctx.lake_cache().left_join_normalized(
             &current,
             right,

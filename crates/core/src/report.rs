@@ -73,6 +73,20 @@ pub fn discovery_health_report(result: &DiscoveryResult) -> String {
                  {} index(es) resident ({} bytes)",
                 c.hits, c.misses, c.build_time, c.entries, c.resident_bytes
             );
+            // Governance line, present only when memory governance was
+            // actually in play (a budget was set, or pressure events
+            // occurred) — unbudgeted healthy runs keep the legacy format.
+            if c.budget_bytes.is_some() || c.evictions > 0 || c.rejections > 0 {
+                let budget = c
+                    .budget_bytes
+                    .map_or("unbounded".to_string(), |b| format!("{b} bytes"));
+                let _ = writeln!(
+                    out,
+                    "cache governance: budget {budget}, peak resident {} bytes, \
+                     {} eviction(s) ({} bytes), {} admission rejection(s)",
+                    c.peak_resident_bytes, c.evictions, c.evicted_bytes, c.rejections
+                );
+            }
         }
         None => {
             let _ = writeln!(out, "join-index cache: disabled");
@@ -152,6 +166,11 @@ mod tests {
                 build_time: Duration::from_millis(3),
                 resident_bytes: 4096,
                 entries: 2,
+                evictions: 0,
+                evicted_bytes: 0,
+                rejections: 0,
+                peak_resident_bytes: 4096,
+                budget_bytes: None,
             }),
             trace: None,
         }
@@ -246,6 +265,49 @@ join-index cache: 8 hit(s), 2 miss(es), 3ms build time, 2 index(es) resident (40
   - base -> bad (on k=k2) after [(empty path)]: column not found
 ";
         assert_eq!(r, expected);
+    }
+
+    #[test]
+    fn golden_governance_section_is_exact() {
+        let mut d = discovery(vec![], None);
+        d.cache = Some(autofeat_data::CacheStats {
+            hits: 8,
+            misses: 2,
+            build_time: Duration::from_millis(3),
+            resident_bytes: 4096,
+            entries: 2,
+            evictions: 3,
+            evicted_bytes: 6144,
+            rejections: 1,
+            peak_resident_bytes: 8192,
+            budget_bytes: Some(10240),
+        });
+        let r = discovery_health_report(&d);
+        let expected = "\
+discovery: 0 path(s) ranked, 5 join(s) evaluated, 1 unjoinable, 2 below-quality, 4 worker thread(s)
+join-index cache: 8 hit(s), 2 miss(es), 3ms build time, 2 index(es) resident (4096 bytes)
+cache governance: budget 10240 bytes, peak resident 8192 bytes, 3 eviction(s) (6144 bytes), 1 admission rejection(s)
+healthy: no hop failures
+";
+        assert_eq!(r, expected);
+    }
+
+    #[test]
+    fn governance_line_absent_without_budget_or_pressure() {
+        let r = discovery_health_report(&discovery(vec![], None));
+        assert!(!r.contains("cache governance"), "{r}");
+        // Pressure without a budget (e.g. budget later removed) still
+        // surfaces the line.
+        let mut d = discovery(vec![], None);
+        if let Some(c) = d.cache.as_mut() {
+            c.evictions = 2;
+            c.evicted_bytes = 100;
+        }
+        let r = discovery_health_report(&d);
+        assert!(
+            r.contains("cache governance: budget unbounded, peak resident 4096 bytes, 2 eviction(s) (100 bytes), 0 admission rejection(s)"),
+            "{r}"
+        );
     }
 
     #[test]

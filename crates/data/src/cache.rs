@@ -1,4 +1,4 @@
-//! Lake-wide join-index cache.
+//! Lake-wide join-index cache with memory governance.
 //!
 //! Discovery evaluates many join paths that funnel through the same few
 //! satellite tables: every hop that joins against table `T` on column `c`
@@ -9,13 +9,50 @@
 //! then degrades to one hash probe plus a [`mix_u64`](crate::stable_hash::mix_u64)
 //! per duplicate candidate.
 //!
+//! ## Memory governance
+//!
+//! Resident index bytes are bounded by an optional **byte budget**
+//! ([`LakeIndexCache::set_budget`], defaulted from `AUTOFEAT_CACHE_BUDGET`
+//! at construction, unbounded when unset). Two mechanisms enforce it:
+//!
+//! * **Fit-or-deny admission** — a freshly built index is retained only if
+//!   it fits the remaining budget; otherwise the build is handed to the
+//!   caller as a transient index (counted in
+//!   [`CacheStats::rejections`]) and the cache keeps nothing. Admission
+//!   never evicts: under the uniform cyclic access pattern of a discovery
+//!   sweep, evict-to-admit degenerates to cache thrash (every entry evicted
+//!   just before its reuse — zero hits at *any* budget below the working
+//!   set), while pinning the first fitting subset serves that subset on
+//!   every revisit.
+//! * **LRU eviction on budget shrink** — [`set_budget`](LakeIndexCache::set_budget)
+//!   with a budget below current residency evicts coldest-first (per-slot
+//!   last-touch clocks, bumped on every probe) until residency fits.
+//!
+//! Eviction can never invalidate an in-flight join: entries hand out
+//! `Arc<JoinIndex>` clones, so an evicted index stays alive until its last
+//! borrower drops it — the cache merely stops *retaining* it. And because
+//! cached and uncached execution share one kernel (see *Determinism* below),
+//! denial/eviction can change only *when indexes are rebuilt*, never what
+//! any join produces: budgeted, unbounded, and uncached runs are
+//! bit-identical by construction.
+//!
+//! Accounting is **ownership-accurate**: resident bytes are registered only
+//! for indexes the slot map actually retains (admitted entries), and
+//! deducted on eviction. Transient builds — admission denials, and the
+//! degraded path that hands out unowned entries when the governor lock is
+//! poisoned — never touch residency, so stats cannot report phantom memory.
+//!
 //! ## Concurrency
 //!
-//! The map of entries sits behind an [`RwLock`]; each entry is an
-//! `Arc<OnceLock<…>>` so that index **construction happens outside the map
-//! lock** — two threads racing on the same cold entry serialize only on that
-//! entry's `OnceLock` (one builds and counts a miss, the other waits and
-//! counts a hit), while joins against other tables proceed untouched.
+//! The governor (slot map + accounting) sits behind an [`RwLock`]; each slot
+//! holds an `Arc<OnceLock<…>>` cell so that index **construction happens
+//! outside the map lock** — two threads racing on the same cold entry
+//! serialize only on that entry's `OnceLock` (one builds and counts a miss,
+//! the other waits and counts a hit), while joins against other tables
+//! proceed untouched. The hit path is allocation-free: probes hash the
+//! `(table, column)` pair with the repo's FNV [`StableHasher`] and verify
+//! within the bucket by `&str` comparison — no key `String`s are built
+//! after a slot's first insertion.
 //!
 //! ## Determinism
 //!
@@ -27,6 +64,7 @@
 //! are seed-independent, so one index serves every seed.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use std::time::{Duration, Instant};
@@ -35,7 +73,43 @@ use autofeat_obs as obs;
 
 use crate::error::Result;
 use crate::join::{left_join_with_index, JoinIndex, JoinOutput};
+use crate::stable_hash::StableHasher;
 use crate::table::Table;
+
+/// Environment variable consulted by [`LakeIndexCache::new`] for a default
+/// byte budget. Accepts plain bytes or a binary-suffixed size (`K`/`M`/`G`),
+/// e.g. `AUTOFEAT_CACHE_BUDGET=24M`. Unset, empty, or unparsable values
+/// leave the cache unbounded.
+pub const CACHE_BUDGET_ENV: &str = "AUTOFEAT_CACHE_BUDGET";
+
+/// Parse a byte-budget string: plain bytes (`"1048576"`) or a number with a
+/// case-insensitive binary suffix (`"512K"`, `"24M"`, `"2G"`, optionally
+/// `"24MiB"`/`"24MB"`). Returns `None` for empty or malformed input.
+pub fn parse_budget_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let digits_end = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+    let (num, suffix) = s.split_at(digits_end);
+    let base: u64 = num.parse().ok()?;
+    let mult: u64 = match suffix.trim().to_ascii_lowercase().as_str() {
+        "" | "b" => 1,
+        "k" | "kb" | "kib" => 1 << 10,
+        "m" | "mb" | "mib" => 1 << 20,
+        "g" | "gb" | "gib" => 1 << 30,
+        _ => return None,
+    };
+    base.checked_mul(mult)
+}
+
+/// The byte budget requested via [`CACHE_BUDGET_ENV`], if any.
+pub fn env_cache_budget() -> Option<u64> {
+    std::env::var(CACHE_BUDGET_ENV)
+        .ok()
+        .as_deref()
+        .and_then(parse_budget_bytes)
+}
 
 /// A point-in-time snapshot of [`LakeIndexCache`] counters, for
 /// observability (discovery results, health reports, benchmarks).
@@ -44,20 +118,36 @@ pub struct CacheStats {
     /// Joins served from an already-built index.
     pub hits: u64,
     /// Joins that had to build the index first (equals distinct cold
-    /// entries touched, absent racing builders).
+    /// entries touched, absent racing builders; denied entries rebuild —
+    /// and re-count — on every touch).
     pub misses: u64,
     /// Total wall time spent building indexes.
     pub build_time: Duration,
-    /// Approximate heap footprint of all resident indexes, in bytes.
+    /// Approximate heap footprint of all *retained* indexes, in bytes.
+    /// Transient builds (admission denials, degraded-mode entries) are
+    /// never counted.
     pub resident_bytes: u64,
     /// Number of `(table, join column)` indexes resident.
     pub entries: u64,
+    /// Indexes evicted by a budget shrink ([`LakeIndexCache::set_budget`]).
+    pub evictions: u64,
+    /// Total bytes released by those evictions.
+    pub evicted_bytes: u64,
+    /// Builds denied retention because they did not fit the budget.
+    pub rejections: u64,
+    /// High-water mark of `resident_bytes` since the budget was last
+    /// (re)applied — [`set_budget`](LakeIndexCache::set_budget) starts a new
+    /// peak epoch, so a budgeted run reports its own peak.
+    pub peak_resident_bytes: u64,
+    /// The byte budget in force, `None` when unbounded.
+    pub budget_bytes: Option<u64>,
 }
 
 impl CacheStats {
     /// Counter delta `self − earlier` for the monotonic counters (hits,
-    /// misses, build time); resident bytes and entries stay absolute, since
-    /// they describe current occupancy rather than cumulative work.
+    /// misses, build time, evictions, evicted bytes, rejections); resident
+    /// bytes, entries, peak, and budget stay absolute, since they describe
+    /// current occupancy rather than cumulative work.
     pub fn since(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
@@ -65,33 +155,173 @@ impl CacheStats {
             build_time: self.build_time.saturating_sub(earlier.build_time),
             resident_bytes: self.resident_bytes,
             entries: self.entries,
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            evicted_bytes: self.evicted_bytes.saturating_sub(earlier.evicted_bytes),
+            rejections: self.rejections.saturating_sub(earlier.rejections),
+            peak_resident_bytes: self.peak_resident_bytes,
+            budget_bytes: self.budget_bytes,
         }
     }
 }
 
-type EntryKey = (String, String);
 type Entry = Arc<OnceLock<Arc<JoinIndex>>>;
 
-/// Thread-safe, lazily-populated cache of [`JoinIndex`]es keyed by
-/// `(table name, join column)`.
+/// One cached `(table, join column)` pair. `bytes` is zero until the built
+/// index is admitted; only admitted bytes are part of governor residency.
+#[derive(Debug)]
+struct Slot {
+    table: String,
+    column: String,
+    cell: Entry,
+    /// Logical last-touch time (global probe clock); bumped on every probe,
+    /// read by LRU eviction. Atomic so hits can touch it under the governor
+    /// *read* lock.
+    last_touch: AtomicU64,
+    /// Admitted footprint in bytes (0 = built-but-unadmitted or unbuilt).
+    /// Mutated only under the governor write lock.
+    bytes: u64,
+}
+
+/// FNV bucket map: slot key hash → slots verifying to distinct pairs. The
+/// hash is a pure function of the strings, so probes never allocate.
+type SlotMap = HashMap<u64, Vec<Slot>, BuildHasherDefault<StableHasher>>;
+
+fn slot_hash(table: &str, column: &str) -> u64 {
+    let mut h = StableHasher::new();
+    h.write(table.as_bytes());
+    h.write_u8(0xff); // field terminator: ("ab","c") ≠ ("a","bc")
+    h.write(column.as_bytes());
+    h.finish()
+}
+
+/// Mutable cache state: the slot map plus every accounting register that
+/// must move atomically with it (residency, peak, eviction/rejection
+/// tallies, the budget itself).
+#[derive(Debug, Default)]
+struct Governor {
+    buckets: SlotMap,
+    resident: u64,
+    peak_resident: u64,
+    evictions: u64,
+    evicted_bytes: u64,
+    rejections: u64,
+    budget: Option<u64>,
+}
+
+impl Governor {
+    /// Evict the coldest admitted slot. Returns `false` when nothing is
+    /// admitted (residency 0).
+    fn evict_coldest(&mut self) -> bool {
+        let mut victim: Option<(u64, usize, u64)> = None; // (bucket, idx, touch)
+        for (&h, bucket) in &self.buckets {
+            for (i, s) in bucket.iter().enumerate() {
+                if s.bytes == 0 {
+                    continue;
+                }
+                let touch = s.last_touch.load(Ordering::Relaxed);
+                if victim.is_none_or(|(_, _, t)| touch < t) {
+                    victim = Some((h, i, touch));
+                }
+            }
+        }
+        let Some((h, i, _)) = victim else { return false };
+        let bucket = self.buckets.get_mut(&h).expect("victim bucket exists");
+        let slot = bucket.swap_remove(i);
+        if bucket.is_empty() {
+            self.buckets.remove(&h);
+        }
+        self.resident -= slot.bytes;
+        self.evictions += 1;
+        self.evicted_bytes += slot.bytes;
+        obs::incr("cache.evictions");
+        obs::add("cache.evicted_bytes", slot.bytes);
+        // The slot's `cell` (and the Arc'd index inside) drops here; any
+        // in-flight join still holding a clone keeps the index alive.
+        true
+    }
+
+    /// Raise the resident high-water mark, mirroring growth into the
+    /// `cache.peak_resident_bytes` trace counter (its per-run total is the
+    /// peak's growth over the run; with the budget applied at run start the
+    /// epoch base is the post-eviction residency).
+    fn note_peak(&mut self) {
+        if self.resident > self.peak_resident {
+            obs::add("cache.peak_resident_bytes", self.resident - self.peak_resident);
+            self.peak_resident = self.resident;
+        }
+    }
+}
+
+/// Thread-safe, lazily-populated, budget-governed cache of [`JoinIndex`]es
+/// keyed by `(table name, join column)`.
 ///
 /// Owned (behind an `Arc`) by the search context so that discovery, path
 /// materialization, and every baseline share one set of indexes per lake.
-/// Indexes are immutable once built; the cache never evicts (a data lake's
-/// satellite tables are fixed for the lifetime of a search context).
-#[derive(Debug, Default)]
+/// Indexes are immutable once built; retention is bounded by the byte
+/// budget (see the module docs — fit-or-deny admission, LRU eviction on
+/// budget shrink, unbounded by default).
+#[derive(Debug)]
 pub struct LakeIndexCache {
-    entries: RwLock<HashMap<EntryKey, Entry>>,
+    gov: RwLock<Governor>,
+    /// Global probe clock feeding the slots' last-touch stamps.
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     build_nanos: AtomicU64,
-    resident_bytes: AtomicU64,
+}
+
+impl Default for LakeIndexCache {
+    /// Same as [`LakeIndexCache::new`]: the budget defaults from
+    /// [`CACHE_BUDGET_ENV`].
+    fn default() -> LakeIndexCache {
+        LakeIndexCache::new()
+    }
 }
 
 impl LakeIndexCache {
-    /// Create an empty cache.
+    /// Create an empty cache whose budget defaults from
+    /// [`CACHE_BUDGET_ENV`] (unbounded when unset). The env default means
+    /// every consumer of a fresh context — discovery, materialization, the
+    /// baselines — honors an operator-imposed budget without any config
+    /// plumbing.
     pub fn new() -> LakeIndexCache {
-        LakeIndexCache::default()
+        LakeIndexCache::with_budget(env_cache_budget())
+    }
+
+    /// Create an empty cache with an explicit byte budget (`None` =
+    /// unbounded), ignoring the environment.
+    pub fn with_budget(budget: Option<u64>) -> LakeIndexCache {
+        LakeIndexCache {
+            gov: RwLock::new(Governor { budget, ..Governor::default() }),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            build_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// (Re)apply a byte budget. When the new budget is below current
+    /// residency, coldest slots (least-recent last touch) are evicted until
+    /// residency fits. Also starts a new `peak_resident_bytes` epoch at the
+    /// post-eviction residency, so stats taken after a run report the peak
+    /// *under this budget*. In-flight joins are unaffected: they hold
+    /// `Arc` clones of any index this call evicts.
+    pub fn set_budget(&self, budget: Option<u64>) {
+        let Ok(mut gov) = self.gov.write() else { return };
+        gov.budget = budget;
+        if let Some(b) = budget {
+            while gov.resident > b {
+                if !gov.evict_coldest() {
+                    break;
+                }
+            }
+        }
+        gov.peak_resident = gov.resident;
+    }
+
+    /// The byte budget in force (`None` = unbounded).
+    pub fn budget(&self) -> Option<u64> {
+        self.gov.read().ok().and_then(|g| g.budget)
     }
 
     /// The join index for `(table, column)`, building it on first use.
@@ -100,10 +330,12 @@ impl LakeIndexCache {
     /// any locking, so a bad column name never poisons an entry). The first
     /// caller per entry builds and counts a **miss**; every other caller —
     /// including threads that waited on a racing build — counts a **hit**.
+    /// Every miss corresponds to exactly one index build (denied entries
+    /// are re-created, rebuilt, and re-counted on later touches).
     pub fn get_or_build(&self, table: &Table, column: &str) -> Result<Arc<JoinIndex>> {
         let key_col = table.column(column)?;
 
-        let entry = self.entry(table.name(), column);
+        let entry = self.probe(table.name(), column);
         let mut built = false;
         let index = entry.get_or_init(|| {
             built = true;
@@ -114,8 +346,6 @@ impl LakeIndexCache {
             obs::record_secs("cache.index_build_secs", elapsed.as_secs_f64());
             self.build_nanos
                 .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
-            self.resident_bytes
-                .fetch_add(index.resident_bytes() as u64, Ordering::Relaxed);
             index
         });
         // Exactly one miss per cold entry even when builders race: the
@@ -124,6 +354,7 @@ impl LakeIndexCache {
         if built {
             self.misses.fetch_add(1, Ordering::Relaxed);
             obs::incr("cache.misses");
+            self.admit(table.name(), column, &entry, index);
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
             obs::incr("cache.hits");
@@ -150,38 +381,121 @@ impl LakeIndexCache {
 
     /// Point-in-time counter snapshot.
     pub fn stats(&self) -> CacheStats {
-        let entries = self
-            .entries
+        let (entries, resident, evictions, evicted_bytes, rejections, peak, budget) = self
+            .gov
             .read()
-            .map(|m| m.values().filter(|e| e.get().is_some()).count() as u64)
-            .unwrap_or(0);
+            .map(|g| {
+                let built = g
+                    .buckets
+                    .values()
+                    .flatten()
+                    .filter(|s| s.cell.get().is_some())
+                    .count() as u64;
+                (
+                    built,
+                    g.resident,
+                    g.evictions,
+                    g.evicted_bytes,
+                    g.rejections,
+                    g.peak_resident,
+                    g.budget,
+                )
+            })
+            .unwrap_or((0, 0, 0, 0, 0, 0, None));
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             build_time: Duration::from_nanos(self.build_nanos.load(Ordering::Relaxed)),
-            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
+            resident_bytes: resident,
             entries,
+            evictions,
+            evicted_bytes,
+            rejections,
+            peak_resident_bytes: peak,
+            budget_bytes: budget,
         }
     }
 
-    fn entry(&self, table: &str, column: &str) -> Entry {
-        // Fast path: shared read lock.
-        if let Ok(map) = self.entries.read() {
-            if let Some(e) = map.get(&(table.to_string(), column.to_string())) {
-                return Arc::clone(e);
+    /// The entry cell for `(table, column)`, creating an empty slot on first
+    /// touch. Allocation-free on the hit path: the pair is FNV-hashed and
+    /// verified by `&str` comparison inside the bucket; key `String`s are
+    /// cloned only when a new slot is inserted.
+    fn probe(&self, table: &str, column: &str) -> Entry {
+        let h = slot_hash(table, column);
+        let touch = || self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        // Fast path: shared read lock, atomic LRU touch.
+        if let Ok(gov) = self.gov.read() {
+            if let Some(slot) = gov
+                .buckets
+                .get(&h)
+                .and_then(|b| b.iter().find(|s| s.table == table && s.column == column))
+            {
+                slot.last_touch.store(touch(), Ordering::Relaxed);
+                return Arc::clone(&slot.cell);
             }
         }
-        // Slow path: insert a fresh (empty) entry. Index construction
+        // Slow path: insert a fresh (empty) slot. Index construction
         // happens later, outside this lock, via the entry's OnceLock.
-        match self.entries.write() {
-            Ok(mut map) => Arc::clone(
-                map.entry((table.to_string(), column.to_string()))
-                    .or_default(),
-            ),
-            // A poisoned lock means a builder thread panicked while holding
-            // the write lock; fall back to an uncached transient entry so
-            // callers still make progress.
+        match self.gov.write() {
+            Ok(mut gov) => {
+                let bucket = gov.buckets.entry(h).or_default();
+                if let Some(slot) =
+                    bucket.iter().find(|s| s.table == table && s.column == column)
+                {
+                    slot.last_touch.store(touch(), Ordering::Relaxed);
+                    return Arc::clone(&slot.cell);
+                }
+                let slot = Slot {
+                    table: table.to_string(),
+                    column: column.to_string(),
+                    cell: Entry::default(),
+                    last_touch: AtomicU64::new(touch()),
+                    bytes: 0,
+                };
+                let cell = Arc::clone(&slot.cell);
+                bucket.push(slot);
+                cell
+            }
+            // A poisoned lock means a thread panicked while holding the
+            // governor; fall back to an uncached transient entry so callers
+            // still make progress. The entry is unowned, so `admit` (which
+            // requires a map-owned slot holding this very cell) will not
+            // register its bytes — degraded mode cannot leak phantom
+            // residency into the stats.
             Err(_) => Entry::default(),
+        }
+    }
+
+    /// Fit-or-deny admission of a freshly built index (the build winner
+    /// calls this exactly once per build). Bytes are registered only when
+    /// the map still owns the very cell that was filled — transient entries
+    /// from the degraded path fail the `Arc::ptr_eq` ownership check and
+    /// stay unaccounted. A build that does not fit the budget is denied:
+    /// its slot is removed (the caller keeps the only retained reference)
+    /// and the denial is tallied as a rejection.
+    fn admit(&self, table: &str, column: &str, entry: &Entry, index: &Arc<JoinIndex>) {
+        let bytes = index.resident_bytes() as u64;
+        let h = slot_hash(table, column);
+        let Ok(mut guard) = self.gov.write() else { return };
+        let gov = &mut *guard;
+        let Some(bucket) = gov.buckets.get_mut(&h) else { return };
+        let Some(i) = bucket
+            .iter()
+            .position(|s| s.table == table && s.column == column && Arc::ptr_eq(&s.cell, entry))
+        else {
+            return;
+        };
+        if gov.budget.is_some_and(|b| gov.resident + bytes > b) {
+            bucket.swap_remove(i);
+            if bucket.is_empty() {
+                gov.buckets.remove(&h);
+            }
+            gov.rejections += 1;
+            obs::incr("cache.admission_rejected");
+        } else {
+            bucket[i].bytes = bytes;
+            gov.resident += bytes;
+            gov.note_peak();
         }
     }
 }
@@ -208,9 +522,16 @@ mod tests {
         Table::new("base", vec![("id", Column::from_ints((0..8).map(Some)))]).unwrap()
     }
 
+    /// Footprint of one `lake_table` index — every `lake_table` has the
+    /// same shape, so budgets can be expressed in index multiples.
+    fn one_index_bytes() -> u64 {
+        let t = lake_table("probe", 6);
+        JoinIndex::build(&t, t.column("key").unwrap()).resident_bytes() as u64
+    }
+
     #[test]
     fn second_join_through_same_entry_hits() {
-        let cache = LakeIndexCache::new();
+        let cache = LakeIndexCache::with_budget(None);
         let r = lake_table("sat", 6);
         let l = base();
         cache.left_join_normalized(&l, &r, "id", "key", "sat", 1).unwrap();
@@ -221,11 +542,13 @@ mod tests {
         assert_eq!((s2.hits, s2.misses, s2.entries), (1, 1, 1));
         assert!(s2.resident_bytes > 0);
         assert_eq!(s2.resident_bytes, s1.resident_bytes, "no rebuild on hit");
+        assert_eq!(s2.peak_resident_bytes, s2.resident_bytes);
+        assert_eq!((s2.evictions, s2.rejections), (0, 0));
     }
 
     #[test]
     fn distinct_columns_get_distinct_entries() {
-        let cache = LakeIndexCache::new();
+        let cache = LakeIndexCache::with_budget(None);
         let t = Table::new(
             "sat",
             vec![
@@ -242,7 +565,7 @@ mod tests {
 
     #[test]
     fn cached_join_is_bit_identical_to_uncached() {
-        let cache = LakeIndexCache::new();
+        let cache = LakeIndexCache::with_budget(None);
         let r = lake_table("sat", 6);
         let l = base();
         for seed in [1u64, 7, 42] {
@@ -254,7 +577,7 @@ mod tests {
 
     #[test]
     fn missing_column_errors_without_poisoning() {
-        let cache = LakeIndexCache::new();
+        let cache = LakeIndexCache::with_budget(None);
         let r = lake_table("sat", 6);
         assert!(cache.get_or_build(&r, "ghost").is_err());
         assert_eq!(cache.stats().entries, 0);
@@ -265,7 +588,7 @@ mod tests {
     #[test]
     fn concurrent_builders_build_once() {
         use std::sync::Barrier;
-        let cache = Arc::new(LakeIndexCache::new());
+        let cache = Arc::new(LakeIndexCache::with_budget(None));
         let r = Arc::new(lake_table("sat", 6));
         let n = 8;
         let barrier = Arc::new(Barrier::new(n));
@@ -296,6 +619,11 @@ mod tests {
             build_time: Duration::from_millis(5),
             resident_bytes: 100,
             entries: 1,
+            evictions: 1,
+            evicted_bytes: 50,
+            rejections: 0,
+            peak_resident_bytes: 150,
+            budget_bytes: Some(200),
         };
         let later = CacheStats {
             hits: 10,
@@ -303,6 +631,11 @@ mod tests {
             build_time: Duration::from_millis(12),
             resident_bytes: 300,
             entries: 3,
+            evictions: 3,
+            evicted_bytes: 170,
+            rejections: 2,
+            peak_resident_bytes: 350,
+            budget_bytes: Some(400),
         };
         let d = later.since(&earlier);
         assert_eq!(d.hits, 8);
@@ -310,5 +643,254 @@ mod tests {
         assert_eq!(d.build_time, Duration::from_millis(7));
         assert_eq!(d.resident_bytes, 300);
         assert_eq!(d.entries, 3);
+        assert_eq!(d.evictions, 2);
+        assert_eq!(d.evicted_bytes, 120);
+        assert_eq!(d.rejections, 2);
+        assert_eq!(d.peak_resident_bytes, 350);
+        assert_eq!(d.budget_bytes, Some(400));
+    }
+
+    #[test]
+    fn parse_budget_accepts_plain_and_suffixed() {
+        assert_eq!(parse_budget_bytes("1048576"), Some(1 << 20));
+        assert_eq!(parse_budget_bytes("512K"), Some(512 << 10));
+        assert_eq!(parse_budget_bytes("24m"), Some(24 << 20));
+        assert_eq!(parse_budget_bytes("24MiB"), Some(24 << 20));
+        assert_eq!(parse_budget_bytes("2GB"), Some(2 << 30));
+        assert_eq!(parse_budget_bytes(" 8M "), Some(8 << 20));
+        assert_eq!(parse_budget_bytes("0"), Some(0));
+        assert_eq!(parse_budget_bytes(""), None);
+        assert_eq!(parse_budget_bytes("lots"), None);
+        assert_eq!(parse_budget_bytes("12X"), None);
+        assert_eq!(parse_budget_bytes("99999999999G"), None, "overflow rejected");
+    }
+
+    #[test]
+    fn admission_denies_what_does_not_fit_and_joins_still_work() {
+        let one = one_index_bytes();
+        // Room for exactly two indexes.
+        let cache = LakeIndexCache::with_budget(Some(2 * one + one / 2));
+        let l = base();
+        let sats: Vec<Table> = (0..4).map(|i| lake_table(&format!("sat{i}"), 6)).collect();
+        let mut outs = Vec::new();
+        for s in &sats {
+            outs.push(cache.left_join_normalized(&l, s, "id", "key", "p", 7).unwrap());
+        }
+        let st = cache.stats();
+        assert_eq!(st.entries, 2, "first two fit, rest denied");
+        assert_eq!(st.resident_bytes, 2 * one);
+        assert_eq!(st.rejections, 2);
+        assert_eq!(st.misses, 4);
+        assert_eq!(st.evictions, 0, "admission never evicts");
+        assert!(st.peak_resident_bytes <= st.budget_bytes.unwrap());
+        // Re-touching: admitted entries hit, denied entries rebuild + deny.
+        for s in &sats {
+            let again = cache.left_join_normalized(&l, s, "id", "key", "p", 7).unwrap();
+            let first = &outs[sats.iter().position(|t| t.name() == s.name()).unwrap()];
+            assert_eq!(again.table, first.table, "denied path stays bit-identical");
+        }
+        let st2 = cache.stats();
+        assert_eq!(st2.hits, 2);
+        assert_eq!(st2.misses, 6);
+        assert_eq!(st2.rejections, 4);
+        assert!(st2.peak_resident_bytes <= st2.budget_bytes.unwrap());
+    }
+
+    #[test]
+    fn zero_budget_retains_nothing_but_serves_all_joins() {
+        let cache = LakeIndexCache::with_budget(Some(0));
+        let l = base();
+        let r = lake_table("sat", 6);
+        for seed in [1u64, 2, 3] {
+            let cached = cache.left_join_normalized(&l, &r, "id", "key", "sat", seed).unwrap();
+            let plain = left_join_normalized(&l, &r, "id", "key", "sat", seed).unwrap();
+            assert_eq!(cached.table, plain.table);
+        }
+        let st = cache.stats();
+        assert_eq!(st.entries, 0);
+        assert_eq!(st.resident_bytes, 0);
+        assert_eq!(st.peak_resident_bytes, 0);
+        assert_eq!(st.misses, 3);
+        assert_eq!(st.rejections, 3);
+    }
+
+    #[test]
+    fn budget_shrink_evicts_lru_first() {
+        let one = one_index_bytes();
+        let cache = LakeIndexCache::with_budget(None);
+        let l = base();
+        let sats: Vec<Table> = (0..3).map(|i| lake_table(&format!("sat{i}"), 6)).collect();
+        for s in &sats {
+            cache.left_join_normalized(&l, s, "id", "key", "p", 7).unwrap();
+        }
+        // Touch order now: sat0 coldest. Re-touch sat0 → sat1 coldest.
+        cache.left_join_normalized(&l, &sats[0], "id", "key", "p", 7).unwrap();
+        cache.set_budget(Some(2 * one));
+        let st = cache.stats();
+        assert_eq!(st.evictions, 1);
+        assert_eq!(st.evicted_bytes, one);
+        assert_eq!(st.entries, 2);
+        assert_eq!(st.resident_bytes, 2 * one);
+        assert_eq!(st.peak_resident_bytes, st.resident_bytes, "new peak epoch");
+        let (h0, m0) = (st.hits, st.misses);
+        // sat1 was the LRU victim: touching it rebuilds (miss); sat0 and
+        // sat2 survived: hits.
+        cache.left_join_normalized(&l, &sats[0], "id", "key", "p", 7).unwrap();
+        cache.left_join_normalized(&l, &sats[2], "id", "key", "p", 7).unwrap();
+        let st = cache.stats();
+        assert_eq!(st.hits - h0, 2, "survivors are the recently-touched slots");
+        cache.left_join_normalized(&l, &sats[1], "id", "key", "p", 7).unwrap();
+        let st = cache.stats();
+        assert_eq!(st.misses - m0, 1, "victim rebuilds on next touch");
+        // Rebuilt sat1 does not fit (budget full) → denied, not evicting.
+        assert_eq!(st.evictions, 1);
+        assert_eq!(st.rejections, 1);
+    }
+
+    #[test]
+    fn evicted_index_stays_valid_for_in_flight_joins() {
+        let cache = LakeIndexCache::with_budget(None);
+        let l = base();
+        let r = lake_table("sat", 6);
+        let index = cache.get_or_build(&r, "key").unwrap();
+        let before = left_join_with_index(&l, &r, &index, "id", "sat", 42).unwrap();
+        cache.set_budget(Some(0)); // evicts everything
+        let st = cache.stats();
+        assert_eq!((st.entries, st.resident_bytes, st.evictions), (0, 0, 1));
+        // The held Arc is untouched by eviction: same index, same result.
+        let after = left_join_with_index(&l, &r, &index, "id", "sat", 42).unwrap();
+        assert_eq!(before.table, after.table);
+        let plain = left_join_normalized(&l, &r, "id", "key", "sat", 42).unwrap();
+        assert_eq!(after.table, plain.table);
+    }
+
+    /// Concurrent eviction under live joins: worker threads continuously
+    /// join through the cache while the main thread flaps the budget
+    /// between zero and unbounded. Every join must succeed and residency
+    /// must end exactly where the final budget says.
+    #[test]
+    fn eviction_races_in_flight_joins_safely() {
+        let cache = Arc::new(LakeIndexCache::with_budget(None));
+        let l = Arc::new(base());
+        let sats: Arc<Vec<Table>> =
+            Arc::new((0..4).map(|i| lake_table(&format!("sat{i}"), 6)).collect());
+        let expected: Vec<_> = sats
+            .iter()
+            .map(|s| left_join_normalized(&l, s, "id", "key", "p", 9).unwrap().table)
+            .collect();
+        let workers: Vec<_> = (0..4)
+            .map(|w| {
+                let (cache, l, sats, expected) =
+                    (Arc::clone(&cache), Arc::clone(&l), Arc::clone(&sats), expected.clone());
+                std::thread::spawn(move || {
+                    for round in 0..50 {
+                        let i = (w + round) % sats.len();
+                        let out = cache
+                            .left_join_normalized(&l, &sats[i], "id", "key", "p", 9)
+                            .unwrap();
+                        assert_eq!(out.table, expected[i], "join stays bit-identical");
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..50 {
+            cache.set_budget(Some(0));
+            cache.set_budget(None);
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        cache.set_budget(Some(0));
+        let st = cache.stats();
+        assert_eq!((st.entries, st.resident_bytes), (0, 0));
+        assert_eq!(st.hits + st.misses, 4 * 50, "every join counted once");
+    }
+
+    /// Hit/miss/rejection/eviction totals must not depend on how the same
+    /// workload is spread over threads. Each thread owns a disjoint set of
+    /// uniform-size tables and touches each twice; admission capacity is
+    /// fixed, so the totals are fully determined even though *which* tables
+    /// win admission depends on timing.
+    #[test]
+    fn counter_totals_invariant_across_thread_counts() {
+        let one = one_index_bytes();
+        let n_tables = 12usize;
+        let fit = 5u64; // budget admits exactly 5 of the 12
+        let sats: Arc<Vec<Table>> =
+            Arc::new((0..n_tables).map(|i| lake_table(&format!("sat{i:02}"), 6)).collect());
+        let run = |n_threads: usize| -> CacheStats {
+            let cache = Arc::new(LakeIndexCache::with_budget(Some(fit * one + one / 2)));
+            let l = Arc::new(base());
+            let handles: Vec<_> = (0..n_threads)
+                .map(|t| {
+                    let (cache, l, sats) =
+                        (Arc::clone(&cache), Arc::clone(&l), Arc::clone(&sats));
+                    std::thread::spawn(move || {
+                        for pass in 0..2 {
+                            for i in (t..sats.len()).step_by(n_threads) {
+                                cache
+                                    .left_join_normalized(&l, &sats[i], "id", "key", "p", pass)
+                                    .unwrap();
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            cache.stats()
+        };
+        let (s1, s4) = (run(1), run(4));
+        assert_eq!(s1.hits, s4.hits, "hits invariant");
+        assert_eq!(s1.misses, s4.misses, "misses invariant");
+        assert_eq!(s1.rejections, s4.rejections, "rejections invariant");
+        assert_eq!(s1.evictions, s4.evictions, "evictions invariant");
+        // And the totals themselves are exact: pass 1 = 12 misses with 5
+        // admissions; pass 2 = 5 hits + 7 rebuild-misses; every denied
+        // build (7 + 7) is a rejection.
+        assert_eq!((s1.hits, s1.misses, s1.rejections), (5, 19, 14));
+        assert!(s1.peak_resident_bytes <= s1.budget_bytes.unwrap());
+        assert!(s4.peak_resident_bytes <= s4.budget_bytes.unwrap());
+    }
+
+    /// A panic while holding the governor lock poisons it; the cache must
+    /// degrade to transient (unretained, unaccounted) entries rather than
+    /// fail — and must not report phantom resident bytes for builds it
+    /// does not own.
+    #[test]
+    fn poisoned_governor_degrades_without_phantom_accounting() {
+        let cache = Arc::new(LakeIndexCache::with_budget(None));
+        let poisoner = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.gov.write().unwrap();
+            panic!("poison the governor");
+        })
+        .join();
+        let l = base();
+        let r = lake_table("sat", 6);
+        let out = cache.left_join_normalized(&l, &r, "id", "key", "sat", 5).unwrap();
+        let plain = left_join_normalized(&l, &r, "id", "key", "sat", 5).unwrap();
+        assert_eq!(out.table, plain.table, "degraded mode still serves joins");
+        let st = cache.stats();
+        assert_eq!(st.entries, 0, "nothing owned");
+        assert_eq!(st.resident_bytes, 0, "no phantom residency");
+        assert_eq!(st.misses, 1, "build still counted as work done");
+    }
+
+    #[test]
+    fn env_budget_applies_to_new_caches() {
+        // Serialize around the env var: tests in this binary run in
+        // parallel, but no other test reads CACHE_BUDGET_ENV.
+        std::env::set_var(CACHE_BUDGET_ENV, "3M");
+        let c = LakeIndexCache::new();
+        std::env::remove_var(CACHE_BUDGET_ENV);
+        assert_eq!(c.budget(), Some(3 << 20));
+        assert_eq!(LakeIndexCache::new().budget(), None);
+        assert_eq!(
+            LakeIndexCache::with_budget(Some(7)).budget(),
+            Some(7),
+            "explicit budget ignores the environment"
+        );
     }
 }

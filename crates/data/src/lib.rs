@@ -48,7 +48,7 @@ pub mod stats;
 pub mod table;
 pub mod value;
 
-pub use cache::{CacheStats, LakeIndexCache};
+pub use cache::{env_cache_budget, parse_budget_bytes, CacheStats, LakeIndexCache, CACHE_BUDGET_ENV};
 pub use column::Column;
 pub use error::{DataError, Result};
 pub use schema::{Field, Schema};

@@ -102,6 +102,49 @@ pub fn lake_ctx_permuted(n: usize, stride: usize) -> SearchContext {
     .unwrap()
 }
 
+/// A *uniform* wide lake: `n_sat` sibling satellites off the base table,
+/// every satellite the same shape (`n_rows * dup` rows, `dup` duplicate
+/// rows per key, one feature column) — so every join index has the same
+/// byte footprint. Memory-governance tests need uniform entry sizes: with
+/// them, how many indexes fit a budget (and how many evictions a budget
+/// shrink takes) is a pure function of the budget, independent of *which*
+/// entries the thread schedule admitted first.
+pub fn wide_uniform_ctx(n_sat: usize, n_rows: usize, dup: usize) -> SearchContext {
+    let labels: Vec<i64> = (0..n_rows as i64).map(|i| (i * 7) % 2).collect();
+    let base = Table::new(
+        "base",
+        vec![
+            ("k", Column::from_ints((0..n_rows as i64).map(Some).collect::<Vec<_>>())),
+            (
+                "b0",
+                Column::from_floats(
+                    (0..n_rows).map(|i| Some(((i * 29) % 23) as f64)).collect::<Vec<_>>(),
+                ),
+            ),
+            ("target", Column::from_ints(labels.iter().copied().map(Some).collect::<Vec<_>>())),
+        ],
+    )
+    .unwrap();
+    let mut tables = vec![base];
+    let mut kfk: Vec<(String, String, String, String)> = Vec::new();
+    for j in 0..n_sat {
+        let name = format!("sat{j:02}");
+        let m = n_rows * dup;
+        let keys: Vec<Option<i64>> = (0..m as i64).map(|i| Some(i / dup as i64)).collect();
+        let vals: Vec<Option<f64>> =
+            (0..m).map(|i| Some(((i * (13 + j) + j * 7) % 101) as f64)).collect();
+        tables.push(
+            Table::new(
+                name.clone(),
+                vec![("k", Column::from_ints(keys)), ("f", Column::from_floats(vals))],
+            )
+            .unwrap(),
+        );
+        kfk.push(("base".into(), "k".into(), name, "k".into()));
+    }
+    SearchContext::from_kfk(tables, &kfk, "base", "target").unwrap()
+}
+
 /// Everything except the informational `threads_used`/`elapsed`/`cache`
 /// fields must match to the bit.
 pub fn assert_bit_identical(a: &DiscoveryResult, b: &DiscoveryResult, what: &str) {

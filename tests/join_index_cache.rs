@@ -1,13 +1,14 @@
 //! The tentpole guarantee of the lake-wide join-index cache: discovery with
 //! the cache on is **bit-identical** to discovery with it off — across
-//! seeds, worker-thread counts, and right-table row permutations — and a
-//! repeat run through the same `(table, join column)` entries actually hits
-//! the cache instead of rebuilding.
+//! seeds, worker-thread counts, right-table row permutations, and **byte
+//! budgets** (memory governance changes what the cache retains, never what
+//! any join produces) — and a repeat run through the same `(table, join
+//! column)` entries actually hits the cache instead of rebuilding.
 
 use autofeat::prelude::*;
 
 mod common;
-use common::{assert_bit_identical, lake_ctx, lake_ctx_permuted};
+use common::{assert_bit_identical, lake_ctx, lake_ctx_permuted, wide_uniform_ctx};
 
 fn discover(ctx: &SearchContext, seed: u64, threads: usize, cache: bool) -> DiscoveryResult {
     AutoFeat::new(
@@ -15,6 +16,23 @@ fn discover(ctx: &SearchContext, seed: u64, threads: usize, cache: bool) -> Disc
             .with_seed(seed)
             .with_threads(threads)
             .with_cache(cache),
+    )
+    .discover(ctx)
+    .unwrap()
+}
+
+fn discover_budgeted(
+    ctx: &SearchContext,
+    seed: u64,
+    threads: usize,
+    budget: u64,
+) -> DiscoveryResult {
+    AutoFeat::new(
+        AutoFeatConfig::default()
+            .with_seed(seed)
+            .with_threads(threads)
+            .with_cache(true)
+            .with_cache_budget_bytes(budget),
     )
     .discover(ctx)
     .unwrap()
@@ -76,6 +94,114 @@ fn second_run_hits_cache_without_rebuilding() {
     assert_eq!(s2.entries, s1.entries, "occupancy unchanged");
     assert_eq!(s2.resident_bytes, s1.resident_bytes);
     assert_bit_identical(&first, &second, "cold vs warm run");
+}
+
+/// The working-set footprint of a lake: resident bytes after one unbounded
+/// cached run on a fresh clone of the context.
+fn working_set_bytes(ctx: &SearchContext, seed: u64) -> u64 {
+    let r = discover(ctx, seed, 1, true);
+    let stats = r.cache.expect("cache stats present");
+    assert!(stats.resident_bytes > 0, "unbounded run must retain indexes");
+    stats.resident_bytes
+}
+
+#[test]
+fn budgeted_discovery_is_bit_identical_across_seeds_threads_and_permutations() {
+    // A budget below the working set forces real governance decisions
+    // (denials, partial retention) in every run; results must still match
+    // the uncached reference bit-for-bit. Note each discover() call gets a
+    // fresh context: budgets govern retention *within* a shared cache, and
+    // a fresh cache makes every run face the same governance pressure.
+    let full = working_set_bytes(&lake_ctx(120), 42);
+    for budget in [full / 2, 0] {
+        for stride in [1usize, 7] {
+            for seed in [7u64, 42] {
+                let reference = discover(&lake_ctx_permuted(120, stride), seed, 1, false);
+                assert!(!reference.ranked.is_empty(), "discovery must rank paths");
+                for threads in [1usize, 4] {
+                    let budgeted = discover_budgeted(
+                        &lake_ctx_permuted(120, stride),
+                        seed,
+                        threads,
+                        budget,
+                    );
+                    assert_bit_identical(
+                        &reference,
+                        &budgeted,
+                        &format!(
+                            "budget {budget}, stride {stride}, seed {seed}, \
+                             {threads} thread(s)"
+                        ),
+                    );
+                    let unbounded = discover(&lake_ctx_permuted(120, stride), seed, threads, true);
+                    assert_bit_identical(
+                        &unbounded,
+                        &budgeted,
+                        &format!("unbounded vs budget {budget}, stride {stride}, seed {seed}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn budgeted_peak_resident_never_exceeds_budget() {
+    let full = working_set_bytes(&lake_ctx(120), 42);
+    for budget in [full / 4, full / 2, 3 * full / 4] {
+        for threads in [1usize, 4] {
+            let ctx = lake_ctx(120);
+            // Two runs: the first faces a cold cache, the second re-applies
+            // the budget to a populated one — the peak must hold in both.
+            for run in 0..2 {
+                let r = discover_budgeted(&ctx, 42, threads, budget);
+                let stats = r.cache.expect("cache stats present");
+                assert_eq!(stats.budget_bytes, Some(budget));
+                assert!(
+                    stats.peak_resident_bytes <= budget,
+                    "run {run}, budget {budget}, {threads} thread(s): peak \
+                     {} exceeds budget",
+                    stats.peak_resident_bytes
+                );
+                assert!(stats.resident_bytes <= budget);
+            }
+        }
+    }
+}
+
+#[test]
+fn budget_application_evicts_deterministically_across_thread_counts() {
+    // Uniform satellite sizes make governance arithmetic schedule-free:
+    // how many indexes fit a budget — and how many evictions a budget
+    // application needs — cannot depend on the worker count, even though
+    // *which* indexes win admission may. Joins-served totals are exact.
+    let mut per_threads = Vec::new();
+    for threads in [1usize, 4] {
+        let ctx = wide_uniform_ctx(10, 60, 3);
+        // Unbounded run fills the cache with every satellite's index.
+        let full = discover(&ctx, 42, threads, true);
+        let full_stats = full.cache.expect("stats");
+        // Budgeted run on the now-populated cache: applying the budget
+        // evicts coldest-first down to it, then the run serves survivors.
+        let budget = full_stats.resident_bytes / 2;
+        let budgeted = discover_budgeted(&ctx, 42, threads, budget);
+        let stats = budgeted.cache.expect("stats");
+        assert!(stats.evictions > 0, "{threads} thread(s): shrink must evict");
+        assert!(stats.peak_resident_bytes <= budget);
+        assert_bit_identical(&full, &budgeted, &format!("{threads} thread(s)"));
+        per_threads.push((
+            full_stats.hits,
+            full_stats.misses,
+            full_stats.evictions,
+            stats.hits + stats.misses,
+            stats.evictions,
+            stats.evicted_bytes,
+        ));
+    }
+    assert_eq!(
+        per_threads[0], per_threads[1],
+        "governance counters must be invariant across thread counts"
+    );
 }
 
 #[test]

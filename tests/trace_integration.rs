@@ -119,6 +119,71 @@ fn trace_counters_match_result_and_health_report() {
 }
 
 #[test]
+fn governance_trace_counters_match_cache_stats() {
+    let _g = lock();
+    let ctx = lake_ctx(60);
+    let budgeted = |budget: u64| {
+        AutoFeat::new(
+            AutoFeatConfig::paper()
+                .with_seed(42)
+                .with_threads(2)
+                .with_trace(true)
+                .with_cache_budget_bytes(budget),
+        )
+        .discover(&ctx)
+        .expect("discovery runs")
+    };
+    // Determine the working set, then re-run budgeted below it. The first
+    // run is unbounded (budget far above any residency this lake needs).
+    let full = budgeted(u64::MAX);
+    let full_stats = full.cache.as_ref().expect("cache stats");
+    let trace = full.trace.as_ref().expect("traced");
+    // Fresh cache, unbounded: peak growth over the run IS the final peak.
+    assert_eq!(
+        trace.counter("cache.peak_resident_bytes").unwrap_or(0),
+        full_stats.peak_resident_bytes,
+        "fresh-cache run: peak counter equals the absolute peak"
+    );
+    assert_eq!(trace.counter("cache.evictions").unwrap_or(0), 0);
+    assert_eq!(trace.counter("cache.admission_rejected").unwrap_or(0), 0);
+
+    // Shrinking the budget on the populated cache: the eviction burst and
+    // every admission denial must appear in both the trace counters and
+    // the run's CacheStats delta, with identical totals.
+    let r = budgeted(full_stats.resident_bytes / 2);
+    let stats = r.cache.as_ref().expect("cache stats");
+    let trace = r.trace.as_ref().expect("traced");
+    assert!(stats.evictions > 0, "budget shrink must evict");
+    assert!(stats.rejections > 0, "sub-working-set budget must deny");
+    assert_eq!(trace.counter("cache.evictions").unwrap_or(0), stats.evictions);
+    assert_eq!(
+        trace.counter("cache.evicted_bytes").unwrap_or(0),
+        stats.evicted_bytes
+    );
+    assert_eq!(
+        trace.counter("cache.admission_rejected").unwrap_or(0),
+        stats.rejections
+    );
+    // Build-per-miss contract survives governance: denied entries rebuild,
+    // and each rebuild is one miss and one build-time observation.
+    let (_, builds) = trace
+        .dists
+        .iter()
+        .find(|(n, _)| n == "cache.index_build_secs")
+        .expect("index build-time distribution recorded");
+    assert_eq!(builds.count, stats.misses);
+    // The health report surfaces the same governance numbers.
+    let report = discovery_health_report(&r);
+    assert!(
+        report.contains(&format!(
+            "{} eviction(s) ({} bytes), {} admission rejection(s)",
+            stats.evictions, stats.evicted_bytes, stats.rejections
+        )),
+        "{report}"
+    );
+}
+
+#[test]
 fn phase_self_times_telescope_to_elapsed() {
     let _g = lock();
     let r = discover(2, true);
