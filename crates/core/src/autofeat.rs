@@ -25,19 +25,22 @@
 //! semantics of the sequential walk.
 
 use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use autofeat_data::control;
 use autofeat_data::encode::label_encode_column;
 use autofeat_obs as obs;
 use autofeat_obs::RunTrace;
 use autofeat_data::join::left_join_normalized;
-use autofeat_data::parallel::build_indexed_with;
+use autofeat_data::parallel::{run_indexed_ctl, ItemOutcome};
 use autofeat_data::sample::stratified_sample;
 use autofeat_data::stats::completeness;
-use autofeat_data::{CacheStats, Result, Table};
+use autofeat_data::{CacheStats, Interrupt, Result, RunControl, Table};
 use autofeat_graph::{JoinHop, JoinPath, NodeId};
 use autofeat_metrics::discretize::{discretize_equal_frequency, Discretized};
 use autofeat_metrics::redundancy::RedundancyScorer;
@@ -68,8 +71,59 @@ pub struct RankedPath {
 pub enum TruncationReason {
     /// The `max_joins` cap on evaluated joins was reached.
     MaxJoins,
-    /// The configured `time_budget` deadline expired.
-    Deadline,
+    /// The effective wall-clock deadline — the config's `time_budget`, or
+    /// one armed on the context's [`RunControl`] — expired.
+    DeadlineExceeded {
+        /// The pipeline phase whose boundary check noticed the expiry.
+        phase: Phase,
+    },
+    /// The run was cancelled via [`RunControl::cancel`] (on the context's
+    /// control, from any thread).
+    Cancelled,
+}
+
+/// The discovery phase at whose cooperative checkpoint an interrupt was
+/// noticed. Coarse by design: checkpoints sit at phase boundaries, so this
+/// is where the run *stopped*, not where time was spent (the trace answers
+/// that).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// At a level boundary, between candidate enumeration and evaluation.
+    Enumerate,
+    /// Inside the per-candidate evaluation fan-out.
+    Evaluate,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Enumerate => write!(f, "enumerate"),
+            Phase::Evaluate => write!(f, "evaluate"),
+        }
+    }
+}
+
+/// Map an interrupt reason to the truncation it causes at `phase`.
+fn truncation_reason(reason: Interrupt, phase: Phase) -> TruncationReason {
+    match reason {
+        Interrupt::Cancelled => TruncationReason::Cancelled,
+        Interrupt::DeadlineExceeded => TruncationReason::DeadlineExceeded { phase },
+    }
+}
+
+/// Resilience bookkeeping for one discovery run: what the lifecycle layer
+/// had to do to bring the run home. All-default on a healthy run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Degradation-ladder rungs taken, in the order they engaged (see
+    /// [`DegradeConfig`](crate::config::DegradeConfig); empty unless a
+    /// deadline was armed).
+    pub degradations: Vec<&'static str>,
+    /// Worker panics caught in the evaluation fan-out and isolated into
+    /// [`PathFailure`]s instead of aborting the process.
+    pub worker_panics: usize,
+    /// Cancel-request → result-return latency, when the run was cancelled.
+    pub cancel_latency: Option<Duration>,
 }
 
 /// One join hop that failed during discovery. The failure is *isolated*: the
@@ -137,6 +191,10 @@ pub struct DiscoveryResult {
     /// tracing (`trace`, `trace_path`, or `AUTOFEAT_TRACE`). Informational
     /// only — results are bit-identical with tracing on or off.
     pub trace: Option<RunTrace>,
+    /// What the request-lifecycle layer did during this run: degradation
+    /// rungs taken, worker panics isolated, cancel latency. All-default on
+    /// a healthy, unbounded run.
+    pub resilience: ResilienceStats,
 }
 
 impl DiscoveryResult {
@@ -177,6 +235,9 @@ enum HopEval {
     /// The hop errored (error text; path/hop context lives in the
     /// candidate).
     Failed(String),
+    /// The hop's evaluation was stopped cooperatively (cancel/deadline)
+    /// mid-join. Not a failure: the candidate simply was never evaluated.
+    Interrupted(Interrupt),
     /// The join produced no matches on a non-empty base.
     Unjoinable,
     /// New columns' completeness fell below τ.
@@ -209,6 +270,18 @@ fn rank_key(score: f64) -> f64 {
     } else {
         score
     }
+}
+
+/// Fraction of the armed budget still remaining (`None` when no deadline is
+/// armed). Drives degradation rungs 2/3; reads the wall clock, so it only
+/// ever runs under an armed deadline where anytime semantics are the
+/// contract.
+fn remaining_fraction(ctl: &RunControl, total: Option<Duration>) -> Option<f64> {
+    let total = total?;
+    if total.is_zero() {
+        return Some(0.0);
+    }
+    Some(ctl.remaining()?.as_secs_f64() / total.as_secs_f64())
 }
 
 /// The AutoFeat feature-discovery engine.
@@ -263,6 +336,21 @@ impl AutoFeat {
         let t0 = Instant::now();
         let cfg = &self.config;
         let workers = cfg.resolve_threads();
+        // Run-scoped lifecycle control: the config's time budget becomes a
+        // deadline on a *child* of the context-wide control, so the
+        // effective deadline is the tighter of the two, a cancel on either
+        // side interrupts the run, and an expired per-run deadline never
+        // leaks into the shared context handle. Installed ambiently so the
+        // join kernel and the index cache can poll it without plumbed
+        // parameters (fan-out workers re-install it themselves).
+        let ctl = ctx
+            .control()
+            .scoped(cfg.time_budget.and_then(|b| Instant::now().checked_add(b)));
+        let _ctl_guard = control::install_ambient(Some(Arc::clone(&ctl)));
+        let total_budget = ctl.deadline().map(|d| d.saturating_duration_since(t0));
+        let degrade_armed = cfg.degrade.enabled && total_budget.is_some();
+        let mut degradations: Vec<&'static str> = Vec::new();
+        let mut worker_panics = 0usize;
         // Snapshot the shared cache's counters so the result can report this
         // run's activity as a delta (the cache outlives individual runs).
         let cache_start = cfg.cache.then(|| ctx.lake_cache().stats());
@@ -287,7 +375,22 @@ impl AutoFeat {
         // sample only; joins derive their seeds per hop.
         let sample_span = obs::span("sample");
         let base = ctx.base_table();
-        let sampled = match cfg.sample_rows {
+        // Degradation rung 1: a total budget below the configured threshold
+        // is too tight for the full sample — trade selection fidelity for
+        // headroom up front. Depends only on configuration (not the clock),
+        // so equal budgets degrade identically.
+        let mut sample_cap = cfg.sample_rows;
+        if degrade_armed && total_budget.is_some_and(|b| b < cfg.degrade.shrink_sample_below) {
+            let shrunk = cfg.degrade.min_sample_rows;
+            if sample_cap.is_none_or(|c| c > shrunk) && base.n_rows() > shrunk {
+                sample_cap = Some(shrunk);
+                degradations.push("shrunk sample");
+                obs::event("degraded", || {
+                    format!("sample capped at {shrunk} row(s): budget below threshold")
+                });
+            }
+        }
+        let sampled = match sample_cap {
             Some(cap) if base.n_rows() > cap => {
                 let mut rng = StdRng::seed_from_u64(cfg.seed);
                 let frac = cap as f64 / base.n_rows() as f64;
@@ -331,7 +434,9 @@ impl AutoFeat {
             r_sel.push((f.clone(), discretize_equal_frequency(&col.to_f64_lossy(), DEFAULT_BINS)));
         }
 
-        let redundancy_scorer = cfg.redundancy.map(RedundancyScorer::new);
+        // `mut`: degradation rung 2 drops the scorer mid-run to skip the
+        // redundancy refinement for the remaining levels.
+        let mut redundancy_scorer = cfg.redundancy.map(RedundancyScorer::new);
         drop(sample_span);
 
         let Some(base_node) = drg.node(ctx.base_name()) else {
@@ -351,6 +456,11 @@ impl AutoFeat {
                 threads_used: workers,
                 cache: cache_delta(&cache_start),
                 trace: None,
+                resilience: ResilienceStats {
+                    degradations,
+                    worker_panics: 0,
+                    cancel_latency: ctl.cancel_latency(),
+                },
             });
         };
 
@@ -378,6 +488,36 @@ impl AutoFeat {
         }];
 
         while !current.is_empty() {
+            // ---- Degradation rungs 2/3, checked at level boundaries and
+            // only under an armed deadline (unbounded runs never degrade, so
+            // their results stay bit-identical — see `DegradeConfig`).
+            if degrade_armed && n_levels > 0 {
+                let frac = remaining_fraction(&ctl, total_budget);
+                if frac.is_some_and(|f| f < cfg.degrade.stop_levels_below) {
+                    truncation.get_or_insert(TruncationReason::DeadlineExceeded {
+                        phase: Phase::Enumerate,
+                    });
+                    degradations.push("stopped deeper levels");
+                    obs::event("degraded", || {
+                        "stopped enumerating deeper levels: budget nearly spent".to_string()
+                    });
+                    break;
+                }
+                let pressure = cache_start.as_ref().is_some_and(|s| {
+                    ctx.lake_cache().stats().rejections.saturating_sub(s.rejections)
+                        >= cfg.degrade.rejection_pressure
+                });
+                if redundancy_scorer.is_some()
+                    && (pressure
+                        || frac.is_some_and(|f| f < cfg.degrade.skip_redundancy_below))
+                {
+                    redundancy_scorer = None;
+                    degradations.push("skipped redundancy refinement");
+                    obs::event("degraded", || {
+                        "redundancy refinement off for remaining levels".to_string()
+                    });
+                }
+            }
             let _level_span = obs::span("level");
             n_levels += 1;
             // ---- Enumerate this level's candidates, in deterministic
@@ -440,12 +580,10 @@ impl AutoFeat {
             // candidate set is a deterministic prefix of the enumeration
             // order regardless of thread count.
             if !cands.is_empty() {
-                if let Some(budget) = cfg.time_budget {
-                    if t0.elapsed() >= budget {
-                        truncation = Some(TruncationReason::Deadline);
-                        n_budget += cands.len();
-                        break;
-                    }
+                if let Some(reason) = ctl.interrupted() {
+                    truncation = Some(truncation_reason(reason, Phase::Enumerate));
+                    n_budget += cands.len();
+                    break;
                 }
                 let quota = cfg.max_joins.saturating_sub(n_joins);
                 if cands.len() > quota {
@@ -458,7 +596,7 @@ impl AutoFeat {
             // ---- Stage A (parallel, pure): join + τ quality + relevance +
             // discretization per candidate, fanned out by candidate index.
             let eval_span = obs::span("eval");
-            let evals: Vec<HopEval> = {
+            let evals: Vec<ItemOutcome<HopEval>> = {
                 let current = &current;
                 let labels = &labels;
                 let join_cols = &join_cols;
@@ -490,7 +628,15 @@ impl AutoFeat {
                     };
                     let out = match joined {
                         Ok(out) => out,
-                        Err(e) => return HopEval::Failed(e.to_string()),
+                        // A cooperative stop inside the join (or a cache
+                        // build denied by an interrupt) is not a hop
+                        // failure: the candidate was simply never evaluated.
+                        Err(e) => {
+                            return match e.interrupt() {
+                                Some(reason) => HopEval::Interrupted(reason),
+                                None => HopEval::Failed(e.to_string()),
+                            }
+                        }
                     };
                     // Prune: join produced no matches at all. An empty base
                     // yields `match_ratio() == None` (vacuous) and is *not*
@@ -564,10 +710,13 @@ impl AutoFeat {
                         codes,
                     })
                 };
-                build_indexed_with(workers, cands.len(), eval_one)
+                // Panic-isolating, interrupt-aware fan-out: a panicking
+                // candidate becomes a structured `ItemOutcome::Panicked`
+                // (the run completes), and once the control interrupts, the
+                // remaining candidates come back `Skipped` without running.
+                run_indexed_ctl(workers, cands.len(), Some(&ctl), eval_one)
             };
             drop(eval_span);
-            n_joins += cands.len();
 
             // ---- Stage B (sequential, stateful): streaming redundancy
             // against R_sel, ranking, and counter merging — replayed in
@@ -576,9 +725,36 @@ impl AutoFeat {
             // identical at any worker-thread count.
             let merge_span = obs::span("merge");
             let mut next_level: Vec<Frontier> = Vec::new();
-            for (c, eval) in cands.iter().zip(evals) {
+            for (c, outcome) in cands.iter().zip(evals) {
+                let eval = match outcome {
+                    ItemOutcome::Done(eval) => eval,
+                    // Never ran: the control interrupted before its turn.
+                    // Counted with the budget-dropped candidates, exactly
+                    // like candidates dropped at the level gate.
+                    ItemOutcome::Skipped(reason) => {
+                        n_budget += 1;
+                        truncation
+                            .get_or_insert(truncation_reason(reason, Phase::Evaluate));
+                        continue;
+                    }
+                    // Ran and panicked: the panic was caught on the worker
+                    // and lands here as a structured failure (item index +
+                    // phase in the message, path identity from the
+                    // candidate), via the same path as any other hop error.
+                    ItemOutcome::Panicked(panic) => {
+                        worker_panics += 1;
+                        obs::event("worker_panic", || panic.to_string());
+                        HopEval::Failed(panic.to_string())
+                    }
+                };
                 match eval {
+                    HopEval::Interrupted(reason) => {
+                        n_budget += 1;
+                        truncation
+                            .get_or_insert(truncation_reason(reason, Phase::Evaluate));
+                    }
                     HopEval::Failed(error) => {
+                        n_joins += 1;
                         obs::event("hop_failed", || {
                             format!(
                                 "{} -> {} after [{}]: {error}",
@@ -594,6 +770,7 @@ impl AutoFeat {
                         });
                     }
                     HopEval::Unjoinable => {
+                        n_joins += 1;
                         obs::event("path_pruned", || {
                             format!(
                                 "unjoinable: [{}] + {} -> {}",
@@ -603,6 +780,7 @@ impl AutoFeat {
                         n_unjoinable += 1;
                     }
                     HopEval::LowQuality => {
+                        n_joins += 1;
                         obs::event("path_pruned", || {
                             format!(
                                 "below τ quality: [{}] + {} -> {}",
@@ -612,6 +790,7 @@ impl AutoFeat {
                         n_quality += 1;
                     }
                     HopEval::Scored(sh) => {
+                        n_joins += 1;
                         let entry = &current[c.entry];
 
                         // ---- Redundancy analysis (streaming, vs R_sel). ----
@@ -704,8 +883,13 @@ impl AutoFeat {
             Some(TruncationReason::MaxJoins) => {
                 obs::event("truncated", || "max_joins cap reached".to_string());
             }
-            Some(TruncationReason::Deadline) => {
-                obs::event("truncated", || "time budget exhausted".to_string());
+            Some(TruncationReason::DeadlineExceeded { phase }) => {
+                obs::event("truncated", || {
+                    format!("time budget exhausted during {phase}")
+                });
+            }
+            Some(TruncationReason::Cancelled) => {
+                obs::event("truncated", || "run cancelled".to_string());
             }
             None => {}
         }
@@ -721,6 +905,15 @@ impl AutoFeat {
         obs::add("discover.features_selected", selected_union.len() as u64);
         obs::add("discover.hop_failures", failures.len() as u64);
         obs::add("discover.levels", n_levels as u64);
+        // Resilience counters stay absent from healthy runs (`obs::add`
+        // drops zero counts), so counter-set invariance across thread
+        // counts and cache modes is untouched when nothing fires.
+        obs::add("resilience.worker_panics", worker_panics as u64);
+        obs::add("resilience.degradations", degradations.len() as u64);
+        let cancel_latency = ctl.cancel_latency();
+        if let Some(latency) = cancel_latency {
+            obs::record_secs("resilience.cancel_latency_secs", latency.as_secs_f64());
+        }
 
         Ok(DiscoveryResult {
             ranked,
@@ -737,6 +930,7 @@ impl AutoFeat {
             threads_used: workers,
             cache: cache_delta(&cache_start),
             trace: None,
+            resilience: ResilienceStats { degradations, worker_panics, cancel_latency },
         })
     }
 }
@@ -921,7 +1115,11 @@ mod tests {
         let cfg = AutoFeatConfig::default().with_time_budget(Duration::ZERO);
         let result = AutoFeat::new(cfg).discover(&ctx).unwrap();
         assert!(result.truncated);
-        assert_eq!(result.truncation, Some(TruncationReason::Deadline));
+        assert!(
+            matches!(result.truncation, Some(TruncationReason::DeadlineExceeded { .. })),
+            "{:?}",
+            result.truncation
+        );
         assert_eq!(result.n_joins_evaluated, 0);
         assert!(result.ranked.is_empty());
     }
@@ -934,6 +1132,149 @@ mod tests {
         assert!(!result.truncated);
         assert_eq!(result.truncation, None);
         assert!(!result.ranked.is_empty());
+    }
+
+    #[test]
+    fn pre_cancelled_context_returns_ranked_partial_with_reason() {
+        let ctx = chain_ctx(100);
+        ctx.cancel();
+        let result = AutoFeat::paper().discover(&ctx).unwrap();
+        assert!(result.truncated);
+        assert_eq!(result.truncation, Some(TruncationReason::Cancelled));
+        assert!(result.ranked.is_empty());
+        assert!(
+            result.resilience.cancel_latency.is_some(),
+            "cancelled runs report their cancel latency"
+        );
+        // The context control is reusable after a reset: the next run is
+        // healthy and bit-identical to an never-cancelled one.
+        ctx.control().reset();
+        let again = AutoFeat::paper().discover(&ctx).unwrap();
+        assert_eq!(again.truncation, None);
+        assert!(!again.ranked.is_empty());
+        assert_eq!(again.resilience, ResilienceStats::default());
+    }
+
+    #[test]
+    fn context_deadline_composes_with_run_budget() {
+        // An expired deadline armed on the *context* control truncates a run
+        // whose own time budget is generous — the tighter deadline wins —
+        // without mutating the run-scoped budget logic.
+        let ctx = chain_ctx(100);
+        ctx.control().arm_budget(Duration::ZERO);
+        let cfg = AutoFeatConfig::default().with_time_budget(Duration::from_secs(600));
+        let result = AutoFeat::new(cfg).discover(&ctx).unwrap();
+        assert!(
+            matches!(result.truncation, Some(TruncationReason::DeadlineExceeded { .. })),
+            "{:?}",
+            result.truncation
+        );
+        ctx.control().reset();
+    }
+
+    #[test]
+    fn tight_budget_engages_sample_shrink_rung() {
+        // Base bigger than the shrunken cap, budget below the rung-1
+        // threshold: the ladder trades sample size for headroom and records
+        // the rung on the result.
+        let ctx = chain_ctx(400);
+        let cfg = AutoFeatConfig::default().with_time_budget(Duration::from_millis(900));
+        let result = AutoFeat::new(cfg).discover(&ctx).unwrap();
+        assert!(
+            result.resilience.degradations.contains(&"shrunk sample"),
+            "{:?}",
+            result.resilience.degradations
+        );
+        // Without a deadline the ladder never engages, whatever the knobs.
+        let unbounded = AutoFeat::paper().discover(&ctx).unwrap();
+        assert!(unbounded.resilience.degradations.is_empty());
+    }
+
+    #[test]
+    fn injected_worker_panic_is_isolated_not_fatal() {
+        // Unique table names: the runtime fault registry is process-global
+        // and tests in this binary run concurrently.
+        let n = 100usize;
+        let labels: Vec<i64> = (0..n as i64).map(|i| i % 2).collect();
+        let base = Table::new(
+            "af_panic_base",
+            vec![
+                ("k", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+                ("target", Column::from_ints(labels.iter().copied().map(Some).collect::<Vec<_>>())),
+            ],
+        )
+        .unwrap();
+        let bad = Table::new(
+            "af_panic_bad",
+            vec![
+                ("k", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+                ("f", Column::from_floats((0..n).map(|i| Some(i as f64)).collect::<Vec<_>>())),
+            ],
+        )
+        .unwrap();
+        let good = Table::new(
+            "af_panic_good",
+            vec![
+                ("k", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+                (
+                    "signal",
+                    Column::from_floats(labels.iter().map(|&l| Some(l as f64)).collect::<Vec<_>>()),
+                ),
+            ],
+        )
+        .unwrap();
+        let ctx = SearchContext::from_kfk(
+            vec![base, bad, good],
+            &[
+                ("af_panic_base".into(), "k".into(), "af_panic_bad".into(), "k".into()),
+                ("af_panic_base".into(), "k".into(), "af_panic_good".into(), "k".into()),
+            ],
+            "af_panic_base",
+            "target",
+        )
+        .unwrap();
+        autofeat_data::faults::arm(
+            "af_panic_bad",
+            autofeat_data::faults::TableFaults { panic_on_row: Some(0), slow_join_ms: None },
+        );
+
+        // Uncached: the panic fires on the fan-out worker and is isolated
+        // there — counted, structured, and the healthy path still ranks.
+        let uncached = AutoFeat::new(AutoFeatConfig::default().with_cache(false))
+            .discover(&ctx)
+            .unwrap();
+        assert_eq!(uncached.resilience.worker_panics, 1);
+        assert_eq!(uncached.failures.len(), 1);
+        assert_eq!(uncached.failures[0].hop.to_table, "af_panic_bad");
+        assert!(
+            uncached.failures[0].error.contains("injected fault"),
+            "{}",
+            uncached.failures[0].error
+        );
+        assert_eq!(uncached.ranked.len(), 1);
+        assert_eq!(uncached.ranked[0].path.last_table(), Some("af_panic_good"));
+
+        // Cached: the panic fires inside the cache's index build, is caught
+        // there, and surfaces as a structured hop failure instead.
+        let cached = AutoFeat::new(AutoFeatConfig::default().with_cache(true))
+            .discover(&ctx)
+            .unwrap();
+        assert_eq!(cached.resilience.worker_panics, 0);
+        assert_eq!(cached.failures.len(), 1);
+        assert!(
+            cached.failures[0].error.contains("panicked"),
+            "{}",
+            cached.failures[0].error
+        );
+        assert_eq!(cached.ranked.len(), 1);
+
+        autofeat_data::faults::disarm("af_panic_bad");
+        // With the fault gone the same context discovers both paths.
+        let healed = AutoFeat::new(AutoFeatConfig::default().with_cache(true))
+            .discover(&ctx)
+            .unwrap();
+        assert!(healed.failures.is_empty());
+        assert_eq!(healed.ranked.len(), 2);
     }
 
     #[test]
@@ -1090,6 +1431,7 @@ mod tests {
         assert_eq!(a.truncation, b.truncation);
         assert_eq!(a.failures.len(), b.failures.len());
         assert_eq!(a.selected_features, b.selected_features);
+        assert_eq!(a.resilience, b.resilience);
     }
 
     #[test]

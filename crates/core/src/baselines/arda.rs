@@ -78,6 +78,9 @@ fn star_join(ctx: &SearchContext, seed: u64) -> Result<(Table, usize)> {
         return Ok((table, 0));
     };
     for (nbr, edge_ids) in drg.neighbours(base_node) {
+        if ctx.control().interrupted().is_some() {
+            break;
+        }
         let name = drg.table_name(nbr).to_string();
         let Some(right) = ctx.table(&name) else {
             continue;
@@ -91,14 +94,18 @@ fn star_join(ctx: &SearchContext, seed: u64) -> Result<(Table, usize)> {
         if !table.has_column(from_col) {
             continue;
         }
-        let out = ctx.lake_cache().left_join_normalized(
+        let out = match ctx.lake_cache().left_join_normalized(
             &table,
             right,
             from_col,
             to_col,
             &name,
             join_seed(seed, ctx.base_name(), from_col, &name, to_col),
-        )?;
+        ) {
+            Ok(out) => out,
+            Err(e) if e.interrupt().is_some() => break,
+            Err(e) => return Err(e),
+        };
         if out.matched > 0 {
             table = out.table;
             n_joined += 1;
@@ -114,6 +121,8 @@ pub fn run_arda(
     config: &ArdaConfig,
 ) -> Result<MethodResult> {
     let _span = autofeat_obs::span("baseline_arda");
+    let _ctl_guard =
+        autofeat_data::control::install_ambient(Some(std::sync::Arc::clone(ctx.control())));
     let t0 = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
 
@@ -137,6 +146,9 @@ pub fn run_arda(
 
     let mut wins = vec![0usize; d];
     for trial in 0..config.n_trials {
+        if ctx.control().interrupted().is_some() {
+            break;
+        }
         // Inject random probe features.
         let mut injected = train_m.clone();
         for p in 0..n_probes {
@@ -165,6 +177,9 @@ pub fn run_arda(
     //    accuracy (more model executions — the ARDA cost profile).
     let mut best: Option<(Vec<usize>, f64)> = None;
     for &thr in &config.thresholds {
+        if ctx.control().interrupted().is_some() {
+            break;
+        }
         let need = (thr * config.n_trials as f64).ceil() as usize;
         let kept: Vec<usize> = (0..d).filter(|&j| wins[j] >= need).collect();
         if kept.is_empty() {
@@ -292,5 +307,13 @@ mod tests {
         let b = run_arda(&c, &[ModelKind::RandomForest], &ArdaConfig::default()).unwrap();
         assert_eq!(a.n_features, b.n_features);
         assert_eq!(a.accuracy_per_model, b.accuracy_per_model);
+    }
+
+    #[test]
+    fn cancelled_context_yields_base_only_result() {
+        let c = ctx(120);
+        c.cancel();
+        let r = run_arda(&c, &[ModelKind::RandomForest], &ArdaConfig::default()).unwrap();
+        assert_eq!(r.n_tables_joined, 0, "star join must wind down before joining");
     }
 }

@@ -50,6 +50,8 @@ pub fn run_join_all(
     config: &JoinAllConfig,
 ) -> Result<Option<MethodResult>> {
     let _span = autofeat_obs::span("baseline_join_all");
+    let _ctl_guard =
+        autofeat_data::control::install_ambient(Some(std::sync::Arc::clone(ctx.control())));
     let t0 = Instant::now();
     let drg = ctx.drg();
     let Some(base_node) = drg.node(ctx.base_name()) else {
@@ -69,7 +71,10 @@ pub fn run_join_all(
     visited[base_node.0] = true;
     let mut frontier = vec![base_node];
     let mut n_joined = 0usize;
-    while !frontier.is_empty() {
+    'bfs: while !frontier.is_empty() {
+        if ctx.control().interrupted().is_some() {
+            break;
+        }
         let mut next = Vec::new();
         for &u in &frontier {
             for (v, edge_ids) in drg.neighbours(u) {
@@ -91,14 +96,18 @@ pub fn run_join_all(
                 if !table.has_column(&left_key) {
                     continue;
                 }
-                let out = ctx.lake_cache().left_join_normalized(
+                let out = match ctx.lake_cache().left_join_normalized(
                     &table,
                     right,
                     &left_key,
                     to_col,
                     &name,
                     join_seed(config.seed, drg.table_name(u), from_col, &name, to_col),
-                )?;
+                ) {
+                    Ok(out) => out,
+                    Err(e) if e.interrupt().is_some() => break 'bfs,
+                    Err(e) => return Err(e),
+                };
                 if out.matched > 0 {
                     table = out.table;
                     n_joined += 1;
@@ -244,5 +253,15 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(a.accuracy_per_model, b.accuracy_per_model);
+    }
+
+    #[test]
+    fn cancelled_context_stops_bfs_before_joining() {
+        let c = ctx(120);
+        c.cancel();
+        let r = run_join_all(&c, &[ModelKind::RandomForest], &JoinAllConfig::default())
+            .unwrap()
+            .expect("feasible");
+        assert_eq!(r.n_tables_joined, 0);
     }
 }

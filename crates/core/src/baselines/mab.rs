@@ -105,6 +105,8 @@ pub fn run_mab(
     config: &MabConfig,
 ) -> Result<MethodResult> {
     let _span = autofeat_obs::span("baseline_mab");
+    let _ctl_guard =
+        autofeat_data::control::install_ambient(Some(std::sync::Arc::clone(ctx.control())));
     let t0 = Instant::now();
     let label = ctx.label().to_string();
 
@@ -118,6 +120,9 @@ pub fn run_mab(
     let mut total_pulls = 0usize;
 
     for _ in 0..config.budget {
+        if ctx.control().interrupted().is_some() {
+            break;
+        }
         let arms = find_arms(&state, ctx, &joined, &label);
         if arms.is_empty() {
             break;
@@ -149,9 +154,14 @@ pub fn run_mab(
             join_seed(config.seed, ctx.base_name(), &left_col, table_name, &right_col),
             total_pulls as u64,
         );
-        let out = ctx
+        let out = match ctx
             .lake_cache()
-            .left_join_normalized(&state, cand, &left_col, &right_col, table_name, seed)?;
+            .left_join_normalized(&state, cand, &left_col, &right_col, table_name, seed)
+        {
+            Ok(out) => out,
+            Err(e) if e.interrupt().is_some() => break,
+            Err(e) => return Err(e),
+        };
         total_pulls += 1;
         let r = if out.matched == 0 {
             0.0
@@ -279,5 +289,13 @@ mod tests {
         let b = run_mab(&c, &[ModelKind::RandomForest], &MabConfig::default()).unwrap();
         assert_eq!(a.n_tables_joined, b.n_tables_joined);
         assert_eq!(a.accuracy_per_model, b.accuracy_per_model);
+    }
+
+    #[test]
+    fn cancelled_context_skips_all_pulls() {
+        let c = ctx(120);
+        c.cancel();
+        let r = run_mab(&c, &[ModelKind::RandomForest], &MabConfig::default()).unwrap();
+        assert_eq!(r.n_tables_joined, 0, "no pulls after cancellation");
     }
 }

@@ -33,9 +33,19 @@ pub struct AutoFeatConfig {
     pub max_joins: usize,
     /// Optional wall-clock deadline for the discovery BFS. When elapsed time
     /// exceeds it, exploration stops gracefully and the result is marked
-    /// truncated with [`TruncationReason::Deadline`](crate::TruncationReason);
+    /// truncated with
+    /// [`TruncationReason::DeadlineExceeded`](crate::TruncationReason);
     /// everything ranked so far is still returned. `None` = no deadline.
+    /// The deadline composes with the context-wide
+    /// [`RunControl`](autofeat_data::RunControl): the tighter of the two
+    /// wins, and a cancel on either interrupts the run.
     pub time_budget: Option<Duration>,
+    /// Deterministic graceful-degradation ladder, active only when a
+    /// deadline is armed (this run's `time_budget`, or a deadline on the
+    /// context's [`RunControl`](autofeat_data::RunControl)). Runs without a
+    /// deadline never degrade, so their results stay bit-identical whatever
+    /// these knobs say.
+    pub degrade: DegradeConfig,
     /// Optional beam width: keep only the best-scored `b` frontier entries
     /// per BFS level. `None` = exhaustive level expansion (the paper's
     /// published algorithm); `Some(b)` is the "more aggressive pruning" its
@@ -94,6 +104,7 @@ impl Default for AutoFeatConfig {
             max_path_length: 4,
             max_joins: 2000,
             time_budget: None,
+            degrade: DegradeConfig::default(),
             beam_width: None,
             sample_rows: Some(1000),
             seed: 42,
@@ -133,6 +144,12 @@ impl AutoFeatConfig {
     /// Builder-style discovery deadline override.
     pub fn with_time_budget(mut self, budget: Duration) -> Self {
         self.time_budget = Some(budget);
+        self
+    }
+
+    /// Builder-style degradation-ladder override (see [`DegradeConfig`]).
+    pub fn with_degrade(mut self, degrade: DegradeConfig) -> Self {
+        self.degrade = degrade;
         self
     }
 
@@ -236,6 +253,66 @@ impl AutoFeatConfig {
     }
 }
 
+/// The graceful-degradation ladder: deterministic trade-downs a deadline-
+/// armed discovery run takes to stay useful as its budget runs out, each
+/// recorded on `DiscoveryResult::resilience` and as a
+/// `resilience.degradations` trace counter.
+///
+/// The three rungs, in the order they engage:
+///
+/// 1. **Shrink the stratified sample** — when the *total* armed budget is
+///    below [`shrink_sample_below`](Self::shrink_sample_below), the base-
+///    table sample is capped at [`min_sample_rows`](Self::min_sample_rows)
+///    instead of `sample_rows`. This rung depends only on configuration, so
+///    two runs with the same budget take it identically.
+/// 2. **Skip redundancy refinement** — when the *remaining* fraction of the
+///    budget falls below
+///    [`skip_redundancy_below`](Self::skip_redundancy_below) at a level
+///    boundary (or the cache governor has rejected at least
+///    [`rejection_pressure`](Self::rejection_pressure) admissions this
+///    run), later levels keep every relevance-approved feature without the
+///    streaming redundancy pass.
+/// 3. **Stop enumerating deeper levels** — when the remaining fraction
+///    falls below [`stop_levels_below`](Self::stop_levels_below), the BFS
+///    stops before the next level and the result is marked truncated.
+///
+/// Rungs 2 and 3 read the wall clock, so they are inherently best-effort:
+/// they only exist under an armed deadline, where anytime semantics — not
+/// bit-identity — are the contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradeConfig {
+    /// Master switch. `false` = never degrade (a tight deadline then simply
+    /// truncates harder).
+    pub enabled: bool,
+    /// Total-budget threshold below which rung 1 (sample shrink) engages.
+    pub shrink_sample_below: Duration,
+    /// The shrunken sample cap rung 1 applies.
+    pub min_sample_rows: usize,
+    /// Remaining-budget fraction below which rung 2 (skip redundancy)
+    /// engages.
+    pub skip_redundancy_below: f64,
+    /// Cache-governor admission rejections (this run) that also trigger
+    /// rung 2 — sustained rejection means indexes are being rebuilt over
+    /// and over, so the cheaper merge buys the most time back.
+    pub rejection_pressure: u64,
+    /// Remaining-budget fraction below which rung 3 (stop deeper levels)
+    /// engages.
+    pub stop_levels_below: f64,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            enabled: true,
+            shrink_sample_below: Duration::from_secs(1),
+            min_sample_rows: 250,
+            skip_redundancy_below: 0.25,
+            rejection_pressure: 64,
+            stop_levels_below: 0.10,
+        }
+    }
+}
+
 /// The `AUTOFEAT_TRACE` environment variable as a path, when set non-empty.
 fn env_trace_path() -> Option<PathBuf> {
     match std::env::var("AUTOFEAT_TRACE") {
@@ -263,6 +340,18 @@ mod tests {
         assert_eq!(c.tau, 0.3);
         assert_eq!(c.kappa, 5);
         assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn degrade_defaults_are_armed_but_conservative() {
+        let d = DegradeConfig::default();
+        assert!(d.enabled);
+        assert_eq!(d.shrink_sample_below, Duration::from_secs(1));
+        assert_eq!(d.min_sample_rows, 250);
+        assert!(d.skip_redundancy_below > d.stop_levels_below);
+        let c = AutoFeatConfig::default()
+            .with_degrade(DegradeConfig { enabled: false, ..Default::default() });
+        assert!(!c.degrade.enabled);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use autofeat_data::csv::{read_csv_opts, CsvReadOptions, IngestDiagnostics};
-use autofeat_data::{DataError, LakeIndexCache, Result, Table};
+use autofeat_data::{DataError, LakeIndexCache, Result, RunControl, Table};
 use autofeat_obs as obs;
 use autofeat_discovery::SchemaMatcher;
 use autofeat_graph::{Drg, DrgBuilder};
@@ -111,6 +111,7 @@ pub struct SearchContext {
     label: String,
     drg: Drg,
     cache: Arc<LakeIndexCache>,
+    control: Arc<RunControl>,
 }
 
 impl SearchContext {
@@ -138,6 +139,7 @@ impl SearchContext {
             label,
             drg: drg.clone(),
             cache: Arc::new(LakeIndexCache::new()),
+            control: Arc::new(RunControl::new()),
         })
     }
 
@@ -232,6 +234,25 @@ impl SearchContext {
         &self.cache
     }
 
+    /// The context-wide run-lifecycle control, shared (via `Arc`) by every
+    /// clone of this context. Cancelling it — from any thread — winds down
+    /// whatever pipeline stage is currently running against this context
+    /// (discovery, materialization, training, baselines) at its next
+    /// cooperative checkpoint; an armed deadline does the same on expiry.
+    /// Discovery runs layer their own `time_budget` on top via
+    /// [`RunControl::scoped`], so per-run deadlines never leak into this
+    /// shared handle.
+    pub fn control(&self) -> &Arc<RunControl> {
+        &self.control
+    }
+
+    /// Convenience for [`RunControl::cancel`] on the shared control: request
+    /// that every in-flight pipeline stage on this context wind down and
+    /// return its partial result.
+    pub fn cancel(&self) {
+        self.control.cancel();
+    }
+
     /// Convenience for [`LakeIndexCache::set_budget`] on the shared cache:
     /// (re)apply a byte budget, evicting coldest-first if current residency
     /// exceeds it. Affects every clone of this context.
@@ -288,6 +309,22 @@ mod tests {
         assert_eq!(ctx.drg().n_edges(), 1);
         assert_eq!(ctx.base_features(), vec!["k".to_string()]);
         assert_eq!(ctx.label(), "target");
+    }
+
+    #[test]
+    fn control_is_shared_across_clones() {
+        let ctx = SearchContext::from_kfk(
+            tables(),
+            &[("base".into(), "k".into(), "ext".into(), "k".into())],
+            "base",
+            "target",
+        )
+        .unwrap();
+        let clone = ctx.clone();
+        clone.cancel();
+        assert!(ctx.control().is_cancelled(), "clones share one control");
+        ctx.control().reset();
+        assert!(!clone.control().is_cancelled());
     }
 
     #[test]

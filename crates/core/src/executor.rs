@@ -7,6 +7,7 @@
 //! replay: the rows a feature was scored on during discovery are the rows
 //! it is trained on after materialization.
 
+use autofeat_data::control::ambient_interrupted;
 use autofeat_data::{DataError, Result, Table};
 use autofeat_graph::JoinPath;
 
@@ -37,6 +38,11 @@ pub fn materialize_path(
     let _span = autofeat_obs::span("materialize");
     let mut current = start.clone();
     for (i, hop) in path.hops().iter().enumerate() {
+        // Cooperative checkpoint per hop: a cancel or deadline on the
+        // ambient control winds the replay down between joins.
+        if let Some(reason) = ambient_interrupted() {
+            return Err(DataError::Interrupted(reason));
+        }
         let right = ctx.table(&hop.to_table).ok_or_else(|| {
             DataError::Invalid(format!("table `{}` not in context", hop.to_table))
         })?;
@@ -84,6 +90,10 @@ pub fn materialize_tree(
     let mut joined_set: std::collections::HashSet<String> = std::collections::HashSet::new();
     for path in paths {
         for (i, hop) in path.hops().iter().enumerate() {
+            // Same cooperative checkpoint as `materialize_path`.
+            if let Some(reason) = ambient_interrupted() {
+                return Err(DataError::Interrupted(reason));
+            }
             if joined_set.contains(&hop.to_table) {
                 continue;
             }
@@ -350,6 +360,19 @@ mod tests {
         for row in 0..alone.n_rows() {
             assert_eq!(tree.value("a.fa", row).unwrap(), alone.value("a.fa", row).unwrap());
         }
+    }
+
+    #[test]
+    fn ambient_cancel_interrupts_materialization() {
+        let c = ctx();
+        let path = JoinPath::from_hops(vec![hop("base", "a_id", "a", "a_id")]);
+        let ctl = std::sync::Arc::new(autofeat_data::RunControl::new());
+        ctl.cancel();
+        let _g = autofeat_data::control::install_ambient(Some(std::sync::Arc::clone(&ctl)));
+        let err = materialize_path(&c, c.base_table(), &path, 0).unwrap_err();
+        assert!(err.interrupt().is_some(), "{err}");
+        let err = materialize_tree(&c, c.base_table(), &[&path], 0).unwrap_err();
+        assert!(err.interrupt().is_some(), "{err}");
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //! 3. [`train::train_top_k`] materializes the top-k paths at full scale,
 //!    trains the requested models, and returns the best path by accuracy.
 //!
+//! Every phase polls the run's [`RunControl`] cooperatively: cancellation
+//! and deadlines truncate the ranking instead of erroring, worker panics
+//! are isolated into [`PathFailure`] entries, and a deadline-driven
+//! degradation ladder trades fidelity for liveness (DESIGN.md §3h).
+//!
 //! ## Baselines (§VII-B)
 //!
 //! * [`baselines::base`] — the unaugmented base table;
@@ -46,9 +51,12 @@ pub mod seeding;
 pub mod train;
 pub mod tuning;
 
-pub use autofeat::{AutoFeat, DiscoveryResult, PathFailure, RankedPath, TruncationReason};
+pub use autofeat::{
+    AutoFeat, DiscoveryResult, PathFailure, Phase, RankedPath, ResilienceStats, TruncationReason,
+};
+pub use autofeat_data::{Interrupt, RunControl};
 pub use autofeat_obs::{RunTrace, Tracer, TRACE_SCHEMA_VERSION};
-pub use config::AutoFeatConfig;
+pub use config::{AutoFeatConfig, DegradeConfig};
 pub use context::{load_lake_dir, LakeLoadReport, QuarantinedTable, SearchContext};
 pub use executor::materialize_path;
 pub use ranking::compute_score;

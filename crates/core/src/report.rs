@@ -103,14 +103,47 @@ pub fn discovery_health_report(result: &DiscoveryResult) -> String {
         Some(TruncationReason::MaxJoins) => {
             let _ = writeln!(out, "truncated: max_joins cap reached");
         }
-        Some(TruncationReason::Deadline) => {
+        Some(TruncationReason::DeadlineExceeded { phase }) => {
             let _ = writeln!(
                 out,
-                "truncated: time budget exhausted after {:?}",
+                "truncated: time budget exhausted during {phase} after {:?}",
                 result.elapsed
             );
         }
+        Some(TruncationReason::Cancelled) => {
+            let _ = writeln!(out, "truncated: cancelled after {:?}", result.elapsed);
+        }
         None => {}
+    }
+    // Resilience section, present only when the lifecycle layer actually
+    // did something: degradation rungs, isolated panics (in the fan-out or
+    // the cache), poisoned-lock recoveries, a cancel.
+    let res = &result.resilience;
+    let cache_lock_recoveries = result.cache.as_ref().map_or(0, |c| c.lock_recoveries);
+    let cache_build_panics = result.cache.as_ref().map_or(0, |c| c.build_panics);
+    if !res.degradations.is_empty()
+        || res.worker_panics > 0
+        || res.cancel_latency.is_some()
+        || cache_lock_recoveries > 0
+        || cache_build_panics > 0
+    {
+        let mut parts: Vec<String> = Vec::new();
+        if !res.degradations.is_empty() {
+            parts.push(format!("degraded ({})", res.degradations.join(", ")));
+        }
+        if res.worker_panics > 0 {
+            parts.push(format!("{} worker panic(s) isolated", res.worker_panics));
+        }
+        if cache_build_panics > 0 {
+            parts.push(format!("{cache_build_panics} cache build panic(s) isolated"));
+        }
+        if cache_lock_recoveries > 0 {
+            parts.push(format!("{cache_lock_recoveries} poisoned-lock recovery(ies)"));
+        }
+        if let Some(latency) = res.cancel_latency {
+            parts.push(format!("cancel latency {latency:?}"));
+        }
+        let _ = writeln!(out, "resilience: {}", parts.join(", "));
     }
     if result.failures.is_empty() {
         if result.truncation.is_none() {
@@ -143,7 +176,7 @@ pub fn discovery_health_report(result: &DiscoveryResult) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::autofeat::PathFailure;
+    use crate::autofeat::{PathFailure, Phase, ResilienceStats};
     use autofeat_graph::{JoinHop, JoinPath};
 
     fn discovery(failures: Vec<PathFailure>, truncation: Option<TruncationReason>) -> DiscoveryResult {
@@ -171,8 +204,11 @@ mod tests {
                 rejections: 0,
                 peak_resident_bytes: 4096,
                 budget_bytes: None,
+                lock_recoveries: 0,
+                build_panics: 0,
             }),
             trace: None,
+            resilience: Default::default(),
         }
     }
 
@@ -209,7 +245,7 @@ mod tests {
         };
         let r = discovery_health_report(&discovery(
             vec![failure],
-            Some(TruncationReason::Deadline),
+            Some(TruncationReason::DeadlineExceeded { phase: Phase::Enumerate }),
         ));
         assert!(r.contains("1 hop failure(s)"), "{r}");
         assert!(r.contains("base -> bad"), "{r}");
@@ -281,6 +317,8 @@ join-index cache: 8 hit(s), 2 miss(es), 3ms build time, 2 index(es) resident (40
             rejections: 1,
             peak_resident_bytes: 8192,
             budget_bytes: Some(10240),
+            lock_recoveries: 0,
+            build_panics: 0,
         });
         let r = discovery_health_report(&d);
         let expected = "\
@@ -308,6 +346,52 @@ healthy: no hop failures
             r.contains("cache governance: budget unbounded, peak resident 4096 bytes, 2 eviction(s) (100 bytes), 0 admission rejection(s)"),
             "{r}"
         );
+    }
+
+    #[test]
+    fn golden_resilience_section_is_exact() {
+        let mut d = discovery(vec![], None);
+        d.resilience = ResilienceStats {
+            degradations: vec!["shrunk sample", "skipped redundancy refinement"],
+            worker_panics: 1,
+            cancel_latency: Some(Duration::from_millis(12)),
+        };
+        let r = discovery_health_report(&d);
+        let expected = "\
+discovery: 0 path(s) ranked, 5 join(s) evaluated, 1 unjoinable, 2 below-quality, 4 worker thread(s)
+join-index cache: 8 hit(s), 2 miss(es), 3ms build time, 2 index(es) resident (4096 bytes)
+resilience: degraded (shrunk sample, skipped redundancy refinement), 1 worker panic(s) isolated, cancel latency 12ms
+healthy: no hop failures
+";
+        assert_eq!(r, expected);
+    }
+
+    #[test]
+    fn resilience_section_absent_on_healthy_runs() {
+        let r = discovery_health_report(&discovery(vec![], None));
+        assert!(!r.contains("resilience:"), "{r}");
+    }
+
+    #[test]
+    fn cancelled_truncation_and_cache_recoveries_reported() {
+        let mut d = discovery(vec![], Some(TruncationReason::Cancelled));
+        if let Some(c) = d.cache.as_mut() {
+            c.lock_recoveries = 2;
+            c.build_panics = 1;
+        }
+        let r = discovery_health_report(&d);
+        assert!(r.contains("truncated: cancelled after"), "{r}");
+        assert!(r.contains("1 cache build panic(s) isolated"), "{r}");
+        assert!(r.contains("2 poisoned-lock recovery(ies)"), "{r}");
+    }
+
+    #[test]
+    fn deadline_truncation_names_the_phase() {
+        let r = discovery_health_report(&discovery(
+            vec![],
+            Some(TruncationReason::DeadlineExceeded { phase: Phase::Evaluate }),
+        ));
+        assert!(r.contains("time budget exhausted during evaluate"), "{r}");
     }
 
     #[test]

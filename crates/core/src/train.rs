@@ -67,6 +67,11 @@ pub struct TrainOutcome {
     pub result: MethodResult,
     /// Mean accuracy of every evaluated path, in ranking order.
     pub per_path_accuracy: Vec<f64>,
+    /// Whether training wound down early at a cooperative interrupt (a
+    /// cancel or deadline on the context's control). The outcome then
+    /// reflects only the candidates fully evaluated before the stop — a
+    /// partial-but-valid result, not an error.
+    pub interrupted: bool,
 }
 
 /// Materialize and evaluate the top-k ranked paths; pick the best by mean
@@ -79,6 +84,14 @@ pub fn train_top_k(
 ) -> Result<TrainOutcome> {
     let _span = autofeat_obs::span("train");
     let t0 = Instant::now();
+    // Honour the context's lifecycle control for the whole training phase:
+    // materialization joins poll it ambiently between hops, and the
+    // candidate loop checks it per path. Interruption is graceful — the
+    // best fully evaluated candidate so far still wins.
+    let _ctl_guard = autofeat_data::control::install_ambient(Some(std::sync::Arc::clone(
+        ctx.control(),
+    )));
+    let mut stopped_early = false;
     let base_features = ctx.base_features();
     let label = ctx.label();
 
@@ -86,7 +99,18 @@ pub fn train_top_k(
     let mut best: Option<Candidate> = None;
     let mut per_path = Vec::with_capacity(candidates.len());
     for (i, rp) in candidates.iter().enumerate() {
-        let table = materialize_path(ctx, ctx.base_table(), &rp.path, config.seed)?;
+        if ctx.control().interrupted().is_some() {
+            stopped_early = true;
+            break;
+        }
+        let table = match materialize_path(ctx, ctx.base_table(), &rp.path, config.seed) {
+            Ok(t) => t,
+            Err(e) if e.interrupt().is_some() => {
+                stopped_early = true;
+                break;
+            }
+            Err(e) => return Err(e),
+        };
         // Train on every globally selected feature living on this path's
         // tables (not just the ones first selected *via* this path — the
         // streaming R_sel makes per-path lists order-dependent), plus the
@@ -121,27 +145,33 @@ pub fn train_top_k(
     // (the paper's output artifact, Fig. 2): on star schemata a single
     // chain can join only one table, while the tree augments with all k.
     let mut tree_result: Option<TreeEval> = None;
-    if candidates.len() > 1 {
+    if candidates.len() > 1 && !stopped_early {
         let paths: Vec<&autofeat_graph::JoinPath> =
             candidates.iter().map(|rp| &rp.path).collect();
-        let (table, joined) =
-            crate::executor::materialize_tree(ctx, ctx.base_table(), &paths, config.seed)?;
-        if joined.len() > 1 {
-            let prefixes: Vec<String> = joined.iter().map(|t| format!("{t}.")).collect();
-            let mut features: Vec<&str> = base_features.iter().map(String::as_str).collect();
-            for f in &discovery.selected_features {
-                if prefixes.iter().any(|p| f.starts_with(p.as_str())) {
-                    features.push(f);
+        match crate::executor::materialize_tree(ctx, ctx.base_table(), &paths, config.seed) {
+            Ok((table, joined)) if joined.len() > 1 => {
+                let prefixes: Vec<String> = joined.iter().map(|t| format!("{t}.")).collect();
+                let mut features: Vec<&str> =
+                    base_features.iter().map(String::as_str).collect();
+                for f in &discovery.selected_features {
+                    if prefixes.iter().any(|p| f.starts_with(p.as_str())) {
+                        features.push(f);
+                    }
                 }
+                let n_feats = features.len();
+                let accs = evaluate_feature_set(&table, &features, label, models, config.seed)?;
+                let mean = if accs.is_empty() {
+                    0.0
+                } else {
+                    accs.iter().map(|(_, a)| a).sum::<f64>() / accs.len() as f64
+                };
+                tree_result = Some((accs, mean, joined.len(), n_feats));
             }
-            let n_feats = features.len();
-            let accs = evaluate_feature_set(&table, &features, label, models, config.seed)?;
-            let mean = if accs.is_empty() {
-                0.0
-            } else {
-                accs.iter().map(|(_, a)| a).sum::<f64>() / accs.len() as f64
-            };
-            tree_result = Some((accs, mean, joined.len(), n_feats));
+            Ok(_) => {}
+            // A cooperative stop skips the tree; the best chain evaluated so
+            // far still wins.
+            Err(e) if e.interrupt().is_some() => stopped_early = true,
+            Err(e) => return Err(e),
         }
     }
 
@@ -159,6 +189,7 @@ pub fn train_top_k(
                 },
                 best_path: Some(candidates[0].clone()),
                 per_path_accuracy: per_path,
+                interrupted: stopped_early,
             });
         }
     }
@@ -178,6 +209,7 @@ pub fn train_top_k(
                 },
                 best_path: Some(rp),
                 per_path_accuracy: per_path,
+                interrupted: stopped_early,
             }
         }
         None => {
@@ -196,6 +228,7 @@ pub fn train_top_k(
                 },
                 best_path: None,
                 per_path_accuracy: per_path,
+                interrupted: stopped_early,
             }
         }
     };
@@ -279,12 +312,41 @@ mod tests {
             threads_used: 1,
             cache: None,
             trace: None,
+            resilience: Default::default(),
         };
         let out =
             train_top_k(&c, &empty, &[ModelKind::RandomForest], &AutoFeatConfig::default())
                 .unwrap();
         assert!(out.best_path.is_none());
         assert_eq!(out.result.n_tables_joined, 0);
+    }
+
+    #[test]
+    fn cancelled_context_yields_partial_training_outcome() {
+        let c = ctx(300);
+        let discovery = AutoFeat::paper().discover(&c).unwrap();
+        assert!(!discovery.ranked.is_empty());
+        c.cancel();
+        let out = train_top_k(
+            &c,
+            &discovery,
+            &[ModelKind::RandomForest],
+            &AutoFeatConfig::default(),
+        )
+        .unwrap();
+        assert!(out.interrupted, "cancel before training = graceful partial outcome");
+        assert!(out.best_path.is_none());
+        assert_eq!(out.result.n_tables_joined, 0, "falls back to the bare base table");
+        c.control().reset();
+        let healthy = train_top_k(
+            &c,
+            &discovery,
+            &[ModelKind::RandomForest],
+            &AutoFeatConfig::default(),
+        )
+        .unwrap();
+        assert!(!healthy.interrupted);
+        assert!(healthy.best_path.is_some());
     }
 
     #[test]

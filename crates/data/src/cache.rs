@@ -42,6 +42,17 @@
 //! degraded path that hands out unowned entries when the governor lock is
 //! poisoned — never touch residency, so stats cannot report phantom memory.
 //!
+//! ## Resilience
+//!
+//! Two fault classes degrade gracefully, and both are *counted*, never
+//! silently swallowed: a poisoned governor lock falls back to transient
+//! entries ([`CacheStats::lock_recoveries`]), and a panic inside an index
+//! build is isolated with `catch_unwind` — the caller gets a structured
+//! [`DataError::BuildPanicked`], the empty slot is dropped so later touches
+//! retry, and the event lands in [`CacheStats::build_panics`]. Cold builds
+//! also poll the ambient [`control`](crate::control) before starting, so a
+//! cancelled or deadline-expired run never pays for an index it cannot use.
+//!
 //! ## Concurrency
 //!
 //! The governor (slot map + accounting) sits behind an [`RwLock`]; each slot
@@ -65,13 +76,15 @@
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 use autofeat_obs as obs;
 
-use crate::error::Result;
+use crate::control;
+use crate::error::{DataError, Result};
 use crate::join::{left_join_with_index, JoinIndex, JoinOutput};
 use crate::stable_hash::StableHasher;
 use crate::table::Table;
@@ -141,13 +154,23 @@ pub struct CacheStats {
     pub peak_resident_bytes: u64,
     /// The byte budget in force, `None` when unbounded.
     pub budget_bytes: Option<u64>,
+    /// Operations that found the governor lock poisoned and degraded
+    /// (transient entries, skipped accounting) instead of failing. Always
+    /// zero in a healthy process; nonzero means a thread panicked while
+    /// holding the governor.
+    pub lock_recoveries: u64,
+    /// Index builds that panicked. Each was isolated (`catch_unwind`) and
+    /// surfaced to its caller as a structured error; the empty slot was
+    /// dropped so later touches retry.
+    pub build_panics: u64,
 }
 
 impl CacheStats {
     /// Counter delta `self − earlier` for the monotonic counters (hits,
-    /// misses, build time, evictions, evicted bytes, rejections); resident
-    /// bytes, entries, peak, and budget stay absolute, since they describe
-    /// current occupancy rather than cumulative work.
+    /// misses, build time, evictions, evicted bytes, rejections, lock
+    /// recoveries, build panics); resident bytes, entries, peak, and budget
+    /// stay absolute, since they describe current occupancy rather than
+    /// cumulative work.
     pub fn since(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
@@ -160,6 +183,8 @@ impl CacheStats {
             rejections: self.rejections.saturating_sub(earlier.rejections),
             peak_resident_bytes: self.peak_resident_bytes,
             budget_bytes: self.budget_bytes,
+            lock_recoveries: self.lock_recoveries.saturating_sub(earlier.lock_recoveries),
+            build_panics: self.build_panics.saturating_sub(earlier.build_panics),
         }
     }
 }
@@ -268,6 +293,10 @@ pub struct LakeIndexCache {
     hits: AtomicU64,
     misses: AtomicU64,
     build_nanos: AtomicU64,
+    /// Poisoned-governor fallbacks taken (see [`CacheStats::lock_recoveries`]).
+    lock_recoveries: AtomicU64,
+    /// Isolated index-build panics (see [`CacheStats::build_panics`]).
+    build_panics: AtomicU64,
 }
 
 impl Default for LakeIndexCache {
@@ -297,7 +326,16 @@ impl LakeIndexCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             build_nanos: AtomicU64::new(0),
+            lock_recoveries: AtomicU64::new(0),
+            build_panics: AtomicU64::new(0),
         }
+    }
+
+    /// Record one poisoned-lock fallback: degraded mode is tolerated, but
+    /// never silent.
+    fn note_lock_recovery(&self) {
+        self.lock_recoveries.fetch_add(1, Ordering::Relaxed);
+        obs::incr("cache.lock_recoveries");
     }
 
     /// (Re)apply a byte budget. When the new budget is below current
@@ -307,7 +345,10 @@ impl LakeIndexCache {
     /// *under this budget*. In-flight joins are unaffected: they hold
     /// `Arc` clones of any index this call evicts.
     pub fn set_budget(&self, budget: Option<u64>) {
-        let Ok(mut gov) = self.gov.write() else { return };
+        let Ok(mut gov) = self.gov.write() else {
+            self.note_lock_recovery();
+            return;
+        };
         gov.budget = budget;
         if let Some(b) = budget {
             while gov.resident > b {
@@ -321,7 +362,13 @@ impl LakeIndexCache {
 
     /// The byte budget in force (`None` = unbounded).
     pub fn budget(&self) -> Option<u64> {
-        self.gov.read().ok().and_then(|g| g.budget)
+        match self.gov.read() {
+            Ok(g) => g.budget,
+            Err(_) => {
+                self.note_lock_recovery();
+                None
+            }
+        }
     }
 
     /// The join index for `(table, column)`, building it on first use.
@@ -334,32 +381,79 @@ impl LakeIndexCache {
     /// are re-created, rebuilt, and re-counted on later touches).
     pub fn get_or_build(&self, table: &Table, column: &str) -> Result<Arc<JoinIndex>> {
         let key_col = table.column(column)?;
+        // Cooperative deadline/cancel poll before potentially expensive
+        // build work; a cold build is the costliest single step a join
+        // takes, so this is a natural interrupt point.
+        if let Some(reason) = control::ambient_interrupted() {
+            return Err(DataError::Interrupted(reason));
+        }
 
         let entry = self.probe(table.name(), column);
         let mut built = false;
-        let index = entry.get_or_init(|| {
-            built = true;
-            let _span = obs::span("index_build");
-            let t0 = Instant::now();
-            let index = Arc::new(JoinIndex::build(table, key_col));
-            let elapsed = t0.elapsed();
-            obs::record_secs("cache.index_build_secs", elapsed.as_secs_f64());
-            self.build_nanos
-                .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
-            index
-        });
+        // Panic isolation: a poisoned table must fail *this* entry, not
+        // abort the run. `OnceLock::get_or_init` leaves the cell
+        // uninitialized when the initializer panics, so the empty slot is
+        // dropped and later touches retry cleanly.
+        let build_result = catch_unwind(AssertUnwindSafe(|| {
+            Arc::clone(entry.get_or_init(|| {
+                built = true;
+                let _span = obs::span("index_build");
+                let t0 = Instant::now();
+                let index = Arc::new(JoinIndex::build(table, key_col));
+                let elapsed = t0.elapsed();
+                obs::record_secs("cache.index_build_secs", elapsed.as_secs_f64());
+                self.build_nanos
+                    .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+                index
+            }))
+        }));
+        let index = match build_result {
+            Ok(index) => index,
+            Err(payload) => {
+                self.forget_unbuilt(table.name(), column, &entry);
+                self.build_panics.fetch_add(1, Ordering::Relaxed);
+                obs::incr("cache.build_panics");
+                return Err(DataError::BuildPanicked {
+                    table: table.name().to_string(),
+                    message: crate::parallel::payload_message(payload),
+                });
+            }
+        };
         // Exactly one miss per cold entry even when builders race: the
         // OnceLock winner counts the miss, waiters count hits — so the
         // hit/miss totals are invariant across worker thread counts.
         if built {
             self.misses.fetch_add(1, Ordering::Relaxed);
             obs::incr("cache.misses");
-            self.admit(table.name(), column, &entry, index);
+            self.admit(table.name(), column, &entry, &index);
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
             obs::incr("cache.hits");
         }
-        Ok(Arc::clone(index))
+        Ok(index)
+    }
+
+    /// Drop the slot owning `entry` if its cell is still unbuilt — the
+    /// cleanup path after an isolated build panic, so the poisoned entry
+    /// does not pin an empty slot forever and a later touch can retry.
+    fn forget_unbuilt(&self, table: &str, column: &str, entry: &Entry) {
+        let h = slot_hash(table, column);
+        let Ok(mut gov) = self.gov.write() else {
+            self.note_lock_recovery();
+            return;
+        };
+        let Some(bucket) = gov.buckets.get_mut(&h) else { return };
+        if let Some(i) = bucket.iter().position(|s| {
+            s.table == table
+                && s.column == column
+                && Arc::ptr_eq(&s.cell, entry)
+                && s.cell.get().is_none()
+        }) {
+            bucket.swap_remove(i);
+            if bucket.is_empty() {
+                gov.buckets.remove(&h);
+            }
+        }
     }
 
     /// Cached equivalent of
@@ -381,27 +475,31 @@ impl LakeIndexCache {
 
     /// Point-in-time counter snapshot.
     pub fn stats(&self) -> CacheStats {
-        let (entries, resident, evictions, evicted_bytes, rejections, peak, budget) = self
-            .gov
-            .read()
-            .map(|g| {
-                let built = g
-                    .buckets
-                    .values()
-                    .flatten()
-                    .filter(|s| s.cell.get().is_some())
-                    .count() as u64;
-                (
-                    built,
-                    g.resident,
-                    g.evictions,
-                    g.evicted_bytes,
-                    g.rejections,
-                    g.peak_resident,
-                    g.budget,
-                )
-            })
-            .unwrap_or((0, 0, 0, 0, 0, 0, None));
+        let gov_snapshot = self.gov.read().map(|g| {
+            let built = g
+                .buckets
+                .values()
+                .flatten()
+                .filter(|s| s.cell.get().is_some())
+                .count() as u64;
+            (
+                built,
+                g.resident,
+                g.evictions,
+                g.evicted_bytes,
+                g.rejections,
+                g.peak_resident,
+                g.budget,
+            )
+        });
+        let (entries, resident, evictions, evicted_bytes, rejections, peak, budget) =
+            match gov_snapshot {
+                Ok(snap) => snap,
+                Err(_) => {
+                    self.note_lock_recovery();
+                    (0, 0, 0, 0, 0, 0, None)
+                }
+            };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -413,6 +511,8 @@ impl LakeIndexCache {
             rejections,
             peak_resident_bytes: peak,
             budget_bytes: budget,
+            lock_recoveries: self.lock_recoveries.load(Ordering::Relaxed),
+            build_panics: self.build_panics.load(Ordering::Relaxed),
         }
     }
 
@@ -461,8 +561,11 @@ impl LakeIndexCache {
             // still make progress. The entry is unowned, so `admit` (which
             // requires a map-owned slot holding this very cell) will not
             // register its bytes — degraded mode cannot leak phantom
-            // residency into the stats.
-            Err(_) => Entry::default(),
+            // residency into the stats. Counted: degraded, never silent.
+            Err(_) => {
+                self.note_lock_recovery();
+                Entry::default()
+            }
         }
     }
 
@@ -476,7 +579,10 @@ impl LakeIndexCache {
     fn admit(&self, table: &str, column: &str, entry: &Entry, index: &Arc<JoinIndex>) {
         let bytes = index.resident_bytes() as u64;
         let h = slot_hash(table, column);
-        let Ok(mut guard) = self.gov.write() else { return };
+        let Ok(mut guard) = self.gov.write() else {
+            self.note_lock_recovery();
+            return;
+        };
         let gov = &mut *guard;
         let Some(bucket) = gov.buckets.get_mut(&h) else { return };
         let Some(i) = bucket
@@ -624,6 +730,8 @@ mod tests {
             rejections: 0,
             peak_resident_bytes: 150,
             budget_bytes: Some(200),
+            lock_recoveries: 1,
+            build_panics: 0,
         };
         let later = CacheStats {
             hits: 10,
@@ -636,6 +744,8 @@ mod tests {
             rejections: 2,
             peak_resident_bytes: 350,
             budget_bytes: Some(400),
+            lock_recoveries: 4,
+            build_panics: 2,
         };
         let d = later.since(&earlier);
         assert_eq!(d.hits, 8);
@@ -648,6 +758,8 @@ mod tests {
         assert_eq!(d.rejections, 2);
         assert_eq!(d.peak_resident_bytes, 350);
         assert_eq!(d.budget_bytes, Some(400));
+        assert_eq!(d.lock_recoveries, 3);
+        assert_eq!(d.build_panics, 2);
     }
 
     #[test]
@@ -876,6 +988,51 @@ mod tests {
         assert_eq!(st.entries, 0, "nothing owned");
         assert_eq!(st.resident_bytes, 0, "no phantom residency");
         assert_eq!(st.misses, 1, "build still counted as work done");
+        assert!(st.lock_recoveries >= 1, "degraded mode is counted, not silent: {st:?}");
+    }
+
+    #[test]
+    fn build_panic_is_isolated_counted_and_retryable() {
+        let cache = LakeIndexCache::with_budget(None);
+        let r = lake_table("cache_panic_sat", 6);
+        crate::faults::arm(
+            "cache_panic_sat",
+            crate::faults::TableFaults { panic_on_row: Some(2), slow_join_ms: None },
+        );
+        let err = cache.get_or_build(&r, "key").expect_err("armed build must fail");
+        match &err {
+            DataError::BuildPanicked { table, message } => {
+                assert_eq!(table, "cache_panic_sat");
+                assert!(message.contains("panic_on_row 2"), "{message}");
+            }
+            other => panic!("expected BuildPanicked, got {other:?}"),
+        }
+        let st = cache.stats();
+        assert_eq!(st.build_panics, 1);
+        assert_eq!(st.entries, 0, "poisoned slot dropped");
+        assert_eq!(st.misses, 0, "a panicked build is not a served miss");
+        // Disarm and retry: the entry rebuilds cleanly.
+        crate::faults::disarm("cache_panic_sat");
+        cache.get_or_build(&r, "key").unwrap();
+        let st = cache.stats();
+        assert_eq!((st.misses, st.entries), (1, 1), "retry succeeds after disarm");
+    }
+
+    #[test]
+    fn interrupted_control_stops_cold_builds() {
+        let cache = LakeIndexCache::with_budget(None);
+        let r = lake_table("cache_ctl_sat", 6);
+        let ctl = Arc::new(crate::control::RunControl::new());
+        ctl.cancel();
+        {
+            let _g = crate::control::install_ambient(Some(Arc::clone(&ctl)));
+            let err = cache.get_or_build(&r, "key").expect_err("cancelled run builds nothing");
+            assert_eq!(err.interrupt(), Some(crate::control::Interrupt::Cancelled));
+        }
+        assert_eq!(cache.stats().misses, 0);
+        // Without the ambient control the same build proceeds.
+        cache.get_or_build(&r, "key").unwrap();
+        assert_eq!(cache.stats().misses, 1);
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Cooperative run-lifecycle control: shared cancel flag + wall-clock
+//! deadline, checked at phase boundaries and per-item fan-out points.
+//!
+//! A [`RunControl`] is owned (behind an `Arc`) by the search context and
+//! shared by every pipeline stage — discovery, cache index builds, join
+//! assembly, materialization, baselines, model training. Checks are
+//! **cooperative**: nothing is ever killed mid-operation; instead each
+//! stage polls [`RunControl::interrupted`] at its natural granularity
+//! (per candidate, per hop, per row block) and winds down, returning
+//! whatever partial result it has.
+//!
+//! Two interrupt sources, in priority order:
+//!
+//! 1. **Cancellation** — [`cancel`](RunControl::cancel) from any thread
+//!    flips a shared flag and stamps the request time, so the pipeline can
+//!    report its cancel latency (request → return).
+//! 2. **Deadline** — an absolute wall-clock instant
+//!    ([`set_deadline`](RunControl::set_deadline) /
+//!    [`arm_budget`](RunControl::arm_budget)). Run-scoped deadlines
+//!    compose with a context-wide one via [`scoped`](RunControl::scoped):
+//!    the effective deadline is the minimum across the chain.
+//!
+//! ## Ambient propagation
+//!
+//! Deep layers (the join kernel, the index cache) have no `RunControl`
+//! parameter — threading one through every signature would churn the whole
+//! crate for a check that is usually disabled. Instead, mirroring the
+//! ambient tracer in `autofeat-obs`, a control can be installed
+//! thread-locally ([`install_ambient`]) and polled from anywhere
+//! ([`ambient_interrupted`]); fan-out workers re-install their parent's
+//! control. When none is installed the poll is one thread-local read.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// Why a stage stopped early. Ordered: cancellation wins over deadline
+/// when both hold, so repeated polls report a stable reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// [`RunControl::cancel`] was called.
+    Cancelled,
+    /// The effective wall-clock deadline passed.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Interrupt::Cancelled => write!(f, "cancelled"),
+            Interrupt::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+/// Shared cancel flag + wall-clock deadline for one discovery request.
+///
+/// Cheap to poll: a relaxed atomic load, plus an uncontended `RwLock` read
+/// when a deadline is armed. Clone the `Arc` into any thread that should be
+/// able to cancel the run.
+#[derive(Debug, Default)]
+pub struct RunControl {
+    cancelled: AtomicBool,
+    /// When `cancel()` was first called — the start of the cancel-latency
+    /// clock.
+    cancelled_at: RwLock<Option<Instant>>,
+    deadline: RwLock<Option<Instant>>,
+    /// Run-scoped controls chain to the context-wide control so either can
+    /// interrupt (and the tighter deadline wins).
+    parent: Option<Arc<RunControl>>,
+}
+
+impl RunControl {
+    /// A fresh control: not cancelled, no deadline.
+    pub fn new() -> RunControl {
+        RunControl::default()
+    }
+
+    /// A child control that also honours `self`'s cancel flag and deadline.
+    /// Used to arm a per-run deadline (e.g. from `AutoFeatConfig::
+    /// time_budget`) without mutating — or leaking an expired deadline
+    /// into — the context-wide control.
+    pub fn scoped(self: &Arc<Self>, deadline: Option<Instant>) -> Arc<RunControl> {
+        Arc::new(RunControl {
+            cancelled: AtomicBool::new(false),
+            cancelled_at: RwLock::new(None),
+            deadline: RwLock::new(deadline),
+            parent: Some(Arc::clone(self)),
+        })
+    }
+
+    /// Request cancellation. Idempotent; the first call stamps the
+    /// cancel-latency clock. Takes effect at the next cooperative poll.
+    pub fn cancel(&self) {
+        if !self.cancelled.swap(true, Ordering::SeqCst) {
+            if let Ok(mut at) = self.cancelled_at.write() {
+                at.get_or_insert_with(Instant::now);
+            }
+        }
+    }
+
+    /// Has [`cancel`](RunControl::cancel) been called (here or on a parent)?
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+            || self.parent.as_ref().is_some_and(|p| p.is_cancelled())
+    }
+
+    /// When cancellation was first requested (here or on a parent).
+    pub fn cancelled_at(&self) -> Option<Instant> {
+        let own = self.cancelled_at.read().ok().and_then(|at| *at);
+        let parent = self.parent.as_ref().and_then(|p| p.cancelled_at());
+        match (own, parent) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Elapsed time since cancellation was requested, `None` if it wasn't.
+    pub fn cancel_latency(&self) -> Option<Duration> {
+        self.cancelled_at().map(|at| at.elapsed())
+    }
+
+    /// Set (or clear) the absolute deadline on this control.
+    pub fn set_deadline(&self, deadline: Option<Instant>) {
+        if let Ok(mut d) = self.deadline.write() {
+            *d = deadline;
+        }
+    }
+
+    /// Arm a deadline `budget` from now.
+    pub fn arm_budget(&self, budget: Duration) {
+        self.set_deadline(Instant::now().checked_add(budget));
+    }
+
+    /// The effective deadline: the minimum over this control and its
+    /// parents. `None` = unbounded.
+    pub fn deadline(&self) -> Option<Instant> {
+        let own = self.deadline.read().ok().and_then(|d| *d);
+        let parent = self.parent.as_ref().and_then(|p| p.deadline());
+        match (own, parent) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Time left before the effective deadline (`None` = unbounded,
+    /// `Some(ZERO)` = already expired).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline().map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// The cooperative poll: `Some(reason)` when the run should stop.
+    /// Cancellation wins over deadline expiry.
+    pub fn interrupted(&self) -> Option<Interrupt> {
+        if self.is_cancelled() {
+            return Some(Interrupt::Cancelled);
+        }
+        if self.deadline().is_some_and(|d| Instant::now() >= d) {
+            return Some(Interrupt::DeadlineExceeded);
+        }
+        None
+    }
+
+    /// Clear this control's own cancel flag and deadline (parents are
+    /// untouched), so a context-owned control can be reused run to run.
+    pub fn reset(&self) {
+        self.cancelled.store(false, Ordering::SeqCst);
+        if let Ok(mut at) = self.cancelled_at.write() {
+            *at = None;
+        }
+        self.set_deadline(None);
+    }
+}
+
+thread_local! {
+    static AMBIENT_CTL: RefCell<Option<Arc<RunControl>>> = const { RefCell::new(None) };
+}
+
+/// Install `ctl` as this thread's ambient control for the guard's lifetime
+/// (the previous ambient control is restored on drop, also on panic).
+/// Fan-out workers call this with their spawner's control so deep layers
+/// ([`crate::join`], [`crate::cache`]) can poll without plumbed handles.
+pub fn install_ambient(ctl: Option<Arc<RunControl>>) -> AmbientGuard {
+    let prev = AMBIENT_CTL.with(|c| std::mem::replace(&mut *c.borrow_mut(), ctl));
+    AmbientGuard(Some(prev))
+}
+
+/// RAII guard from [`install_ambient`].
+pub struct AmbientGuard(Option<Option<Arc<RunControl>>>);
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.0.take() {
+            AMBIENT_CTL.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+}
+
+/// The control currently installed on this thread, if any.
+pub fn ambient() -> Option<Arc<RunControl>> {
+    AMBIENT_CTL.with(|c| c.borrow().clone())
+}
+
+/// Poll the ambient control: `None` when no control is installed or the
+/// run may continue. One thread-local read when uninstalled — cheap enough
+/// for per-row-block checks in the join kernel.
+pub fn ambient_interrupted() -> Option<Interrupt> {
+    AMBIENT_CTL.with(|c| c.borrow().as_ref().and_then(|ctl| ctl.interrupted()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_control_is_uninterrupted() {
+        let ctl = RunControl::new();
+        assert_eq!(ctl.interrupted(), None);
+        assert!(!ctl.is_cancelled());
+        assert_eq!(ctl.remaining(), None);
+        assert_eq!(ctl.cancel_latency(), None);
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_stamps_once() {
+        let ctl = RunControl::new();
+        ctl.cancel();
+        let first = ctl.cancelled_at().unwrap();
+        ctl.cancel();
+        assert_eq!(ctl.cancelled_at(), Some(first), "stamp not overwritten");
+        assert_eq!(ctl.interrupted(), Some(Interrupt::Cancelled));
+        assert!(ctl.cancel_latency().unwrap() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_and_cancel_wins() {
+        let ctl = RunControl::new();
+        ctl.arm_budget(Duration::ZERO);
+        assert_eq!(ctl.interrupted(), Some(Interrupt::DeadlineExceeded));
+        assert_eq!(ctl.remaining(), Some(Duration::ZERO));
+        ctl.cancel();
+        assert_eq!(ctl.interrupted(), Some(Interrupt::Cancelled), "cancel outranks deadline");
+    }
+
+    #[test]
+    fn scoped_child_sees_parent_cancel_and_tightest_deadline() {
+        let parent = Arc::new(RunControl::new());
+        let near = Instant::now() + Duration::from_secs(1);
+        let far = Instant::now() + Duration::from_secs(3600);
+        parent.set_deadline(Some(far));
+        let child = parent.scoped(Some(near));
+        assert_eq!(child.deadline(), Some(near), "min of chain");
+        parent.set_deadline(Some(near - Duration::from_millis(1)));
+        assert!(child.deadline().unwrap() < near, "parent tightening applies mid-run");
+        assert_eq!(child.interrupted(), None);
+        parent.cancel();
+        assert_eq!(child.interrupted(), Some(Interrupt::Cancelled));
+        assert!(child.cancelled_at().is_some(), "latency clock visible through the chain");
+        // Child cancellation does not leak upward.
+        let sibling = parent.scoped(None);
+        parent.reset();
+        sibling.cancel();
+        assert!(!parent.is_cancelled());
+    }
+
+    #[test]
+    fn reset_clears_own_state_only() {
+        let ctl = RunControl::new();
+        ctl.cancel();
+        ctl.arm_budget(Duration::ZERO);
+        ctl.reset();
+        assert_eq!(ctl.interrupted(), None);
+        assert_eq!(ctl.cancelled_at(), None);
+    }
+
+    #[test]
+    fn ambient_install_restore_and_poll() {
+        assert_eq!(ambient_interrupted(), None, "uninstalled = never interrupted");
+        let ctl = Arc::new(RunControl::new());
+        {
+            let _g = install_ambient(Some(Arc::clone(&ctl)));
+            assert!(ambient().is_some());
+            assert_eq!(ambient_interrupted(), None);
+            ctl.cancel();
+            assert_eq!(ambient_interrupted(), Some(Interrupt::Cancelled));
+            {
+                let _inner = install_ambient(None);
+                assert_eq!(ambient_interrupted(), None, "inner scope masks");
+            }
+            assert_eq!(ambient_interrupted(), Some(Interrupt::Cancelled), "restored");
+        }
+        assert!(ambient().is_none(), "outer guard restored");
+    }
+
+    #[test]
+    fn cancel_from_another_thread_is_visible() {
+        let ctl = Arc::new(RunControl::new());
+        let remote = Arc::clone(&ctl);
+        let h = std::thread::spawn(move || remote.cancel());
+        h.join().unwrap();
+        assert_eq!(ctl.interrupted(), Some(Interrupt::Cancelled));
+    }
+}

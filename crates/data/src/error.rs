@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::control::Interrupt;
+
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, DataError>;
 
@@ -27,6 +29,23 @@ pub enum DataError {
     Io(String),
     /// A generic invalid-argument error.
     Invalid(String),
+    /// The operation was stopped cooperatively (cancel or deadline) before
+    /// completing. Not a failure: callers wind down and keep partials.
+    Interrupted(Interrupt),
+    /// An isolated panic inside a join-index build (message-only so the
+    /// error stays `Clone + Eq`).
+    BuildPanicked { table: String, message: String },
+}
+
+impl DataError {
+    /// The interrupt reason, when this error is a cooperative stop rather
+    /// than a real failure.
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        match self {
+            DataError::Interrupted(i) => Some(*i),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for DataError {
@@ -55,6 +74,10 @@ impl fmt::Display for DataError {
             ),
             DataError::Io(msg) => write!(f, "io error: {msg}"),
             DataError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+            DataError::Interrupted(reason) => write!(f, "interrupted: {reason}"),
+            DataError::BuildPanicked { table, message } => {
+                write!(f, "join-index build for table `{table}` panicked: {message}")
+            }
         }
     }
 }

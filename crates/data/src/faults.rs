@@ -1,0 +1,107 @@
+//! Process-level runtime fault injection for resilience testing.
+//!
+//! The CSV corruptor (`autofeat-datagen`) breaks lakes *at rest*; this
+//! registry breaks them *in flight*: a worker panic while a join index is
+//! being built, or a pathologically slow join, armed per table name. The
+//! resilience tests use it to prove panic isolation (one poisoned path
+//! must not abort the run) and deadline enforcement (a slow join must not
+//! overrun the budget unchecked).
+//!
+//! Faults are keyed by **table name**, so concurrent tests in one binary
+//! stay independent as long as each uses unique table names. Production
+//! cost is a single relaxed atomic load per join/build when nothing is
+//! armed ([`lookup`] bails before touching the map).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+/// Runtime faults armed for one table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableFaults {
+    /// Panic while building the join index for this table, when the build
+    /// reaches this row (no-op if the table is shorter).
+    pub panic_on_row: Option<usize>,
+    /// Sleep this many milliseconds at the start of every join against
+    /// this table (interruptible via the ambient [`crate::control`]).
+    pub slow_join_ms: Option<u64>,
+}
+
+impl TableFaults {
+    /// No faults armed.
+    pub fn is_empty(&self) -> bool {
+        self.panic_on_row.is_none() && self.slow_join_ms.is_none()
+    }
+}
+
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static RwLock<HashMap<String, TableFaults>> {
+    static REGISTRY: OnceLock<RwLock<HashMap<String, TableFaults>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Arm `faults` for `table`, replacing anything previously armed for it.
+/// Arming an empty fault set is equivalent to [`disarm`].
+pub fn arm(table: &str, faults: TableFaults) {
+    let Ok(mut map) = registry().write() else { return };
+    if faults.is_empty() {
+        map.remove(table);
+    } else {
+        map.insert(table.to_string(), faults);
+    }
+    ANY_ARMED.store(!map.is_empty(), Ordering::SeqCst);
+}
+
+/// Disarm all faults for `table`.
+pub fn disarm(table: &str) {
+    arm(table, TableFaults::default());
+}
+
+/// Disarm every fault in the process.
+pub fn disarm_all() {
+    let Ok(mut map) = registry().write() else { return };
+    map.clear();
+    ANY_ARMED.store(false, Ordering::SeqCst);
+}
+
+/// The faults armed for `table`, if any. One atomic load when the registry
+/// is empty — the production fast path.
+pub fn lookup(table: &str) -> Option<TableFaults> {
+    if !ANY_ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    registry().read().ok().and_then(|map| map.get(table).copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_lookup_disarm_roundtrip() {
+        let t = "faults_rt_roundtrip"; // unique name: tests run in parallel
+        assert_eq!(lookup(t), None);
+        arm(t, TableFaults { panic_on_row: Some(3), slow_join_ms: None });
+        assert_eq!(lookup(t).unwrap().panic_on_row, Some(3));
+        arm(t, TableFaults { panic_on_row: None, slow_join_ms: Some(25) });
+        assert_eq!(lookup(t).unwrap().slow_join_ms, Some(25), "re-arm replaces");
+        disarm(t);
+        assert_eq!(lookup(t), None);
+    }
+
+    #[test]
+    fn arming_empty_set_disarms() {
+        let t = "faults_rt_empty";
+        arm(t, TableFaults { panic_on_row: Some(1), slow_join_ms: None });
+        arm(t, TableFaults::default());
+        assert_eq!(lookup(t), None);
+    }
+
+    #[test]
+    fn lookup_misses_other_tables() {
+        arm("faults_rt_a", TableFaults { panic_on_row: Some(0), slow_join_ms: None });
+        assert_eq!(lookup("faults_rt_b"), None);
+        disarm("faults_rt_a");
+    }
+}

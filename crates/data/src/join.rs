@@ -170,9 +170,18 @@ impl JoinIndex {
     /// build paid fresh-page faults and allocator free-list churn that the
     /// build-then-drop path never saw.
     pub fn build(right: &Table, right_key: &Column) -> JoinIndex {
+        // Resilience-test hook: an armed `panic_on_row` fault simulates a
+        // poisoned table mid-build. One relaxed atomic load when disarmed.
+        let panic_row = crate::faults::lookup(right.name()).and_then(|f| f.panic_on_row);
         let mut scratch: ScratchMap = ScratchMap::default();
         let mut n_dup_rows = 0usize;
         for row in 0..right_key.len() {
+            if panic_row == Some(row) {
+                panic!(
+                    "injected fault: panic_on_row {row} building index for table `{}`",
+                    right.name()
+                );
+            }
             let Some(k) = right_key.key(row) else { continue };
             match scratch.entry(k) {
                 std::collections::hash_map::Entry::Vacant(e) => {
@@ -329,12 +338,33 @@ pub fn left_join_with_index(
     let _span = obs::span("join");
     let lk = left.column(left_key)?;
 
+    // Resilience-test hook: an armed `slow_join_ms` fault simulates a
+    // pathological join. The sleep is chunked so a cancel or deadline cuts
+    // it short through the ambient control.
+    if let Some(ms) = crate::faults::lookup(right.name()).and_then(|f| f.slow_join_ms) {
+        let until = std::time::Instant::now() + std::time::Duration::from_millis(ms);
+        while std::time::Instant::now() < until {
+            if let Some(reason) = crate::control::ambient_interrupted() {
+                return Err(crate::error::DataError::Interrupted(reason));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+
     let n = left.n_rows();
     obs::incr("join.calls");
     obs::add("join.left_rows", n as u64);
     let mut indices: Vec<Option<usize>> = Vec::with_capacity(n);
     let mut matched = 0usize;
     for row in 0..n {
+        // Cooperative poll every 4096 rows: one thread-local read when no
+        // ambient control is installed, and never result-affecting — an
+        // interrupt abandons the join entirely rather than truncating it.
+        if row % 4096 == 0 {
+            if let Some(reason) = crate::control::ambient_interrupted() {
+                return Err(crate::error::DataError::Interrupted(reason));
+            }
+        }
         let ix = lk.key(row).and_then(|k| index.representative(&k, seed));
         if ix.is_some() {
             matched += 1;

@@ -20,7 +20,10 @@
 //!   pruning rule ([`stats`]);
 //! * a process-stable hasher for determinism-critical derivations
 //!   ([`stable_hash`]) and deterministic scoped-thread fan-out
-//!   ([`parallel`]).
+//!   ([`parallel`]);
+//! * cooperative run-lifecycle control — shared cancel flag + deadline,
+//!   polled per item/row block ([`control`]) — and a process-level runtime
+//!   fault registry for resilience tests ([`faults`]).
 //!
 //! Randomized operations either take an explicit [`rand::rngs::StdRng`]
 //! (sampling, splitting) or an explicit `u64` seed (join normalization,
@@ -34,9 +37,11 @@
 
 pub mod cache;
 pub mod column;
+pub mod control;
 pub mod csv;
 pub mod encode;
 pub mod error;
+pub mod faults;
 pub mod impute;
 pub mod join;
 pub mod ops;
@@ -50,6 +55,7 @@ pub mod value;
 
 pub use cache::{env_cache_budget, parse_budget_bytes, CacheStats, LakeIndexCache, CACHE_BUDGET_ENV};
 pub use column::Column;
+pub use control::{Interrupt, RunControl};
 pub use error::{DataError, Result};
 pub use schema::{Field, Schema};
 pub use table::Table;

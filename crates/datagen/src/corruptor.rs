@@ -52,6 +52,52 @@ impl FaultKind {
     }
 }
 
+/// A *runtime* fault kind: unlike [`FaultKind`], these do not corrupt CSV
+/// text — they arm the process-wide fault registry
+/// ([`autofeat_data::faults`]) so the join kernel misbehaves when it touches
+/// the planned table. Deliberately kept out of [`FaultKind::all`]: text
+/// corruption sweeps and runtime-fault drills are separate harnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeFaultKind {
+    /// Panic while probing a specific row of the table during a join —
+    /// exercises worker panic isolation.
+    PanicOnRow,
+    /// Sleep this many milliseconds inside each join against the table —
+    /// exercises deadline truncation and cancel latency.
+    SlowJoinMs,
+}
+
+/// One planned runtime fault: the table to sabotage, how, and the
+/// seed-deterministic parameter (row index or delay in ms).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeFault {
+    /// Table name the fault targets.
+    pub table: String,
+    /// What goes wrong.
+    pub kind: RuntimeFaultKind,
+    /// Row index ([`RuntimeFaultKind::PanicOnRow`]) or milliseconds
+    /// ([`RuntimeFaultKind::SlowJoinMs`]).
+    pub value: u64,
+}
+
+impl RuntimeFault {
+    /// Arm this fault in the process-wide registry. Call
+    /// [`autofeat_data::faults::disarm`] (or `disarm_all`) to heal.
+    pub fn arm(&self) {
+        let faults = match self.kind {
+            RuntimeFaultKind::PanicOnRow => autofeat_data::faults::TableFaults {
+                panic_on_row: Some(self.value as usize),
+                ..Default::default()
+            },
+            RuntimeFaultKind::SlowJoinMs => autofeat_data::faults::TableFaults {
+                slow_join_ms: Some(self.value),
+                ..Default::default()
+            },
+        };
+        autofeat_data::faults::arm(&self.table, faults);
+    }
+}
+
 /// A record of one injected fault: which table, what kind, and what exactly
 /// was done — the ground truth a robustness test asserts accounting against.
 #[derive(Debug, Clone)]
@@ -195,6 +241,23 @@ impl FaultInjector {
         out
     }
 
+    /// Plan a runtime fault against table `name` with `n_rows` rows. The
+    /// parameter (panic row / delay) is drawn from the injector's RNG, so a
+    /// fixed seed and call sequence plans the same faults every time. The
+    /// fault is only *planned* here — call [`RuntimeFault::arm`] to activate.
+    pub fn plan_runtime(
+        &mut self,
+        name: &str,
+        kind: RuntimeFaultKind,
+        n_rows: usize,
+    ) -> RuntimeFault {
+        let value = match kind {
+            RuntimeFaultKind::PanicOnRow => self.rng.random_range(0..n_rows.max(1) as u64),
+            RuntimeFaultKind::SlowJoinMs => self.rng.random_range(1..=5),
+        };
+        RuntimeFault { table: name.to_string(), kind, value }
+    }
+
     fn record(&mut self, table: &str, kind: FaultKind, detail: String) {
         self.manifest.push(InjectedFault { table: table.to_string(), kind, detail });
     }
@@ -282,6 +345,37 @@ mod tests {
         let mut inj = FaultInjector::new(1);
         let out = inj.inject("t", CSV, FaultKind::DuplicateHeader);
         assert!(out.starts_with("s1_id,s1_id,g\n"));
+    }
+
+    #[test]
+    fn runtime_plans_are_seed_deterministic_and_in_range() {
+        let plan = |seed| {
+            let mut inj = FaultInjector::new(seed);
+            (
+                inj.plan_runtime("t", RuntimeFaultKind::PanicOnRow, 50),
+                inj.plan_runtime("t", RuntimeFaultKind::SlowJoinMs, 50),
+            )
+        };
+        let (p, s) = plan(7);
+        assert_eq!((p.clone(), s.clone()), plan(7));
+        assert!(p.value < 50, "panic row inside the table: {}", p.value);
+        assert!((1..=5).contains(&s.value), "delay in ms range: {}", s.value);
+    }
+
+    #[test]
+    fn armed_runtime_fault_reaches_the_registry() {
+        // Unique table name: the registry is process-global and tests run
+        // in parallel.
+        let f = RuntimeFault {
+            table: "corruptor_rt_probe".into(),
+            kind: RuntimeFaultKind::PanicOnRow,
+            value: 3,
+        };
+        f.arm();
+        let got = autofeat_data::faults::lookup("corruptor_rt_probe").expect("armed");
+        assert_eq!(got.panic_on_row, Some(3));
+        autofeat_data::faults::disarm("corruptor_rt_probe");
+        assert!(autofeat_data::faults::lookup("corruptor_rt_probe").is_none());
     }
 
     #[test]

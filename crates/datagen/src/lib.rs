@@ -35,7 +35,7 @@ pub mod lake;
 pub mod registry;
 pub mod splitter;
 
-pub use corruptor::{FaultInjector, FaultKind, InjectedFault};
+pub use corruptor::{FaultInjector, FaultKind, InjectedFault, RuntimeFault, RuntimeFaultKind};
 pub use generator::{GroundTruth, GroundTruthConfig};
 pub use lake::{corrupt_to_lake, LakeConfig};
 pub use registry::{selection_study_datasets, table2_datasets, DatasetSpec};

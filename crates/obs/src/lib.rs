@@ -105,6 +105,13 @@ pub fn ambient_scope() -> TraceScope {
     })
 }
 
+/// The dotted span path currently open on this thread (`""` at the root,
+/// or when no tracer is installed). Used to label diagnostics — e.g. a
+/// worker-panic report — with the pipeline phase they occurred in.
+pub fn current_span_path() -> String {
+    AMBIENT.with(|a| a.borrow().prefix.clone())
+}
+
 /// Open a span named `name` under the current span path on the ambient
 /// tracer. Returns an RAII guard that records the elapsed wall time on
 /// drop; a no-op guard when no tracer is installed.

@@ -3,6 +3,9 @@
 //! ragged rows, dangling keys, NaN floats, duplicated headers), then run the
 //! whole pipeline — lenient ingestion with quarantine, per-path error
 //! isolation, NaN-safe ranking — and print the accounting at every layer.
+//! Finishes with a request-lifecycle demo: a pathologically slow join is
+//! armed and the run is cancelled from another thread, winding down into a
+//! ranked partial result instead of erroring.
 //!
 //! ```text
 //! cargo run --release --example fail_soft_lake
@@ -92,6 +95,36 @@ fn main() {
         .expect("training on surviving paths");
     let best = out.best_path.as_ref().map(|p| p.path.to_string()).unwrap_or_default();
     println!("\nTrained on best path `{best}`: accuracy {:.3}", out.result.mean_accuracy());
+
+    // ---- 6. Request lifecycle: cancel a run mid-flight. ----
+    //         Arm a pathological 10-second join and cancel from another
+    //         thread 50ms in. Cancellation is anytime semantics, not an
+    //         error: whatever was ranked before the cancel is returned, the
+    //         truncation reason and cancel latency are accounted, and the
+    //         same context runs again cleanly after a reset.
+    datagen::RuntimeFault {
+        table: "s0".into(),
+        kind: datagen::RuntimeFaultKind::SlowJoinMs,
+        value: 10_000,
+    }
+    .arm();
+    let ctrl = std::sync::Arc::clone(ctx.control());
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        ctrl.cancel();
+    });
+    let t0 = std::time::Instant::now();
+    let partial = AutoFeat::new(config).discover(&ctx).expect("cancellation is not an error");
+    canceller.join().expect("canceller thread");
+    autofeat::data::faults::disarm("s0");
+    println!(
+        "\nCancelled mid-run after {:?}: {} path(s) still ranked, cancel latency {:?}",
+        t0.elapsed(),
+        partial.ranked.len(),
+        partial.resilience.cancel_latency,
+    );
+    println!("\n{}", discovery_health_report(&partial));
+    ctx.control().reset();
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -67,10 +67,13 @@ pub mod prelude {
     pub use autofeat_core::{
         baselines::{run_arda, run_base, run_join_all, run_mab, ArdaConfig, JoinAllConfig, MabConfig},
         discovery_health_report, load_lake_dir, train_top_k, AutoFeat, AutoFeatConfig,
-        DiscoveryResult, LakeLoadReport, MethodResult, PathFailure, QuarantinedTable, RankedPath,
-        SearchContext, TrainOutcome, TruncationReason,
+        DegradeConfig, DiscoveryResult, LakeLoadReport, MethodResult, PathFailure, Phase,
+        QuarantinedTable, RankedPath, ResilienceStats, SearchContext, TrainOutcome,
+        TruncationReason,
     };
-    pub use autofeat_data::{CacheStats, Column, DType, LakeIndexCache, Table, Value};
+    pub use autofeat_data::{
+        CacheStats, Column, DType, Interrupt, LakeIndexCache, RunControl, Table, Value,
+    };
     pub use autofeat_discovery::{MatcherConfig, SchemaMatcher};
     pub use autofeat_graph::{Drg, DrgBuilder, JoinPath};
     pub use autofeat_metrics::{RedundancyMethod, RelevanceMethod};

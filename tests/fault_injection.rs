@@ -7,7 +7,7 @@ use std::collections::HashMap;
 
 use autofeat::core::{discovery_health_report, load_lake_dir, SearchContext};
 use autofeat::data::csv::{write_csv_str, CsvReadOptions};
-use autofeat::datagen::{self, FaultInjector, FaultKind};
+use autofeat::datagen::{self, FaultInjector, FaultKind, RuntimeFault, RuntimeFaultKind};
 use autofeat::prelude::*;
 
 /// Build a snowflake lake, corrupt it, and write it to a temp dir.
@@ -208,6 +208,103 @@ fn discovery_over_corrupted_lake_completes_and_ranks_healthy_paths() {
     assert!(out.result.mean_accuracy() > 0.0);
 
     std::fs::remove_dir_all(&lake.dir).ok();
+}
+
+/// A minimal base + single-satellite lake whose tables carry `prefix`-unique
+/// names, so armed runtime faults (keyed by table name, process-global)
+/// cannot leak into concurrently running tests.
+fn renamed_single_satellite_ctx(prefix: &str) -> (SearchContext, usize) {
+    let gt = datagen::generator::generate(&datagen::GroundTruthConfig {
+        n_rows: 120,
+        ..Default::default()
+    });
+    let sf = datagen::splitter::split(
+        &gt,
+        &datagen::SnowflakeConfig { n_satellites: 1, ..Default::default() },
+    );
+    let dir = std::env::temp_dir().join(format!("autofeat_fault_{prefix}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join(format!("{prefix}_base.csv")), write_csv_str(&sf.base)).unwrap();
+    std::fs::write(
+        dir.join(format!("{prefix}_s0.csv")),
+        write_csv_str(&sf.satellites[0]),
+    )
+    .unwrap();
+    let report = load_lake_dir(&dir, &CsvReadOptions::lenient()).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    let n_rows = sf.satellites[0].n_rows();
+    let kfk: Vec<(String, String, String, String)> = sf
+        .kfk
+        .iter()
+        .map(|e| {
+            (
+                format!("{prefix}_base"),
+                e.parent_column.clone(),
+                format!("{prefix}_s0"),
+                e.child_column.clone(),
+            )
+        })
+        .collect();
+    let ctx = SearchContext::from_kfk(
+        report.tables.clone(),
+        &kfk,
+        format!("{prefix}_base"),
+        sf.label.clone(),
+    )
+    .unwrap();
+    (ctx, n_rows)
+}
+
+#[test]
+fn planned_runtime_panic_is_isolated_and_heals_on_disarm() {
+    let (ctx, n_rows) = renamed_single_satellite_ctx("rtpanic");
+    let mut inj = FaultInjector::new(11);
+    let fault = inj.plan_runtime("rtpanic_s0", RuntimeFaultKind::PanicOnRow, n_rows);
+    assert!((fault.value as usize) < n_rows);
+    fault.arm();
+
+    // The armed panic fires inside a worker; the run must complete with the
+    // failure isolated and accounted, never abort the process.
+    let result = AutoFeat::paper().discover(&ctx).unwrap();
+    assert!(
+        result.failures.iter().any(|f| f.error.contains("panic"))
+            || result.resilience.worker_panics >= 1,
+        "the injected panic must surface as an isolated failure: {result:?}"
+    );
+    assert!(result.ranked.is_empty(), "the only path is poisoned");
+
+    autofeat::data::faults::disarm("rtpanic_s0");
+    let healed = AutoFeat::paper().discover(&ctx).unwrap();
+    assert!(healed.failures.is_empty(), "{:?}", healed.failures);
+    assert_eq!(healed.resilience.worker_panics, 0);
+    assert!(!healed.ranked.is_empty(), "disarming heals the lake");
+}
+
+#[test]
+fn planned_slow_join_trips_the_deadline_not_an_error() {
+    let (ctx, _) = renamed_single_satellite_ctx("rtslow");
+    // A join far slower than the budget: the deadline must truncate the run
+    // (anytime semantics), not error it, and the slow join's sleep must be
+    // interruptible rather than running to completion.
+    RuntimeFault { table: "rtslow_s0".into(), kind: RuntimeFaultKind::SlowJoinMs, value: 2_000 }
+        .arm();
+    let cfg = AutoFeatConfig::paper().with_time_budget(std::time::Duration::from_millis(40));
+    let t0 = std::time::Instant::now();
+    let result = AutoFeat::new(cfg).discover(&ctx).unwrap();
+    let elapsed = t0.elapsed();
+    autofeat::data::faults::disarm("rtslow_s0");
+    assert!(
+        matches!(result.truncation, Some(TruncationReason::DeadlineExceeded { .. })),
+        "expected deadline truncation, got {:?}",
+        result.truncation
+    );
+    assert!(
+        elapsed < std::time::Duration::from_millis(1_500),
+        "slow join must be interrupted, not slept through: {elapsed:?}"
+    );
+    let health = discovery_health_report(&result);
+    assert!(health.contains("time budget exhausted"), "{health}");
 }
 
 #[test]

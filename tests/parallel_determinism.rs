@@ -39,18 +39,20 @@ fn search_is_bit_identical_across_thread_counts_and_seeds() {
 }
 
 #[test]
-fn env_thread_override_matches_explicit_config() {
-    // AUTOFEAT_THREADS is honoured when config.threads == 0, and the result
-    // is the same as asking for that count explicitly.
+fn auto_thread_resolution_matches_explicit_config() {
+    // `threads == 0` defers to the process-wide worker count (AUTOFEAT_THREADS
+    // or the available parallelism, resolved once and cached) — and whatever
+    // it resolves to, the result is bit-identical to asking for that count
+    // explicitly. The CI resilience job runs the suite under
+    // AUTOFEAT_THREADS=1 and =4, so both env paths are covered there.
     let ctx = lake_ctx(100);
-    let explicit = AutoFeat::new(AutoFeatConfig::default().with_threads(2))
+    let resolved = autofeat::data::parallel::n_workers();
+    let explicit = AutoFeat::new(AutoFeatConfig::default().with_threads(resolved))
         .discover(&ctx)
         .unwrap();
-    std::env::set_var("AUTOFEAT_THREADS", "2");
-    let via_env = AutoFeat::new(AutoFeatConfig::default()).discover(&ctx).unwrap();
-    std::env::remove_var("AUTOFEAT_THREADS");
-    assert_eq!(via_env.threads_used, 2);
-    assert_bit_identical(&explicit, &via_env, "env override vs explicit");
+    let auto = AutoFeat::new(AutoFeatConfig::default()).discover(&ctx).unwrap();
+    assert_eq!(auto.threads_used, resolved);
+    assert_bit_identical(&explicit, &auto, "auto resolution vs explicit");
 }
 
 #[test]

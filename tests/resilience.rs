@@ -1,0 +1,191 @@
+//! Anytime semantics of the request lifecycle: deadlines and cancellation
+//! truncate a run into a valid, ranked partial result — never an `Err`,
+//! never a process abort — the truncation reason is visible in the health
+//! report, cancellation latency is bounded, and injected worker panics stay
+//! isolated per path at every thread count.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use autofeat::core::discovery_health_report;
+use autofeat::data::faults;
+use autofeat::datagen::{RuntimeFault, RuntimeFaultKind};
+use autofeat::prelude::*;
+
+mod common;
+use common::{assert_bit_identical, lake_ctx};
+
+/// Whatever survived truncation must still be a well-formed ranking:
+/// NaN-safe non-increasing scores and non-empty join paths. (Empty feature
+/// sets are legal — a gateway join can rank without contributing features.)
+fn assert_valid_ranking(r: &DiscoveryResult, what: &str) {
+    for w in r.ranked.windows(2) {
+        assert!(
+            w[0].score >= w[1].score || w[0].score.is_nan() || w[1].score.is_nan(),
+            "{what}: ranking out of order: {} then {}",
+            w[0].score,
+            w[1].score
+        );
+        assert!(
+            !w[0].score.is_nan() || w[1].score.is_nan(),
+            "{what}: NaN-scored path ranked above a finite one"
+        );
+    }
+    for p in &r.ranked {
+        assert!(!p.path.is_empty(), "{what}: ranked path with no hops");
+    }
+}
+
+/// base(k, target) — {prefix}_sat(k, signal): tiny lake whose satellite
+/// carries a unique name, so process-global runtime faults armed against it
+/// cannot leak into concurrently running tests.
+fn prefixed_ctx(prefix: &str, n: usize) -> SearchContext {
+    let labels: Vec<i64> = (0..n as i64).map(|i| i % 2).collect();
+    let base = Table::new(
+        format!("{prefix}_base"),
+        vec![
+            ("k", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+            ("target", Column::from_ints(labels.iter().copied().map(Some).collect::<Vec<_>>())),
+        ],
+    )
+    .unwrap();
+    let sat = Table::new(
+        format!("{prefix}_sat"),
+        vec![
+            ("k", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+            (
+                "signal",
+                Column::from_floats(labels.iter().map(|&l| Some(l as f64)).collect::<Vec<_>>()),
+            ),
+        ],
+    )
+    .unwrap();
+    SearchContext::from_kfk(
+        vec![base, sat],
+        &[(format!("{prefix}_base"), "k".into(), format!("{prefix}_sat"), "k".into())],
+        format!("{prefix}_base"),
+        "target",
+    )
+    .unwrap()
+}
+
+#[test]
+fn every_deadline_yields_a_valid_possibly_truncated_ranking() {
+    let ctx = lake_ctx(150);
+    // ∞ (no budget): the reference — and repeatable bit-identically.
+    let unbounded =
+        AutoFeat::new(AutoFeatConfig::default().with_seed(7)).discover(&ctx).unwrap();
+    assert!(!unbounded.ranked.is_empty());
+    assert_eq!(unbounded.truncation, None);
+    assert_eq!(unbounded.resilience, ResilienceStats::default());
+    let again = AutoFeat::new(AutoFeatConfig::default().with_seed(7)).discover(&ctx).unwrap();
+    assert_bit_identical(&unbounded, &again, "no deadline, repeated");
+
+    for ms in [0u64, 5, 50] {
+        let cfg = AutoFeatConfig::default()
+            .with_seed(7)
+            .with_time_budget(Duration::from_millis(ms));
+        let r = AutoFeat::new(cfg).discover(&ctx).unwrap();
+        assert_valid_ranking(&r, &format!("budget {ms}ms"));
+        if ms == 0 {
+            assert!(
+                matches!(r.truncation, Some(TruncationReason::DeadlineExceeded { .. })),
+                "zero budget must truncate: {:?}",
+                r.truncation
+            );
+            assert!(r.ranked.is_empty(), "nothing can be evaluated in 0ms");
+        }
+        if r.truncation.is_some() {
+            let health = discovery_health_report(&r);
+            assert!(
+                health.contains("truncated: time budget exhausted during"),
+                "truncation reason missing from health report:\n{health}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cancel_from_another_thread_is_bounded_and_reported() {
+    let ctx = prefixed_ctx("rsl_cancel", 200);
+    // A join that would take ~10s: the run can only finish via the cancel.
+    RuntimeFault {
+        table: "rsl_cancel_sat".into(),
+        kind: RuntimeFaultKind::SlowJoinMs,
+        value: 10_000,
+    }
+    .arm();
+    let ctrl = Arc::clone(ctx.control());
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(30));
+        ctrl.cancel();
+    });
+    let r = AutoFeat::new(AutoFeatConfig::default()).discover(&ctx).unwrap();
+    canceller.join().unwrap();
+    faults::disarm("rsl_cancel_sat");
+
+    assert_eq!(r.truncation, Some(TruncationReason::Cancelled));
+    let latency = r.resilience.cancel_latency.expect("cancel was observed mid-run");
+    assert!(
+        latency < Duration::from_millis(250),
+        "cancel must cut the slow join short, latency {latency:?}"
+    );
+    let health = discovery_health_report(&r);
+    assert!(health.contains("truncated: cancelled"), "{health}");
+    assert!(health.contains("cancel latency"), "{health}");
+
+    // Anytime, not terminal: reset the control and the same context runs to
+    // a healthy completion.
+    ctx.control().reset();
+    let healed = AutoFeat::new(AutoFeatConfig::default()).discover(&ctx).unwrap();
+    assert_eq!(healed.truncation, None);
+    assert!(!healed.ranked.is_empty());
+}
+
+#[test]
+fn injected_panic_never_aborts_at_any_thread_count() {
+    for threads in [1usize, 4] {
+        let ctx = prefixed_ctx(&format!("rsl_panic{threads}"), 150);
+        RuntimeFault {
+            table: format!("rsl_panic{threads}_sat"),
+            kind: RuntimeFaultKind::PanicOnRow,
+            value: 0,
+        }
+        .arm();
+        let r = AutoFeat::new(AutoFeatConfig::default().with_threads(threads))
+            .discover(&ctx)
+            .unwrap();
+        faults::disarm(&format!("rsl_panic{threads}_sat"));
+        assert!(
+            r.failures.iter().any(|f| f.error.contains("panic"))
+                || r.resilience.worker_panics >= 1,
+            "panic must be isolated and accounted ({threads} threads): {r:?}"
+        );
+        assert_eq!(r.truncation, None, "a panic is a path failure, not a truncation");
+        let health = discovery_health_report(&r);
+        assert!(health.contains("hop failure(s) isolated"), "{health}");
+    }
+}
+
+#[test]
+fn deadline_truncation_is_deterministic_under_a_pinned_clock_free_path() {
+    // The degradation ladder's first rung is decided by configuration alone
+    // (total budget < 1s), so two runs with the same tight budget make the
+    // same sample-shrink decision even if their wall clocks drift.
+    let ctx = lake_ctx(400);
+    let cfg = || {
+        AutoFeatConfig::default().with_seed(3).with_time_budget(Duration::from_millis(900))
+    };
+    let a = AutoFeat::new(cfg()).discover(&ctx).unwrap();
+    let b = AutoFeat::new(cfg()).discover(&ctx).unwrap();
+    assert!(
+        a.resilience.degradations.contains(&"shrunk sample"),
+        "sub-second budget must engage rung 1: {:?}",
+        a.resilience.degradations
+    );
+    assert_eq!(
+        a.resilience.degradations.contains(&"shrunk sample"),
+        b.resilience.degradations.contains(&"shrunk sample"),
+        "rung 1 is config-driven, not clock-driven"
+    );
+}
