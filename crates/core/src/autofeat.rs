@@ -34,6 +34,7 @@ use rand::SeedableRng;
 
 use autofeat_data::control;
 use autofeat_data::encode::label_encode_column;
+use autofeat_data::{cache, faults};
 use autofeat_obs as obs;
 use autofeat_obs::RunTrace;
 use autofeat_data::join::left_join_normalized;
@@ -347,28 +348,37 @@ impl AutoFeat {
             .control()
             .scoped(cfg.time_budget.and_then(|b| Instant::now().checked_add(b)));
         let _ctl_guard = control::install_ambient(Some(Arc::clone(&ctl)));
+        // Scope runtime fault injection to this context's lake: deep layers
+        // resolve faults against the context's domain first, so same-named
+        // tables in other concurrently-served contexts stay unaffected.
+        let _faults_guard =
+            faults::install_ambient_domain(Some(Arc::clone(ctx.fault_domain())));
         let total_budget = ctl.deadline().map(|d| d.saturating_duration_since(t0));
         let degrade_armed = cfg.degrade.enabled && total_budget.is_some();
         let mut degradations: Vec<&'static str> = Vec::new();
         let mut worker_panics = 0usize;
-        // Snapshot the shared cache's counters so the result can report this
-        // run's activity as a delta (the cache outlives individual runs).
-        let cache_start = cfg.cache.then(|| ctx.lake_cache().stats());
+        // Per-request cache attribution: an ambient recorder (re-installed
+        // by fan-out workers) credits every hit/miss/build/eviction to
+        // exactly this run. A before/after stats delta would misattribute
+        // the moment two runs share the cache concurrently.
+        let cache_recorder = cfg.cache.then(cache::CacheRecorder::new);
+        let _rec_guard = cache::install_recorder(cache_recorder.clone());
         // Apply the configured byte budget (config field, else the
         // AUTOFEAT_CACHE_BUDGET environment) before any join: a budget below
         // current residency evicts coldest-first, and the peak-resident
         // epoch restarts so this run reports its own high-water mark. A
         // budget-less run leaves the cache's standing budget untouched.
-        // Applied after the snapshot so the eviction burst of bringing an
-        // over-budget cache down to this run's budget is attributed to this
-        // run's stats delta.
+        // Applied with the recorder already installed, so the eviction burst
+        // of bringing an over-budget cache down to this run's budget is
+        // attributed to this run.
         if cfg.cache {
             if let Some(budget) = cfg.resolve_cache_budget() {
                 ctx.lake_cache().set_budget(Some(budget));
             }
         }
-        let cache_delta =
-            |start: &Option<CacheStats>| start.map(|s| ctx.lake_cache().stats().since(&s));
+        let cache_report = |rec: &Option<Arc<cache::CacheRecorder>>| {
+            rec.as_ref().map(|r| r.attributed(ctx.lake_cache()))
+        };
 
         // Stratified sample of the base table (only affects feature
         // selection, not final training — §VI). The RNG is used for the
@@ -454,7 +464,7 @@ impl AutoFeat {
                 elapsed: t0.elapsed(),
                 selected_features: Vec::new(),
                 threads_used: workers,
-                cache: cache_delta(&cache_start),
+                cache: cache_report(&cache_recorder),
                 trace: None,
                 resilience: ResilienceStats {
                     degradations,
@@ -503,10 +513,9 @@ impl AutoFeat {
                     });
                     break;
                 }
-                let pressure = cache_start.as_ref().is_some_and(|s| {
-                    ctx.lake_cache().stats().rejections.saturating_sub(s.rejections)
-                        >= cfg.degrade.rejection_pressure
-                });
+                let pressure = cache_recorder
+                    .as_ref()
+                    .is_some_and(|r| r.rejections() >= cfg.degrade.rejection_pressure);
                 if redundancy_scorer.is_some()
                     && (pressure
                         || frac.is_some_and(|f| f < cfg.degrade.skip_redundancy_below))
@@ -928,7 +937,7 @@ impl AutoFeat {
             elapsed: t0.elapsed(),
             selected_features: selected_union,
             threads_used: workers,
-            cache: cache_delta(&cache_start),
+            cache: cache_report(&cache_recorder),
             trace: None,
             resilience: ResilienceStats { degradations, worker_panics, cancel_latency },
         })

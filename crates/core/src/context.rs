@@ -6,7 +6,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use autofeat_data::csv::{read_csv_opts, CsvReadOptions, IngestDiagnostics};
-use autofeat_data::{DataError, LakeIndexCache, Result, RunControl, Table};
+use autofeat_data::{DataError, FaultDomain, LakeIndexCache, Result, RunControl, Table};
 use autofeat_obs as obs;
 use autofeat_discovery::SchemaMatcher;
 use autofeat_graph::{Drg, DrgBuilder};
@@ -104,14 +104,24 @@ fn fs_read_dir(dir: &Path) -> Result<Vec<std::path::PathBuf>> {
 /// with its label column, the joinability graph, and the lake-wide join-index
 /// cache shared (via `Arc` — clones of the context share one cache) by
 /// discovery, path materialization, and the baselines.
+///
+/// The lake-shaped state — tables, DRG, cache, fault domain — is all
+/// `Arc`-shared: cloning a context (or deriving a per-request view via
+/// [`with_base_label`](SearchContext::with_base_label)) is O(1) and never
+/// copies a table. Only `base`/`label` (the request's viewpoint) and the
+/// `control` handle are per-clone.
 #[derive(Debug, Clone)]
 pub struct SearchContext {
-    tables: HashMap<String, Table>,
+    tables: Arc<HashMap<String, Table>>,
     base: String,
     label: String,
-    drg: Drg,
+    drg: Arc<Drg>,
     cache: Arc<LakeIndexCache>,
     control: Arc<RunControl>,
+    /// Scope for runtime fault injection: faults armed through this handle
+    /// fire only for runs over *this* lake instance, so same-named tables
+    /// in other contexts stay unaffected (see `autofeat_data::faults`).
+    faults: Arc<FaultDomain>,
 }
 
 impl SearchContext {
@@ -134,13 +144,47 @@ impl SearchContext {
             return Err(DataError::ColumnNotFound { table: base, column: label });
         }
         Ok(SearchContext {
-            tables: map,
+            tables: Arc::new(map),
             base,
             label,
-            drg: drg.clone(),
+            drg: Arc::new(drg),
             cache: Arc::new(LakeIndexCache::new()),
             control: Arc::new(RunControl::new()),
+            faults: FaultDomain::new(),
         })
+    }
+
+    /// A per-request view of the same lake: shares the tables, DRG, cache,
+    /// and fault domain (all O(1) `Arc` clones), but looks at `base`/`label`
+    /// instead — validated exactly like [`SearchContext::new`]. The control
+    /// handle is shared too; use
+    /// [`with_request_control`](SearchContext::with_request_control) to give
+    /// the view its own.
+    pub fn with_base_label(
+        &self,
+        base: impl Into<String>,
+        label: impl Into<String>,
+    ) -> Result<SearchContext> {
+        let base = base.into();
+        let label = label.into();
+        let base_table = self.tables.get(&base).ok_or_else(|| {
+            DataError::Invalid(format!("base table `{base}` not in the collection"))
+        })?;
+        if !base_table.has_column(&label) {
+            return Err(DataError::ColumnNotFound { table: base, column: label });
+        }
+        let mut view = self.clone();
+        view.base = base;
+        view.label = label;
+        Ok(view)
+    }
+
+    /// Replace this context view's run control — e.g. with a fresh
+    /// [`RunControl::scoped`] child, so one request can be cancelled or
+    /// deadlined without touching its siblings over the same lake.
+    pub fn with_request_control(mut self, control: Arc<RunControl>) -> SearchContext {
+        self.control = control;
+        self
     }
 
     /// Build the *benchmark setting* context from tables plus known KFK
@@ -246,6 +290,14 @@ impl SearchContext {
         &self.control
     }
 
+    /// The fault-injection domain scoped to this lake instance. Arm
+    /// runtime faults through this handle (instead of the process-global
+    /// `autofeat_data::faults::arm`) when the fault should fire only for
+    /// runs over this context's tables.
+    pub fn fault_domain(&self) -> &Arc<FaultDomain> {
+        &self.faults
+    }
+
     /// Convenience for [`RunControl::cancel`] on the shared control: request
     /// that every in-flight pipeline stage on this context wind down and
     /// return its partial result.
@@ -325,6 +377,29 @@ mod tests {
         assert!(ctx.control().is_cancelled(), "clones share one control");
         ctx.control().reset();
         assert!(!clone.control().is_cancelled());
+    }
+
+    #[test]
+    fn base_label_view_shares_lake_state() {
+        let ctx = SearchContext::from_kfk(
+            tables(),
+            &[("base".into(), "k".into(), "ext".into(), "k".into())],
+            "base",
+            "target",
+        )
+        .unwrap();
+        let view = ctx.with_base_label("ext", "f").unwrap();
+        assert_eq!(view.base_name(), "ext");
+        assert_eq!(view.label(), "f");
+        assert!(std::ptr::eq(ctx.lake_cache(), view.lake_cache()), "one cache per lake");
+        assert_eq!(ctx.fault_domain().id(), view.fault_domain().id(), "one fault domain");
+        assert!(ctx.with_base_label("ghost", "f").is_err(), "unknown base rejected");
+        assert!(ctx.with_base_label("ext", "ghost").is_err(), "missing label rejected");
+        // A request-scoped control detaches the view from the shared one.
+        let scoped = ctx.control().scoped(None);
+        let req = view.with_request_control(scoped);
+        req.cancel();
+        assert!(!ctx.control().is_cancelled(), "request cancel stays scoped");
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod executor;
 pub mod ranking;
 pub mod report;
 pub mod seeding;
+pub mod service;
 pub mod train;
 pub mod tuning;
 
@@ -62,5 +63,6 @@ pub use executor::materialize_path;
 pub use ranking::compute_score;
 pub use report::{discovery_health_report, MethodResult};
 pub use seeding::{hop_seed, join_seed};
+pub use service::{DiscoveryRequest, DiscoveryService, PreparedRequest, ServiceStats};
 pub use train::{train_top_k, TrainOutcome};
 pub use tuning::{tune, TuningGrid, TuningOutcome};

@@ -1,0 +1,344 @@
+//! The resident discovery service: one loaded lake serving many
+//! concurrent discovery requests.
+//!
+//! [`AutoFeat::discover`] is a one-shot call; a [`DiscoveryService`] is the
+//! long-lived handle around it. It owns one [`SearchContext`] — the lake's
+//! tables, its DRG, the governed `LakeIndexCache`, the fault domain — and
+//! accepts [`DiscoveryRequest`]s from any number of threads at once. Every
+//! request gets:
+//!
+//! * a **request-scoped view** of the context (its own base table, target
+//!   label, and config — the lake state is `Arc`-shared, never copied or
+//!   mutably borrowed);
+//! * a **fresh scoped control**: a [`RunControl::scoped`] child of the
+//!   service-wide control, carrying the request's own deadline. Cancelling
+//!   one request never touches its siblings; [`shutdown`]
+//!   (`DiscoveryService::shutdown`) cancels the service-wide parent and
+//!   winds every in-flight request down to a valid partial result;
+//! * **request-attributed governance counters**: the `cache` stats on its
+//!   [`DiscoveryResult`] count this request's own hits/misses/builds, not
+//!   a racy delta of the shared cache (per-request recorders sum exactly
+//!   to the shared cache's global counters).
+//!
+//! Requests are served on the caller's thread (plus the shared fan-out
+//! worker pool in `autofeat_data::parallel`); the service itself spawns
+//! nothing. Identical requests are **bit-identical** whether run solo or
+//! concurrently with any mix of other requests — determinism is per-hop
+//! seeded and shared state is read-only or content-addressed (DESIGN.md
+//! §3i).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use autofeat_data::{CacheStats, Result, RunControl};
+
+use crate::autofeat::{AutoFeat, DiscoveryResult};
+use crate::config::AutoFeatConfig;
+use crate::context::SearchContext;
+
+/// One discovery request against a [`DiscoveryService`]: which base table
+/// and target label to discover for, under which configuration, with how
+/// much time. Every field defaults to the service's own (`None` = inherit).
+#[derive(Debug, Clone, Default)]
+pub struct DiscoveryRequest {
+    /// Base table name; `None` = the service context's base.
+    pub base: Option<String>,
+    /// Target (label) column on the base table; `None` = the service
+    /// context's label.
+    pub target: Option<String>,
+    /// Full per-request configuration; `None` = the service's base config.
+    pub config: Option<AutoFeatConfig>,
+    /// Per-request wall-clock budget, armed on the request's scoped
+    /// control. Composes with any `time_budget` inside the config (and the
+    /// service-wide control): the tightest deadline wins.
+    pub time_budget: Option<Duration>,
+}
+
+impl DiscoveryRequest {
+    /// A request that inherits everything from the service.
+    pub fn new() -> DiscoveryRequest {
+        DiscoveryRequest::default()
+    }
+
+    /// Discover for this base table instead of the service default.
+    pub fn with_base(mut self, base: impl Into<String>) -> DiscoveryRequest {
+        self.base = Some(base.into());
+        self
+    }
+
+    /// Discover for this target column instead of the service default.
+    pub fn with_target(mut self, target: impl Into<String>) -> DiscoveryRequest {
+        self.target = Some(target.into());
+        self
+    }
+
+    /// Use this configuration instead of the service's base config.
+    pub fn with_config(mut self, config: AutoFeatConfig) -> DiscoveryRequest {
+        self.config = Some(config);
+        self
+    }
+
+    /// Bound this request's wall-clock time.
+    pub fn with_time_budget(mut self, budget: Duration) -> DiscoveryRequest {
+        self.time_budget = Some(budget);
+        self
+    }
+}
+
+/// Service-level counters, for operators of a resident deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceStats {
+    /// Requests that have completed (successfully or with an error).
+    pub requests_served: u64,
+    /// Requests currently executing.
+    pub in_flight: u64,
+    /// The shared cache's global counters (all requests combined).
+    pub cache: CacheStats,
+}
+
+/// A long-lived discovery service over one loaded lake. See the module
+/// docs for the serving model; [`submit`](DiscoveryService::submit) is the
+/// whole API for most callers and is safe to call from many threads at
+/// once (`&self`, no interior `&mut` on shared lake state).
+#[derive(Debug)]
+pub struct DiscoveryService {
+    ctx: SearchContext,
+    base_config: AutoFeatConfig,
+    /// Service-wide control: the parent of every request's scoped control.
+    /// This is the context's own handle, so `ctx.cancel()` and
+    /// [`shutdown`](DiscoveryService::shutdown) are the same lever.
+    control: Arc<RunControl>,
+    served: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+impl DiscoveryService {
+    /// Wrap a loaded lake context into a resident service. `base_config`
+    /// is the default configuration for requests that do not carry their
+    /// own.
+    pub fn new(ctx: SearchContext, base_config: AutoFeatConfig) -> DiscoveryService {
+        let control = Arc::clone(ctx.control());
+        DiscoveryService { ctx, base_config, control, served: AtomicU64::new(0), in_flight: AtomicU64::new(0) }
+    }
+
+    /// The underlying lake context (shared state: tables, DRG, cache).
+    pub fn context(&self) -> &SearchContext {
+        &self.ctx
+    }
+
+    /// The default configuration applied to requests without their own.
+    pub fn base_config(&self) -> &AutoFeatConfig {
+        &self.base_config
+    }
+
+    /// The service-wide control. Cancelling it (equivalently:
+    /// [`shutdown`](DiscoveryService::shutdown)) interrupts every in-flight
+    /// and future request at its next cooperative checkpoint.
+    pub fn control(&self) -> &Arc<RunControl> {
+        &self.control
+    }
+
+    /// Cancel the service-wide control: every in-flight request winds down
+    /// to a valid ranked partial (anytime semantics, DESIGN.md §3h), and
+    /// every later submit returns immediately with a cancelled truncation.
+    pub fn shutdown(&self) {
+        self.control.cancel();
+    }
+
+    /// Has [`shutdown`](DiscoveryService::shutdown) been requested?
+    pub fn is_shut_down(&self) -> bool {
+        self.control.is_cancelled()
+    }
+
+    /// Point-in-time service counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests_served: self.served.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            cache: self.ctx.lake_cache().stats(),
+        }
+    }
+
+    /// Validate `req` and bind it to a request-scoped context view and a
+    /// fresh scoped control, without running it yet. Use the returned
+    /// handle's [`control`](PreparedRequest::control) to cancel this one
+    /// request from another thread, then [`run`](PreparedRequest::run) it.
+    pub fn prepare(&self, req: &DiscoveryRequest) -> Result<PreparedRequest<'_>> {
+        let config = req.config.clone().unwrap_or_else(|| self.base_config.clone());
+        let base = req.base.as_deref().unwrap_or_else(|| self.ctx.base_name());
+        let target = req.target.as_deref().unwrap_or_else(|| self.ctx.label());
+        let view = self.ctx.with_base_label(base, target)?;
+        // Fresh scoped control per request: a cancel or deadline here is
+        // invisible to sibling requests, a service-wide cancel reaches
+        // every child, and no reset-reuse hazard exists because nothing is
+        // ever reset (each request's control is born clean).
+        let deadline = req.time_budget.and_then(|b| Instant::now().checked_add(b));
+        let control = self.control.scoped(deadline);
+        let ctx = view.with_request_control(Arc::clone(&control));
+        Ok(PreparedRequest { service: self, ctx, config, control })
+    }
+
+    /// Serve one request to completion on the calling thread. Concurrent
+    /// submits interleave freely; each returns its own independent
+    /// [`DiscoveryResult`], bit-identical to the same request served solo.
+    pub fn submit(&self, req: &DiscoveryRequest) -> Result<DiscoveryResult> {
+        self.prepare(req)?.run()
+    }
+}
+
+/// A validated, bound, not-yet-running request from
+/// [`DiscoveryService::prepare`].
+#[derive(Debug)]
+pub struct PreparedRequest<'a> {
+    service: &'a DiscoveryService,
+    ctx: SearchContext,
+    config: AutoFeatConfig,
+    control: Arc<RunControl>,
+}
+
+impl PreparedRequest<'_> {
+    /// This request's own control: cancel it to interrupt just this
+    /// request (clone the `Arc` into whatever thread should hold the
+    /// trigger before calling [`run`](PreparedRequest::run)).
+    pub fn control(&self) -> &Arc<RunControl> {
+        &self.control
+    }
+
+    /// The request-scoped context view this request will run against.
+    pub fn context(&self) -> &SearchContext {
+        &self.ctx
+    }
+
+    /// Run the request on the calling thread.
+    pub fn run(self) -> Result<DiscoveryResult> {
+        struct InFlight<'s>(&'s DiscoveryService);
+        impl Drop for InFlight<'_> {
+            fn drop(&mut self) {
+                self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
+                self.0.served.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.service.in_flight.fetch_add(1, Ordering::Relaxed);
+        let _guard = InFlight(self.service);
+        AutoFeat::new(self.config).discover(&self.ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autofeat::TruncationReason;
+    use autofeat_data::{Column, Table};
+
+    /// base(k, target) — sat(k, f): one hop, enough for ranked output.
+    fn service_ctx(n: i64) -> SearchContext {
+        let base = Table::new(
+            "base",
+            vec![
+                ("k", Column::from_ints((0..n).map(Some).collect::<Vec<_>>())),
+                (
+                    "target",
+                    Column::from_ints((0..n).map(|i| Some(i % 2)).collect::<Vec<_>>()),
+                ),
+            ],
+        )
+        .unwrap();
+        let sat = Table::new(
+            "sat",
+            vec![
+                ("k", Column::from_ints((0..n).map(Some).collect::<Vec<_>>())),
+                (
+                    "f",
+                    Column::from_floats(
+                        (0..n).map(|i| Some(((i % 2) * 100 + i) as f64)).collect::<Vec<_>>(),
+                    ),
+                ),
+            ],
+        )
+        .unwrap();
+        SearchContext::from_kfk(
+            vec![base, sat],
+            &[("base".into(), "k".into(), "sat".into(), "k".into())],
+            "base",
+            "target",
+        )
+        .unwrap()
+    }
+
+    fn assert_same_ranking(a: &DiscoveryResult, b: &DiscoveryResult) {
+        assert_eq!(a.ranked.len(), b.ranked.len());
+        for (x, y) in a.ranked.iter().zip(&b.ranked) {
+            assert_eq!(x.path, y.path);
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "bit-identical scores");
+            assert_eq!(x.features, y.features);
+        }
+        assert_eq!(a.selected_features, b.selected_features);
+    }
+
+    #[test]
+    fn service_request_matches_one_shot_run() {
+        let cfg = AutoFeatConfig::default();
+        let solo = AutoFeat::new(cfg.clone()).discover(&service_ctx(40)).unwrap();
+        let service = DiscoveryService::new(service_ctx(40), cfg);
+        let via_service = service.submit(&DiscoveryRequest::new()).unwrap();
+        assert_same_ranking(&solo, &via_service);
+        assert_eq!(service.stats().requests_served, 1);
+        assert_eq!(service.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn unknown_base_or_target_is_rejected() {
+        let service = DiscoveryService::new(service_ctx(20), AutoFeatConfig::default());
+        assert!(service.submit(&DiscoveryRequest::new().with_base("ghost")).is_err());
+        assert!(service.submit(&DiscoveryRequest::new().with_target("ghost")).is_err());
+        assert_eq!(service.stats().requests_served, 0, "rejected before running");
+    }
+
+    #[test]
+    fn shutdown_truncates_new_requests_but_stays_ok() {
+        let service = DiscoveryService::new(service_ctx(30), AutoFeatConfig::default());
+        service.shutdown();
+        assert!(service.is_shut_down());
+        let r = service.submit(&DiscoveryRequest::new()).unwrap();
+        assert_eq!(r.truncation, Some(TruncationReason::Cancelled), "anytime semantics");
+    }
+
+    #[test]
+    fn request_deadline_does_not_leak_to_siblings() {
+        let service = DiscoveryService::new(service_ctx(40), AutoFeatConfig::default());
+        let starved = service
+            .submit(&DiscoveryRequest::new().with_time_budget(Duration::ZERO))
+            .unwrap();
+        assert!(
+            matches!(starved.truncation, Some(TruncationReason::DeadlineExceeded { .. })),
+            "zero budget truncates: {:?}",
+            starved.truncation
+        );
+        let healthy = service.submit(&DiscoveryRequest::new()).unwrap();
+        assert_eq!(healthy.truncation, None, "sibling unaffected by expired deadline");
+        assert!(!healthy.ranked.is_empty());
+    }
+
+    #[test]
+    fn cancelling_one_prepared_request_spares_the_rest() {
+        let service = DiscoveryService::new(service_ctx(40), AutoFeatConfig::default());
+        let prepared = service.prepare(&DiscoveryRequest::new()).unwrap();
+        prepared.control().cancel();
+        let cancelled = prepared.run().unwrap();
+        assert_eq!(cancelled.truncation, Some(TruncationReason::Cancelled));
+        let healthy = service.submit(&DiscoveryRequest::new()).unwrap();
+        assert_eq!(healthy.truncation, None);
+        assert!(!service.is_shut_down());
+    }
+
+    #[test]
+    fn per_request_config_overrides_base_config() {
+        let wide = AutoFeatConfig { top_k: 5, ..AutoFeatConfig::default() };
+        let narrow_cfg = AutoFeatConfig { top_k: 1, ..AutoFeatConfig::default() };
+        let service = DiscoveryService::new(service_ctx(40), wide);
+        let narrow =
+            service.submit(&DiscoveryRequest::new().with_config(narrow_cfg)).unwrap();
+        assert!(narrow.ranked.len() <= 1, "request config wins");
+    }
+}

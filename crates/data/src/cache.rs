@@ -189,6 +189,104 @@ impl CacheStats {
     }
 }
 
+/// Per-request cache activity counters, for attribution when several
+/// requests share one [`LakeIndexCache`].
+///
+/// A before/after [`CacheStats::since`] delta misattributes work the moment
+/// two runs overlap: request A's hits land in request B's delta. Instead,
+/// each run creates a recorder, installs it ambiently
+/// ([`install_recorder`]; fan-out workers re-install their spawner's, like
+/// the ambient [`crate::control`]), and the cache mirrors every counter
+/// bump into the recorder of the thread doing the work — so a hit is
+/// credited to exactly the request that probed, a build to the request
+/// whose worker won the build race, an eviction to the request whose
+/// budget application triggered it. Summing all concurrent recorders
+/// reproduces the cache's global counter delta exactly.
+#[derive(Debug, Default)]
+pub struct CacheRecorder {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    build_nanos: AtomicU64,
+    evictions: AtomicU64,
+    evicted_bytes: AtomicU64,
+    rejections: AtomicU64,
+    lock_recoveries: AtomicU64,
+    build_panics: AtomicU64,
+}
+
+impl CacheRecorder {
+    /// A fresh recorder, ready to share with fan-out workers.
+    pub fn new() -> Arc<CacheRecorder> {
+        Arc::new(CacheRecorder::default())
+    }
+
+    /// Admission rejections attributed to this request so far (the
+    /// degradation ladder's cache-pressure signal).
+    pub fn rejections(&self) -> u64 {
+        self.rejections.load(Ordering::Relaxed)
+    }
+
+    /// This request's activity as a [`CacheStats`]: the monotonic counters
+    /// are **this request's own work**; the occupancy fields
+    /// (resident/entries/peak/budget) are read from `cache`, since
+    /// occupancy describes the shared structure, not any one request.
+    pub fn attributed(&self, cache: &LakeIndexCache) -> CacheStats {
+        let occupancy = cache.stats();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            build_time: Duration::from_nanos(self.build_nanos.load(Ordering::Relaxed)),
+            resident_bytes: occupancy.resident_bytes,
+            entries: occupancy.entries,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
+            rejections: self.rejections.load(Ordering::Relaxed),
+            peak_resident_bytes: occupancy.peak_resident_bytes,
+            budget_bytes: occupancy.budget_bytes,
+            lock_recoveries: self.lock_recoveries.load(Ordering::Relaxed),
+            build_panics: self.build_panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+thread_local! {
+    static AMBIENT_RECORDER: std::cell::RefCell<Option<Arc<CacheRecorder>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Install `rec` as this thread's ambient cache recorder for the guard's
+/// lifetime (the previous recorder is restored on drop, also on panic).
+pub fn install_recorder(rec: Option<Arc<CacheRecorder>>) -> RecorderGuard {
+    let prev = AMBIENT_RECORDER.with(|r| std::mem::replace(&mut *r.borrow_mut(), rec));
+    RecorderGuard(Some(prev))
+}
+
+/// RAII guard from [`install_recorder`].
+pub struct RecorderGuard(Option<Option<Arc<CacheRecorder>>>);
+
+impl Drop for RecorderGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.0.take() {
+            AMBIENT_RECORDER.with(|r| *r.borrow_mut() = prev);
+        }
+    }
+}
+
+/// The cache recorder currently installed on this thread, if any.
+pub fn ambient_recorder() -> Option<Arc<CacheRecorder>> {
+    AMBIENT_RECORDER.with(|r| r.borrow().clone())
+}
+
+/// Mirror one counter bump into the ambient recorder, if installed. One
+/// thread-local read when no request is recording.
+fn record(f: impl FnOnce(&CacheRecorder)) {
+    AMBIENT_RECORDER.with(|r| {
+        if let Some(rec) = r.borrow().as_deref() {
+            f(rec);
+        }
+    });
+}
+
 type Entry = Arc<OnceLock<Arc<JoinIndex>>>;
 
 /// One cached `(table, join column)` pair. `bytes` is zero until the built
@@ -260,6 +358,12 @@ impl Governor {
         self.evicted_bytes += slot.bytes;
         obs::incr("cache.evictions");
         obs::add("cache.evicted_bytes", slot.bytes);
+        // Evictions run on the thread applying the budget, so the ambient
+        // recorder attributes them to the request that caused them.
+        record(|r| {
+            r.evictions.fetch_add(1, Ordering::Relaxed);
+            r.evicted_bytes.fetch_add(slot.bytes, Ordering::Relaxed);
+        });
         // The slot's `cell` (and the Arc'd index inside) drops here; any
         // in-flight join still holding a clone keeps the index alive.
         true
@@ -336,6 +440,9 @@ impl LakeIndexCache {
     fn note_lock_recovery(&self) {
         self.lock_recoveries.fetch_add(1, Ordering::Relaxed);
         obs::incr("cache.lock_recoveries");
+        record(|r| {
+            r.lock_recoveries.fetch_add(1, Ordering::Relaxed);
+        });
     }
 
     /// (Re)apply a byte budget. When the new budget is below current
@@ -404,6 +511,9 @@ impl LakeIndexCache {
                 obs::record_secs("cache.index_build_secs", elapsed.as_secs_f64());
                 self.build_nanos
                     .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+                record(|r| {
+                    r.build_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+                });
                 index
             }))
         }));
@@ -413,6 +523,9 @@ impl LakeIndexCache {
                 self.forget_unbuilt(table.name(), column, &entry);
                 self.build_panics.fetch_add(1, Ordering::Relaxed);
                 obs::incr("cache.build_panics");
+                record(|r| {
+                    r.build_panics.fetch_add(1, Ordering::Relaxed);
+                });
                 return Err(DataError::BuildPanicked {
                     table: table.name().to_string(),
                     message: crate::parallel::payload_message(payload),
@@ -425,10 +538,16 @@ impl LakeIndexCache {
         if built {
             self.misses.fetch_add(1, Ordering::Relaxed);
             obs::incr("cache.misses");
+            record(|r| {
+                r.misses.fetch_add(1, Ordering::Relaxed);
+            });
             self.admit(table.name(), column, &entry, &index);
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
             obs::incr("cache.hits");
+            record(|r| {
+                r.hits.fetch_add(1, Ordering::Relaxed);
+            });
         }
         Ok(index)
     }
@@ -598,6 +717,9 @@ impl LakeIndexCache {
             }
             gov.rejections += 1;
             obs::incr("cache.admission_rejected");
+            record(|r| {
+                r.rejections.fetch_add(1, Ordering::Relaxed);
+            });
         } else {
             bucket[i].bytes = bytes;
             gov.resident += bytes;
@@ -633,6 +755,54 @@ mod tests {
     fn one_index_bytes() -> u64 {
         let t = lake_table("probe", 6);
         JoinIndex::build(&t, t.column("key").unwrap()).resident_bytes() as u64
+    }
+
+    #[test]
+    fn recorders_attribute_activity_per_request() {
+        let cache = LakeIndexCache::with_budget(None);
+        let l = base();
+        let r = lake_table("rec_attr_sat", 6);
+        let a = CacheRecorder::new();
+        let b = CacheRecorder::new();
+        {
+            let _g = install_recorder(Some(Arc::clone(&a)));
+            cache.left_join_normalized(&l, &r, "id", "key", "s", 1).unwrap(); // miss
+            cache.left_join_normalized(&l, &r, "id", "key", "s", 2).unwrap(); // hit
+        }
+        {
+            let _g = install_recorder(Some(Arc::clone(&b)));
+            cache.left_join_normalized(&l, &r, "id", "key", "s", 3).unwrap(); // hit
+        }
+        let sa = a.attributed(&cache);
+        let sb = b.attributed(&cache);
+        assert_eq!((sa.hits, sa.misses), (1, 1), "request A built once, hit once");
+        assert_eq!((sb.hits, sb.misses), (1, 0), "request B only hit");
+        assert!(sa.build_time > Duration::ZERO, "build time lands on the builder");
+        assert_eq!(sb.build_time, Duration::ZERO);
+        let global = cache.stats();
+        assert_eq!(global.hits, sa.hits + sb.hits, "recorders sum to the global delta");
+        assert_eq!(global.misses, sa.misses + sb.misses);
+        assert_eq!(sa.resident_bytes, global.resident_bytes, "occupancy is shared state");
+        assert!(ambient_recorder().is_none(), "guards restored");
+    }
+
+    #[test]
+    fn recorder_attributes_evictions_to_the_budget_applier() {
+        let cache = LakeIndexCache::with_budget(None);
+        let l = base();
+        for name in ["rec_ev_a", "rec_ev_b"] {
+            let r = lake_table(name, 6);
+            cache.left_join_normalized(&l, &r, "id", "key", "p", 1).unwrap();
+        }
+        let rec = CacheRecorder::new();
+        {
+            let _g = install_recorder(Some(Arc::clone(&rec)));
+            cache.set_budget(Some(one_index_bytes())); // evicts one of the two
+        }
+        let s = rec.attributed(&cache);
+        assert_eq!(s.evictions, 1, "the eviction burst lands on the applying request");
+        assert!(s.evicted_bytes > 0);
+        assert_eq!((s.hits, s.misses), (0, 0), "no join activity recorded");
     }
 
     #[test]

@@ -32,7 +32,7 @@
 
 use std::cell::RefCell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
@@ -67,9 +67,18 @@ pub struct RunControl {
     /// clock.
     cancelled_at: RwLock<Option<Instant>>,
     deadline: RwLock<Option<Instant>>,
+    /// Monotonic count of effective `cancel()` calls. Unlike the flag it is
+    /// **never cleared by [`reset`](RunControl::reset)**: scoped children
+    /// compare it against the value they saw at birth, so a cancel aimed at
+    /// a still-draining run survives a reset issued for the next one.
+    cancel_epoch: AtomicU64,
     /// Run-scoped controls chain to the context-wide control so either can
     /// interrupt (and the tighter deadline wins).
     parent: Option<Arc<RunControl>>,
+    /// The parent's `cancel_epoch` when this child was created. A parent
+    /// cancel counts for this child iff it happened at or before the
+    /// child's lifetime (live flag) or strictly after this snapshot.
+    parent_epoch: u64,
 }
 
 impl RunControl {
@@ -87,7 +96,9 @@ impl RunControl {
             cancelled: AtomicBool::new(false),
             cancelled_at: RwLock::new(None),
             deadline: RwLock::new(deadline),
+            cancel_epoch: AtomicU64::new(0),
             parent: Some(Arc::clone(self)),
+            parent_epoch: self.cancel_epoch.load(Ordering::SeqCst),
         })
     }
 
@@ -95,16 +106,30 @@ impl RunControl {
     /// cancel-latency clock. Takes effect at the next cooperative poll.
     pub fn cancel(&self) {
         if !self.cancelled.swap(true, Ordering::SeqCst) {
+            self.cancel_epoch.fetch_add(1, Ordering::SeqCst);
             if let Ok(mut at) = self.cancelled_at.write() {
                 at.get_or_insert_with(Instant::now);
             }
         }
     }
 
+    /// Has a cancel targeted this control during the lifetime of a child
+    /// born when this control's epoch was `birth_epoch`? True when the flag
+    /// is currently up, when a cancel has landed since the snapshot (even
+    /// if a later [`reset`](RunControl::reset) cleared the flag), or when
+    /// the same holds transitively for a parent.
+    fn cancelled_since(&self, birth_epoch: u64) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+            || self.cancel_epoch.load(Ordering::Relaxed) > birth_epoch
+            || self.parent.as_ref().is_some_and(|p| p.cancelled_since(self.parent_epoch))
+    }
+
     /// Has [`cancel`](RunControl::cancel) been called (here or on a parent)?
+    /// A parent cancel is sticky for this child even if the parent is
+    /// `reset()` while the child is still draining.
     pub fn is_cancelled(&self) -> bool {
         self.cancelled.load(Ordering::Relaxed)
-            || self.parent.as_ref().is_some_and(|p| p.is_cancelled())
+            || self.parent.as_ref().is_some_and(|p| p.cancelled_since(self.parent_epoch))
     }
 
     /// When cancellation was first requested (here or on a parent).
@@ -165,6 +190,11 @@ impl RunControl {
 
     /// Clear this control's own cancel flag and deadline (parents are
     /// untouched), so a context-owned control can be reused run to run.
+    ///
+    /// Reset is **generation-safe**: the cancel epoch is deliberately not
+    /// cleared, so scoped children created before a cancel keep reporting
+    /// [`Interrupt::Cancelled`] even when the reset races with their drain,
+    /// while children created after the reset start clean.
     pub fn reset(&self) {
         self.cancelled.store(false, Ordering::SeqCst);
         if let Ok(mut at) = self.cancelled_at.write() {
@@ -273,6 +303,39 @@ mod tests {
         ctl.reset();
         assert_eq!(ctl.interrupted(), None);
         assert_eq!(ctl.cancelled_at(), None);
+    }
+
+    #[test]
+    fn reset_during_drain_does_not_swallow_child_cancel() {
+        let parent = Arc::new(RunControl::new());
+        let draining = parent.scoped(None);
+        parent.cancel();
+        // The next request resets the shared control while the cancelled
+        // run is still winding down — the cancel must stay visible to it.
+        parent.reset();
+        assert_eq!(
+            draining.interrupted(),
+            Some(Interrupt::Cancelled),
+            "reset during drain must not swallow the cancel"
+        );
+        assert!(draining.is_cancelled());
+        // But the reset does take: the parent itself and children born
+        // after it start clean.
+        assert!(!parent.is_cancelled());
+        let fresh = parent.scoped(None);
+        assert_eq!(fresh.interrupted(), None, "post-reset children start clean");
+    }
+
+    #[test]
+    fn repeated_cancel_reset_cycles_track_generations() {
+        let parent = Arc::new(RunControl::new());
+        for _ in 0..3 {
+            let child = parent.scoped(None);
+            assert!(!child.is_cancelled(), "new generation starts clean");
+            parent.cancel();
+            parent.reset();
+            assert!(child.is_cancelled(), "own generation's cancel is sticky");
+        }
     }
 
     #[test]

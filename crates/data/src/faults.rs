@@ -7,14 +7,28 @@
 //! must not abort the run) and deadline enforcement (a slow join must not
 //! overrun the budget unchecked).
 //!
-//! Faults are keyed by **table name**, so concurrent tests in one binary
-//! stay independent as long as each uses unique table names. Production
-//! cost is a single relaxed atomic load per join/build when nothing is
-//! armed ([`lookup`] bails before touching the map).
+//! ## Scoping
+//!
+//! Faults are keyed by **(domain, table name)**. A [`FaultDomain`] is a
+//! handle identifying one lake/registry instance: each `SearchContext`
+//! owns one, installs it ambiently for the duration of a run (fan-out
+//! workers re-install it, mirroring [`crate::control`]), and every fault
+//! armed through the handle is disarmed when the handle drops. Two
+//! concurrent requests over lakes that happen to contain a same-named
+//! table therefore cannot arm each other's faults.
+//!
+//! The free functions [`arm`]/[`disarm`] target the **global domain**
+//! (id 0), which every lookup falls back to when its scoped domain has no
+//! entry — existing single-lake tests and the corruptor keep working
+//! unchanged, as long as they use unique table names.
+//!
+//! Production cost is a single relaxed atomic load per join/build when
+//! nothing is armed anywhere ([`lookup`] bails before touching the map).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{OnceLock, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Runtime faults armed for one table.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -34,44 +48,140 @@ impl TableFaults {
     }
 }
 
-static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+/// Domain id of the process-global registry targeted by the free
+/// [`arm`]/[`disarm`] functions; every scoped lookup falls back to it.
+const GLOBAL_DOMAIN: u64 = 0;
 
-fn registry() -> &'static RwLock<HashMap<String, TableFaults>> {
-    static REGISTRY: OnceLock<RwLock<HashMap<String, TableFaults>>> = OnceLock::new();
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+static NEXT_DOMAIN_ID: AtomicU64 = AtomicU64::new(1);
+
+type Registry = HashMap<u64, HashMap<String, TableFaults>>;
+
+fn registry() -> &'static RwLock<Registry> {
+    static REGISTRY: OnceLock<RwLock<Registry>> = OnceLock::new();
     REGISTRY.get_or_init(|| RwLock::new(HashMap::new()))
 }
 
-/// Arm `faults` for `table`, replacing anything previously armed for it.
-/// Arming an empty fault set is equivalent to [`disarm`].
-pub fn arm(table: &str, faults: TableFaults) {
+fn arm_in(domain: u64, table: &str, faults: TableFaults) {
     let Ok(mut map) = registry().write() else { return };
     if faults.is_empty() {
-        map.remove(table);
+        if let Some(inner) = map.get_mut(&domain) {
+            inner.remove(table);
+            if inner.is_empty() {
+                map.remove(&domain);
+            }
+        }
     } else {
-        map.insert(table.to_string(), faults);
+        map.entry(domain).or_default().insert(table.to_string(), faults);
     }
     ANY_ARMED.store(!map.is_empty(), Ordering::SeqCst);
 }
 
-/// Disarm all faults for `table`.
+/// A fault-registration scope tied to one lake/registry instance.
+///
+/// Faults armed through a domain are visible only to lookups running with
+/// that domain installed ambiently (plus the global fallback), and are
+/// disarmed wholesale when the last `Arc<FaultDomain>` clone drops.
+#[derive(Debug)]
+pub struct FaultDomain {
+    id: u64,
+}
+
+impl FaultDomain {
+    /// A fresh domain with a process-unique id.
+    pub fn new() -> Arc<FaultDomain> {
+        Arc::new(FaultDomain { id: NEXT_DOMAIN_ID.fetch_add(1, Ordering::SeqCst) })
+    }
+
+    /// This domain's unique id (0 is reserved for the global domain).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Arm `faults` for `table` within this domain, replacing anything
+    /// previously armed for it. An empty fault set disarms.
+    pub fn arm(&self, table: &str, faults: TableFaults) {
+        arm_in(self.id, table, faults);
+    }
+
+    /// Disarm all faults for `table` within this domain.
+    pub fn disarm(&self, table: &str) {
+        self.arm(table, TableFaults::default());
+    }
+}
+
+impl Drop for FaultDomain {
+    fn drop(&mut self) {
+        let Ok(mut map) = registry().write() else { return };
+        map.remove(&self.id);
+        ANY_ARMED.store(!map.is_empty(), Ordering::SeqCst);
+    }
+}
+
+/// Arm `faults` for `table` in the **global domain**, replacing anything
+/// previously armed for it. Arming an empty fault set is equivalent to
+/// [`disarm`]. Prefer [`FaultDomain::arm`] when the faults belong to one
+/// lake instance.
+pub fn arm(table: &str, faults: TableFaults) {
+    arm_in(GLOBAL_DOMAIN, table, faults);
+}
+
+/// Disarm all global-domain faults for `table`.
 pub fn disarm(table: &str) {
     arm(table, TableFaults::default());
 }
 
-/// Disarm every fault in the process.
+/// Disarm every fault in the process, across all domains.
 pub fn disarm_all() {
     let Ok(mut map) = registry().write() else { return };
     map.clear();
     ANY_ARMED.store(false, Ordering::SeqCst);
 }
 
-/// The faults armed for `table`, if any. One atomic load when the registry
-/// is empty — the production fast path.
+thread_local! {
+    static AMBIENT_DOMAIN: RefCell<Option<Arc<FaultDomain>>> = const { RefCell::new(None) };
+}
+
+/// Install `domain` as this thread's ambient fault domain for the guard's
+/// lifetime (the previous domain is restored on drop, also on panic).
+/// Fan-out workers call this with their spawner's domain so deep layers
+/// resolve scoped faults without plumbed handles.
+pub fn install_ambient_domain(domain: Option<Arc<FaultDomain>>) -> DomainGuard {
+    let prev = AMBIENT_DOMAIN.with(|d| std::mem::replace(&mut *d.borrow_mut(), domain));
+    DomainGuard(Some(prev))
+}
+
+/// RAII guard from [`install_ambient_domain`].
+pub struct DomainGuard(Option<Option<Arc<FaultDomain>>>);
+
+impl Drop for DomainGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.0.take() {
+            AMBIENT_DOMAIN.with(|d| *d.borrow_mut() = prev);
+        }
+    }
+}
+
+/// The fault domain currently installed on this thread, if any.
+pub fn ambient_domain() -> Option<Arc<FaultDomain>> {
+    AMBIENT_DOMAIN.with(|d| d.borrow().clone())
+}
+
+/// The faults armed for `table`: the ambient domain's entry when one is
+/// installed and has it, falling back to the global domain. One atomic
+/// load when the registry is empty — the production fast path.
 pub fn lookup(table: &str) -> Option<TableFaults> {
     if !ANY_ARMED.load(Ordering::Relaxed) {
         return None;
     }
-    registry().read().ok().and_then(|map| map.get(table).copied())
+    let scoped = AMBIENT_DOMAIN.with(|d| d.borrow().as_ref().map(|dom| dom.id));
+    let map = registry().read().ok()?;
+    if let Some(id) = scoped {
+        if let Some(f) = map.get(&id).and_then(|inner| inner.get(table)) {
+            return Some(*f);
+        }
+    }
+    map.get(&GLOBAL_DOMAIN).and_then(|inner| inner.get(table)).copied()
 }
 
 #[cfg(test)]
@@ -103,5 +213,47 @@ mod tests {
         arm("faults_rt_a", TableFaults { panic_on_row: Some(0), slow_join_ms: None });
         assert_eq!(lookup("faults_rt_b"), None);
         disarm("faults_rt_a");
+    }
+
+    #[test]
+    fn domains_isolate_same_named_tables() {
+        let t = "faults_rt_shared_name";
+        let a = FaultDomain::new();
+        let b = FaultDomain::new();
+        a.arm(t, TableFaults { panic_on_row: Some(7), slow_join_ms: None });
+        {
+            let _g = install_ambient_domain(Some(Arc::clone(&a)));
+            assert_eq!(lookup(t).unwrap().panic_on_row, Some(7));
+        }
+        {
+            let _g = install_ambient_domain(Some(Arc::clone(&b)));
+            assert_eq!(lookup(t), None, "b must not see a's fault for the same table name");
+        }
+        assert_eq!(lookup(t), None, "no ambient domain: scoped faults invisible");
+    }
+
+    #[test]
+    fn scoped_lookup_falls_back_to_global() {
+        let t = "faults_rt_global_fallback";
+        let dom = FaultDomain::new();
+        arm(t, TableFaults { slow_join_ms: Some(9), panic_on_row: None });
+        {
+            let _g = install_ambient_domain(Some(Arc::clone(&dom)));
+            assert_eq!(lookup(t).unwrap().slow_join_ms, Some(9), "global fault visible in scope");
+            dom.arm(t, TableFaults { slow_join_ms: Some(1), panic_on_row: None });
+            assert_eq!(lookup(t).unwrap().slow_join_ms, Some(1), "scoped entry wins");
+        }
+        disarm(t);
+    }
+
+    #[test]
+    fn dropping_domain_disarms_its_faults() {
+        let t = "faults_rt_drop_disarms";
+        let dom = FaultDomain::new();
+        dom.arm(t, TableFaults { panic_on_row: Some(1), slow_join_ms: None });
+        let id = dom.id();
+        drop(dom);
+        let map = registry().read().unwrap();
+        assert!(!map.contains_key(&id), "dropped domain leaves no entries behind");
     }
 }

@@ -53,10 +53,15 @@ pub mod stats;
 pub mod table;
 pub mod value;
 
-pub use cache::{env_cache_budget, parse_budget_bytes, CacheStats, LakeIndexCache, CACHE_BUDGET_ENV};
+pub use cache::{
+    env_cache_budget, parse_budget_bytes, CacheRecorder, CacheStats, LakeIndexCache,
+    CACHE_BUDGET_ENV,
+};
 pub use column::Column;
 pub use control::{Interrupt, RunControl};
 pub use error::{DataError, Result};
+pub use faults::FaultDomain;
+pub use parallel::WorkerPool;
 pub use schema::{Field, Schema};
 pub use table::Table;
 pub use value::{DType, Key, Value};

@@ -25,12 +25,57 @@
 //! worker panic there is resumed on the calling thread with the enriched
 //! context attached.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use crossbeam::thread;
 
 use crate::control::{self, Interrupt, RunControl};
+
+/// Everything a fan-out worker must re-install to behave as if it were the
+/// spawning thread: the run control, the request's cache recorder, the
+/// request's fault domain, and the tracing scope. Captured once on the
+/// caller, entered per job — so a **shared** worker thread serving many
+/// requests never leaks one request's ambient state into another's items.
+struct AmbientBundle {
+    ctl: Option<Arc<RunControl>>,
+    recorder: Option<Arc<crate::cache::CacheRecorder>>,
+    faults: Option<Arc<crate::faults::FaultDomain>>,
+    obs: autofeat_obs::TraceScope,
+}
+
+impl AmbientBundle {
+    /// Snapshot the calling thread's ambient state (`ctl` overrides the
+    /// ambient control: the explicit parameter is the source of truth).
+    fn capture(ctl: Option<&Arc<RunControl>>) -> AmbientBundle {
+        AmbientBundle {
+            ctl: ctl.cloned(),
+            recorder: crate::cache::ambient_recorder(),
+            faults: crate::faults::ambient_domain(),
+            obs: autofeat_obs::ambient_scope(),
+        }
+    }
+
+    /// Install the bundle on the current thread; everything is restored
+    /// when the returned guards drop (also on panic).
+    fn enter(
+        &self,
+    ) -> (
+        autofeat_obs::ScopeGuard,
+        control::AmbientGuard,
+        crate::cache::RecorderGuard,
+        crate::faults::DomainGuard,
+    ) {
+        (
+            self.obs.enter(),
+            control::install_ambient(self.ctl.clone()),
+            crate::cache::install_recorder(self.recorder.clone()),
+            crate::faults::install_ambient_domain(self.faults.clone()),
+        )
+    }
+}
 
 /// Parse an `AUTOFEAT_THREADS`-style value: a positive integer is an
 /// explicit count; `0`, `None`, or unparsable input means auto-detect via
@@ -161,38 +206,251 @@ where
             }),
         }
     };
-    if workers <= 1 || n_items <= 1 {
+    // `in_pool_worker`: a nested fan-out from inside a pool job runs
+    // inline — submitting to the pool from a pool thread could deadlock
+    // (every thread waiting on jobs only they could run).
+    if workers <= 1 || n_items <= 1 || in_pool_worker() {
         let _ctl_guard = control::install_ambient(ctl.cloned());
         return (0..n_items).map(run_item).collect();
     }
     let mut slots: Vec<Option<ItemOutcome<T>>> = (0..n_items).map(|_| None).collect();
     let run_ref = &run_item;
     let chunk_len = n_items.div_ceil(workers);
-    // Carry the caller's tracing scope into the workers, so spans recorded
-    // inside `make` nest under the phase that spawned the fan-out. Inert
-    // (one thread-local read, no allocation per worker) when tracing is
-    // disabled.
-    let obs_scope = autofeat_obs::ambient_scope();
-    let scope_result = thread::scope(|s| {
-        for (w, chunk) in slots.chunks_mut(chunk_len).enumerate() {
+    // Carry the caller's ambient state into the workers: the tracing scope
+    // (so spans recorded inside `make` nest under the phase that spawned
+    // the fan-out), the run control, and the request's cache recorder and
+    // fault domain. All inert (a thread-local read each, no allocation per
+    // worker) when the respective facility is unused.
+    let bundle = AmbientBundle::capture(ctl);
+    if let Some(pool) = shared_pool() {
+        // Reusable pool path: no OS thread spawned per fan-out. Chunks are
+        // handed to jobs through take-once cells; the scatter call blocks
+        // until every job has run, so the borrows stay alive throughout.
+        type TakeOnceChunk<'a, T> = Mutex<Option<&'a mut [Option<ItemOutcome<T>>]>>;
+        let chunks: Vec<TakeOnceChunk<'_, T>> =
+            slots.chunks_mut(chunk_len).map(|c| Mutex::new(Some(c))).collect();
+        let task = |w: usize| {
+            let Some(chunk) = chunks[w].lock().ok().and_then(|mut c| c.take()) else {
+                return;
+            };
+            let _guards = bundle.enter();
             let start = w * chunk_len;
-            let obs_scope = obs_scope.clone();
-            s.spawn(move |_| {
-                let _obs = obs_scope.enter();
-                let _ctl_guard = control::install_ambient(ctl.cloned());
-                for (off, slot) in chunk.iter_mut().enumerate() {
-                    *slot = Some(run_ref(start + off));
-                }
-            });
-        }
-    });
-    // Worker closures cannot unwind (every panic is caught per item), so a
-    // scope error would mean a panic in the harness itself.
-    scope_result.expect("fan-out scope failed outside item closures");
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                *slot = Some(run_ref(start + off));
+            }
+        };
+        pool.scatter(chunks.len(), &task);
+    } else {
+        let scope_result = thread::scope(|s| {
+            for (w, chunk) in slots.chunks_mut(chunk_len).enumerate() {
+                let start = w * chunk_len;
+                let bundle = &bundle;
+                s.spawn(move |_| {
+                    let _guards = bundle.enter();
+                    for (off, slot) in chunk.iter_mut().enumerate() {
+                        *slot = Some(run_ref(start + off));
+                    }
+                });
+            }
+        });
+        // Worker closures cannot unwind (every panic is caught per item),
+        // so a scope error would mean a panic in the harness itself.
+        scope_result.expect("fan-out scope failed outside item closures");
+    }
     slots
         .into_iter()
-        .map(|s| s.expect("every slot filled"))
+        .enumerate()
+        .map(|(i, s)| {
+            // An unfilled slot means the fan-out harness itself panicked
+            // around the item (the item closure is unwind-caught); surface
+            // it as a structured outcome instead of aborting the request.
+            s.unwrap_or_else(|| {
+                ItemOutcome::Panicked(WorkerPanic {
+                    item: i,
+                    phase: phase.clone(),
+                    message: "fan-out harness panicked before the item ran".to_string(),
+                })
+            })
+        })
         .collect()
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of long-lived worker threads fed from one shared
+/// queue.
+///
+/// Built for the serving path: every discovery request fans its per-level
+/// evaluation out through [`run_indexed_ctl`], and under a resident
+/// [`DiscoveryService`] that used to mean spawning (and joining) fresh OS
+/// threads per level per request. The pool amortizes thread creation
+/// across the process lifetime; requests interleave at chunk granularity.
+///
+/// Jobs re-install their spawner's ambient state (control, recorder, fault
+/// domain, trace scope) themselves — the pool schedules closures and
+/// nothing else, so a thread serving request A immediately after request B
+/// carries zero residue between them.
+pub struct WorkerPool {
+    inner: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("size", &self.handles.len()).finish()
+    }
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+thread_local! {
+    static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Is the current thread one of a [`WorkerPool`]'s workers?
+fn in_pool_worker() -> bool {
+    IN_POOL_WORKER.with(|f| f.get())
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `size` worker threads (at least one).
+    pub fn new(size: usize) -> WorkerPool {
+        let inner = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..size.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("autofeat-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { inner, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.handles.len()
+    }
+
+    fn submit(&self, job: Job) {
+        let Ok(mut q) = self.inner.queue.lock() else { return };
+        q.push_back(job);
+        drop(q);
+        self.inner.available.notify_one();
+    }
+
+    /// Run `task(w)` for every `w in 0..n_tasks` on the pool, blocking the
+    /// caller until all of them have finished. Tasks may run in any order
+    /// and interleave with other callers' tasks; a panicking task is
+    /// caught (the worker thread survives) and simply counts as finished.
+    ///
+    /// `task` is borrowed, not `'static`: the completion latch below keeps
+    /// the caller parked until the last job has dropped its reference, so
+    /// the erased lifetime can never be observed dangling.
+    pub fn scatter(&self, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        if n_tasks == 0 {
+            return;
+        }
+        struct Latch {
+            remaining: Mutex<usize>,
+            done: Condvar,
+        }
+        // Lifetime erasure for the non-'static task reference; see the
+        // latch argument above. The pointer is only ever dereferenced
+        // before the job decrements the latch.
+        struct TaskPtr(*const (dyn Fn(usize) + Sync));
+        unsafe impl Send for TaskPtr {}
+        impl TaskPtr {
+            /// SAFETY: caller must guarantee the pointee is still alive.
+            unsafe fn call(&self, w: usize) {
+                (*self.0)(w)
+            }
+        }
+        let latch = Arc::new(Latch { remaining: Mutex::new(n_tasks), done: Condvar::new() });
+        // SAFETY: lifetime erasure only — the latch wait below keeps `task`
+        // borrowed (and the caller parked) until the last job finishes.
+        let erased: *const (dyn Fn(usize) + Sync + 'static) = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(task)
+        };
+        for w in 0..n_tasks {
+            let latch = Arc::clone(&latch);
+            let ptr = TaskPtr(erased);
+            self.submit(Box::new(move || {
+                // SAFETY: the scatter caller blocks on the latch until this
+                // job (and every sibling) has decremented it, which happens
+                // strictly after this dereference — the borrow is alive.
+                let _ = catch_unwind(AssertUnwindSafe(|| unsafe { ptr.call(w) }));
+                let mut rem = latch.remaining.lock().unwrap_or_else(|e| e.into_inner());
+                *rem -= 1;
+                if *rem == 0 {
+                    latch.done.notify_all();
+                }
+            }));
+        }
+        let mut rem = latch.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        while *rem > 0 {
+            rem = latch.done.wait(rem).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.available.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    IN_POOL_WORKER.with(|f| f.set(true));
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = shared.available.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        job();
+    }
+}
+
+/// The process-wide shared pool used by [`run_indexed_ctl`], sized to
+/// [`n_workers`]. `None` when a single worker is configured (fan-outs run
+/// inline) or when the pool is disabled via `AUTOFEAT_POOL=0` (fan-outs
+/// fall back to per-call scoped threads). Created lazily on first use and
+/// lives for the rest of the process.
+pub fn shared_pool() -> Option<&'static WorkerPool> {
+    static POOL: OnceLock<Option<WorkerPool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let enabled = match std::env::var("AUTOFEAT_POOL") {
+            Ok(v) => !matches!(v.trim(), "0" | "off" | "false"),
+            Err(_) => true,
+        };
+        let size = n_workers();
+        (enabled && size > 1).then(|| WorkerPool::new(size))
+    })
+    .as_ref()
 }
 
 /// Build `n_items` values with `make(i)` across `workers` scoped threads,
@@ -364,5 +622,91 @@ mod tests {
         let outcomes = run_indexed_ctl(3, 6, Some(&ctl), |_| control::ambient().is_some());
         assert!(outcomes.into_iter().all(|o| o.done() == Some(true)));
         assert!(control::ambient().is_none(), "caller thread restored");
+    }
+
+    #[test]
+    fn workers_inherit_ambient_bundle() {
+        let rec = crate::cache::CacheRecorder::new();
+        let dom = crate::faults::FaultDomain::new();
+        let _rg = crate::cache::install_recorder(Some(Arc::clone(&rec)));
+        let _dg = crate::faults::install_ambient_domain(Some(Arc::clone(&dom)));
+        let outcomes = run_indexed_ctl(4, 8, None, |_| {
+            (
+                crate::cache::ambient_recorder().is_some(),
+                crate::faults::ambient_domain().map(|d| d.id()),
+            )
+        });
+        for o in outcomes {
+            let (has_recorder, domain) = o.done().expect("no faults injected");
+            assert!(has_recorder, "worker sees the spawner's cache recorder");
+            assert_eq!(domain, Some(dom.id()), "worker sees the spawner's fault domain");
+        }
+    }
+
+    #[test]
+    fn pool_scatter_runs_every_task_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.size(), 3);
+        let hits: Vec<AtomicUsize> = (0..17).map(|_| AtomicUsize::new(0)).collect();
+        let task = |w: usize| {
+            hits[w].fetch_add(1, Ordering::SeqCst);
+        };
+        pool.scatter(hits.len(), &task);
+        for (w, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "task {w} ran exactly once");
+        }
+        pool.scatter(0, &task); // zero tasks: returns immediately
+    }
+
+    #[test]
+    fn pool_survives_panicking_tasks() {
+        use std::sync::atomic::AtomicUsize;
+        let pool = WorkerPool::new(2);
+        let panicking = |w: usize| {
+            if w.is_multiple_of(2) {
+                panic!("injected task fault");
+            }
+        };
+        pool.scatter(6, &panicking);
+        let ran = AtomicUsize::new(0);
+        let counting = |_w: usize| {
+            ran.fetch_add(1, Ordering::SeqCst);
+        };
+        pool.scatter(5, &counting);
+        assert_eq!(ran.load(Ordering::SeqCst), 5, "workers survive caught task panics");
+    }
+
+    #[test]
+    fn pool_interleaves_concurrent_scatters() {
+        use std::sync::atomic::AtomicUsize;
+        let pool = WorkerPool::new(4);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let task = |_w: usize| {
+                        total.fetch_add(1, Ordering::SeqCst);
+                    };
+                    pool.scatter(25, &task);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 100, "4 concurrent clients × 25 tasks");
+    }
+
+    #[test]
+    fn nested_fan_out_runs_inline_without_deadlock() {
+        // A fan-out item that itself fans out must not submit to the pool
+        // (it runs inline instead) — with a pool of N threads all busy on
+        // outer items, nested submissions could otherwise deadlock.
+        let outcomes = run_indexed_ctl(4, 6, None, |i| {
+            let inner = run_indexed_ctl(4, 3, None, move |j| i * 10 + j);
+            inner.into_iter().map(|o| o.done().expect("inner item done")).collect::<Vec<_>>()
+        });
+        for (i, o) in outcomes.into_iter().enumerate() {
+            let inner = o.done().expect("outer item done");
+            assert_eq!(inner, vec![i * 10, i * 10 + 1, i * 10 + 2]);
+        }
     }
 }

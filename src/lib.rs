@@ -67,12 +67,13 @@ pub mod prelude {
     pub use autofeat_core::{
         baselines::{run_arda, run_base, run_join_all, run_mab, ArdaConfig, JoinAllConfig, MabConfig},
         discovery_health_report, load_lake_dir, train_top_k, AutoFeat, AutoFeatConfig,
-        DegradeConfig, DiscoveryResult, LakeLoadReport, MethodResult, PathFailure, Phase,
-        QuarantinedTable, RankedPath, ResilienceStats, SearchContext, TrainOutcome,
-        TruncationReason,
+        DegradeConfig, DiscoveryRequest, DiscoveryResult, DiscoveryService, LakeLoadReport,
+        MethodResult, PathFailure, Phase, PreparedRequest, QuarantinedTable, RankedPath,
+        ResilienceStats, SearchContext, ServiceStats, TrainOutcome, TruncationReason,
     };
     pub use autofeat_data::{
-        CacheStats, Column, DType, Interrupt, LakeIndexCache, RunControl, Table, Value,
+        CacheRecorder, CacheStats, Column, DType, FaultDomain, Interrupt, LakeIndexCache,
+        RunControl, Table, Value,
     };
     pub use autofeat_discovery::{MatcherConfig, SchemaMatcher};
     pub use autofeat_graph::{Drg, DrgBuilder, JoinPath};
