@@ -1,0 +1,114 @@
+//! Criterion: the hot-path kernels behind path evaluation — join-index
+//! construction (hashed vs. dictionary-coded), index probing, and the
+//! scoring primitives (discretization, ranking, MI histograms).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use autofeat_data::join::{left_join_with_index, JoinIndex};
+use autofeat_data::{Column, Table};
+use autofeat_metrics::discretize::discretize_equal_frequency;
+use autofeat_metrics::mi::{mutual_information, mutual_information_corrected};
+use autofeat_metrics::ranks::{average_ranks, average_ranks_into};
+
+/// A right table with `n` distinct keys × `dup` rows per key, and the
+/// matching left table. `keyed` controls whether ingest key metadata
+/// (dictionaries + fingerprints) is attached.
+fn join_tables(n: usize, dup: usize, keyed: bool) -> (Table, Table) {
+    let left = Table::new(
+        "l",
+        vec![
+            ("k", Column::from_ints((0..n as i64).map(Some).collect::<Vec<_>>())),
+            ("x", Column::from_floats((0..n).map(|i| Some(i as f64)).collect::<Vec<_>>())),
+        ],
+    )
+    .unwrap();
+    let m = n * dup;
+    // Shuffle-ish key order so the coded build's scatter pass is not a
+    // straight sequential write.
+    let rkeys: Vec<Option<i64>> = (0..m).map(|i| Some(((i * 7 + 3) % m / dup) as i64)).collect();
+    let rvals: Vec<Option<f64>> = rkeys.iter().map(|k| k.map(|v| v as f64)).collect();
+    let right = Table::new(
+        "r",
+        vec![("k", Column::from_ints(rkeys)), ("v", Column::from_floats(rvals))],
+    )
+    .unwrap();
+    let right = if keyed { right.with_key_dicts() } else { right };
+    (left, right)
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(20);
+    for &n in &[5_000usize, 20_000] {
+        let (_, hashed) = join_tables(n, 3, false);
+        let hcol = hashed.column("k").unwrap().clone();
+        group.bench_with_input(BenchmarkId::new("hashed", n), &n, |b, _| {
+            b.iter(|| black_box(JoinIndex::build(&hashed, &hcol)))
+        });
+        let (_, coded) = join_tables(n, 3, true);
+        let ccol = coded.column("k").unwrap().clone();
+        group.bench_with_input(BenchmarkId::new("dict_coded", n), &n, |b, _| {
+            b.iter(|| black_box(JoinIndex::build(&coded, &ccol)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_probe");
+    group.sample_size(20);
+    for &keyed in &[false, true] {
+        let (l, r) = join_tables(10_000, 3, keyed);
+        let rcol = r.column("k").unwrap().clone();
+        let idx = JoinIndex::build(&r, &rcol);
+        let name = if keyed { "dict_coded" } else { "hashed" };
+        group.bench_with_input(BenchmarkId::new(name, 10_000), &keyed, |b, _| {
+            b.iter(|| {
+                black_box(left_join_with_index(&l, &r, &idx, "k", "r", 1).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scoring_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scoring_kernels");
+    group.sample_size(20);
+    // High-cardinality continuous column: the distinct-cap early exit and
+    // the single quantile sort carry this case.
+    let continuous: Vec<f64> = (0..20_000).map(|i| ((i * 37 + 11) % 19_997) as f64).collect();
+    group.bench_function("discretize_continuous_20k", |b| {
+        b.iter(|| black_box(discretize_equal_frequency(black_box(&continuous), 10)))
+    });
+    // Low-cardinality column: the discrete passthrough.
+    let discrete: Vec<f64> = (0..20_000).map(|i| (i % 7) as f64).collect();
+    group.bench_function("discretize_discrete_20k", |b| {
+        b.iter(|| black_box(discretize_equal_frequency(black_box(&discrete), 10)))
+    });
+
+    group.bench_function("average_ranks_alloc_20k", |b| {
+        b.iter(|| black_box(average_ranks(black_box(&continuous))))
+    });
+    let mut idx = Vec::new();
+    let mut ranks = Vec::new();
+    group.bench_function("average_ranks_into_20k", |b| {
+        b.iter(|| {
+            average_ranks_into(black_box(&continuous), &mut idx, &mut ranks);
+            black_box(ranks.last().copied())
+        })
+    });
+
+    let dx = discretize_equal_frequency(&continuous, 10);
+    let dy = discretize_equal_frequency(&discrete, 10);
+    group.bench_function("mi_histogram_20k", |b| {
+        b.iter(|| black_box(mutual_information(black_box(&dx), black_box(&dy))))
+    });
+    group.bench_function("mi_corrected_20k", |b| {
+        b.iter(|| black_box(mutual_information_corrected(black_box(&dx), black_box(&dy))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build, bench_probe, bench_scoring_kernels);
+criterion_main!(benches);

@@ -124,6 +124,17 @@ pub struct SearchContext {
     faults: Arc<FaultDomain>,
 }
 
+/// Attach ingest-built key metadata (dictionaries + row fingerprints) to
+/// any table that lacks it. CSV ingest and datagen already attach theirs;
+/// this covers hand-built tables entering through the convenience
+/// constructors.
+fn ensure_key_meta(tables: Vec<Table>) -> Vec<Table> {
+    tables
+        .into_iter()
+        .map(|t| if t.has_key_meta() { t } else { t.with_key_dicts() })
+        .collect()
+}
+
 impl SearchContext {
     /// Build from tables, an explicit DRG, the base-table name, and the
     /// label column.
@@ -189,12 +200,19 @@ impl SearchContext {
 
     /// Build the *benchmark setting* context from tables plus known KFK
     /// edges `(parent_table, parent_column, child_table, child_column)`.
+    ///
+    /// Tables without ingest-built key metadata get it here (one-time cost,
+    /// outside any discovery run), so index builds over the lake always take
+    /// the dictionary-coded fast path. Pass tables through
+    /// `Table::strip_key_meta` via [`SearchContext::new`] to opt out (the
+    /// throughput bench does, to measure the hashed path).
     pub fn from_kfk(
         tables: Vec<Table>,
         kfk: &[(String, String, String, String)],
         base: impl Into<String>,
         label: impl Into<String>,
     ) -> Result<Self> {
+        let tables = ensure_key_meta(tables);
         let mut b = DrgBuilder::new();
         for t in &tables {
             b.add_table(t.name());
@@ -227,7 +245,7 @@ impl SearchContext {
             .collect();
         let refs: Vec<&Table> = stripped.iter().collect();
         let drg = Drg::from_discovery(&refs, matcher);
-        SearchContext::new(tables, drg, base, label)
+        SearchContext::new(ensure_key_meta(tables), drg, base, label)
     }
 
     /// The base table.

@@ -41,6 +41,12 @@
 //! deducted on eviction. Transient builds — admission denials, and the
 //! degraded path that hands out unowned entries when the governor lock is
 //! poisoned — never touch residency, so stats cannot report phantom memory.
+//! Dictionary-coded indexes (built when the keyed table carries a
+//! [`KeyDict`](crate::keydict::KeyDict)) follow the same rule: the dict is
+//! owned by the lake table — charged to
+//! [`Table::key_meta_bytes`](crate::table::Table::key_meta_bytes), shared by
+//! every index over that column — so `JoinIndex::resident_bytes` counts only
+//! the per-index group and duplicate arrays the cache actually retains.
 //!
 //! ## Resilience
 //!

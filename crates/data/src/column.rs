@@ -368,9 +368,18 @@ impl Column {
     /// Extract the numeric view as a dense vector, with `f64::NAN` at nulls
     /// and for string cells.
     pub fn to_f64_lossy(&self) -> Vec<f64> {
-        (0..self.len())
-            .map(|i| self.get_f64(i).unwrap_or(f64::NAN))
-            .collect()
+        let mut out = Vec::new();
+        self.write_f64_lossy(&mut out);
+        out
+    }
+
+    /// [`Column::to_f64_lossy`] into a caller-owned buffer (cleared first),
+    /// so hot loops extracting one column after another reuse a single
+    /// warm allocation instead of growing a fresh vec per column.
+    pub fn write_f64_lossy(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.len());
+        out.extend((0..self.len()).map(|i| self.get_f64(i).unwrap_or(f64::NAN)));
     }
 }
 

@@ -10,16 +10,48 @@ use std::collections::HashMap;
 
 use crate::column::Column;
 use crate::error::{DataError, Result};
+use crate::keydict::{KeyDict, NULL_CODE};
 use crate::table::Table;
 use crate::value::Key;
 
 /// Label-encode one column: non-numeric values become integer codes in order
 /// of first appearance; numeric columns are returned unchanged.
 pub fn label_encode_column(col: &Column) -> Column {
+    label_encode_column_with_dict(col, None)
+}
+
+/// [`label_encode_column`] with an optional ingest-built [`KeyDict`] for the
+/// column. With a dictionary the per-row work collapses to an array lookup:
+/// a dense `dict code → label code` remap table is filled in order of first
+/// appearance, so the **output is byte-identical** to the dictionary-less
+/// path (same first-appearance code assignment) without hashing a single
+/// cell. Callers obtain the dictionary via `Table::key_dict_for`, which
+/// already guarantees freshness.
+pub fn label_encode_column_with_dict(col: &Column, dict: Option<&KeyDict>) -> Column {
     match col {
         Column::Int(_) | Column::Float(_) => col.clone(),
         Column::Bool(v) => Column::from_ints(v.iter().map(|b| b.map(i64::from))),
         Column::Str(_) => {
+            if let Some(d) = dict.filter(|d| d.n_rows() == col.len()) {
+                let mut remap: Vec<i64> = vec![-1; d.len()];
+                let mut next = 0i64;
+                let out: Vec<Option<i64>> = d
+                    .row_codes()
+                    .iter()
+                    .map(|&c| {
+                        if c == NULL_CODE {
+                            return None;
+                        }
+                        let slot = &mut remap[c as usize];
+                        if *slot < 0 {
+                            *slot = next;
+                            next += 1;
+                        }
+                        Some(*slot)
+                    })
+                    .collect();
+                return Column::from_ints(out);
+            }
             let mut codes: HashMap<Key, i64> = HashMap::new();
             let mut out: Vec<Option<i64>> = Vec::with_capacity(col.len());
             for i in 0..col.len() {
@@ -37,14 +69,16 @@ pub fn label_encode_column(col: &Column) -> Column {
     }
 }
 
-/// Label-encode every non-numeric column of a table.
+/// Label-encode every non-numeric column of a table, reusing ingest-built
+/// key dictionaries where the table carries them.
 pub fn label_encode(table: &Table) -> Result<Table> {
     let mut t = table.clone();
     let names: Vec<String> = table.column_names().iter().map(|s| s.to_string()).collect();
     for name in names {
         let col = table.column(&name)?;
         if !col.dtype().is_numeric() {
-            t = t.replace_column(&name, label_encode_column(col))?;
+            let dict = table.key_dict_for(col).map(|d| d.as_ref());
+            t = t.replace_column(&name, label_encode_column_with_dict(col, dict))?;
         }
     }
     Ok(t)
@@ -114,7 +148,9 @@ pub fn to_matrix(table: &Table, features: &[&str], label: &str) -> Result<Matrix
             "label column `{label}` must not be among the features"
         )));
     }
-    let label_col = label_encode_column(table.column(label)?);
+    let raw_label = table.column(label)?;
+    let label_col =
+        label_encode_column_with_dict(raw_label, table.key_dict_for(raw_label).map(|d| d.as_ref()));
     // Keep rows with a non-null label.
     let keep: Vec<usize> = (0..label_col.len())
         .filter(|&i| label_col.get_f64(i).is_some())
@@ -127,7 +163,8 @@ pub fn to_matrix(table: &Table, features: &[&str], label: &str) -> Result<Matrix
     let mut cols = Vec::with_capacity(features.len());
     let mut names = Vec::with_capacity(features.len());
     for &f in features {
-        let col = label_encode_column(table.column(f)?);
+        let raw = table.column(f)?;
+        let col = label_encode_column_with_dict(raw, table.key_dict_for(raw).map(|d| d.as_ref()));
         cols.push(
             keep.iter()
                 .map(|&i| col.get_f64(i).unwrap_or(f64::NAN))
@@ -162,6 +199,49 @@ mod tests {
         assert_eq!(c.get(0), Value::Int(0));
         assert_eq!(c.get(1), Value::Int(1));
         assert_eq!(c.get(2), Value::Int(0));
+    }
+
+    #[test]
+    fn dict_reuse_matches_hashed_encoding_exactly() {
+        // Same column, with and without an ingest-built dictionary: the
+        // dictionary path must reproduce the first-appearance codes
+        // byte for byte, whatever order the dictionary assigned its own.
+        let vals = [Some("b"), Some("a"), None, Some("b"), Some("c"), Some("a")];
+        let col = Column::from_strs(vals);
+        let keyed = Table::new("t", vec![("cat", col.clone())]).unwrap().with_key_dicts();
+        let kcol = keyed.column("cat").unwrap();
+        let dict = keyed.key_dict_for(kcol).expect("dictionary built at ingest");
+        let plain = label_encode_column(&col);
+        let via_dict = label_encode_column_with_dict(kcol, Some(dict));
+        assert_eq!(plain, via_dict);
+        assert_eq!(plain.get(0), Value::Int(0)); // b first
+        assert_eq!(plain.get(1), Value::Int(1)); // a second
+        assert_eq!(plain.get(2), Value::Null);
+        // A stale dictionary (row count mismatch) is ignored, not trusted.
+        let shorter = Column::from_strs([Some("b"), Some("a")]);
+        let enc = label_encode_column_with_dict(&shorter, Some(dict));
+        assert_eq!(enc, label_encode_column(&shorter));
+    }
+
+    #[test]
+    fn table_encoding_reuses_dicts() {
+        let plain = label_encode(&table()).unwrap();
+        let keyed = label_encode(&table().with_key_dicts()).unwrap();
+        assert_eq!(plain, keyed);
+    }
+
+    #[test]
+    fn matrix_is_identical_with_and_without_dicts() {
+        let a = to_matrix(&table(), &["num", "cat", "flag"], "y").unwrap();
+        let b = to_matrix(&table().with_key_dicts(), &["num", "cat", "flag"], "y").unwrap();
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.cols.len(), b.cols.len());
+        for (ca, cb) in a.cols.iter().zip(&b.cols) {
+            assert_eq!(
+                ca.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                cb.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

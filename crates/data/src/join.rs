@@ -33,11 +33,13 @@
 
 use std::collections::{HashMap, HashSet};
 use std::hash::Hasher;
+use std::sync::Arc;
 
 use autofeat_obs as obs;
 
 use crate::column::Column;
 use crate::error::Result;
+use crate::keydict::{KeyDict, NULL_CODE};
 use crate::stable_hash::{mix_u64, StableHasher};
 use crate::table::Table;
 use crate::value::Key;
@@ -146,22 +148,64 @@ type ScratchMap = HashMap<Key, ScratchGroup, std::hash::BuildHasherDefault<Stabl
 /// lake-wide cache serve the parallel discovery fan-out.
 #[derive(Debug, Clone)]
 pub struct JoinIndex {
+    /// Hashed representation: key → group. Empty when `coded` is set.
     groups: GroupMap,
+    /// Dictionary-coded representation, used when the right table carries
+    /// ingest-built key metadata. Mutually exclusive with a populated
+    /// `groups` map.
+    coded: Option<CodedGroups>,
     /// All duplicate-key candidates, contiguous, grouped per key (each
     /// `KeyGroup::Dups` owns one disjoint range, in-key row order).
     dups: Vec<(u64, u32)>,
     n_rows: usize,
 }
 
+/// The dictionary-coded group table: `groups[code]` is the key group of the
+/// dictionary's code `code`. Probes resolve `Key → code` through the shared
+/// lake-owned dictionary (one FNV probe, same cost as the hashed map), but
+/// the **build** degrades to a counting sort over the precomputed row codes
+/// — no per-row key materialization, hashing, or map insertion — which is
+/// where the hashed path spent its time.
+#[derive(Debug, Clone)]
+struct CodedGroups {
+    dict: Arc<KeyDict>,
+    groups: Vec<KeyGroup>,
+    /// Row-only duplicate candidates (each `KeyGroup::Dups` range indexes
+    /// here, in-key row order). Fingerprints are *not* copied per dup: the
+    /// representative pick reads them through `row_fps`, so a retained
+    /// coded index pins 4 bytes per duplicate row instead of 16 — the
+    /// lake-wide cache holds dozens of these, and the smaller resident set
+    /// is what keeps cold cached runs within their uncached ratio bound.
+    dup_rows: Vec<u32>,
+    /// The right table's ingest-built fingerprint vector, shared by `Arc`
+    /// (lake-owned, charged to `Table::key_meta_bytes`). `None` only when
+    /// the table had a fresh dictionary but invalidated fingerprints (e.g.
+    /// after `with_column`); that build falls back to the shared
+    /// `JoinIndex::dups` fingerprint array.
+    row_fps: Option<Arc<Vec<u64>>>,
+}
+
+/// Placeholder row index for a code with no surviving rows. Cannot occur
+/// when the dictionary is fresh (every code has ≥ 1 row by construction);
+/// guarded in [`JoinIndex::representative`] anyway so a logic error shows
+/// up as a non-match instead of an out-of-bounds row.
+const ABSENT_ROW: u32 = u32::MAX;
+
 impl JoinIndex {
     /// Build the index for `right` grouped by its `right_key` column.
     /// Fingerprints are only computed for keys with ≥ 2 rows, so unique-key
     /// tables pay nothing beyond the grouping.
     ///
-    /// The build runs in two phases: a scratch grouping pass (per-key `Vec`s,
-    /// growth-chained map — all transient, freed before returning), then a
-    /// compaction into exactly-sized storage: one group map allocated at
-    /// final capacity and one contiguous dup array. A *retained* index —
+    /// When the right table carries ingest-built key metadata
+    /// ([`Table::with_key_dicts`]), the build dispatches to the
+    /// dictionary-coded counting sort (see [`CodedGroups`]); otherwise it
+    /// falls back to the hashed build. Both produce indexes whose joins are
+    /// bit-identical.
+    ///
+    /// The hashed build runs in two phases: a scratch grouping pass (per-key
+    /// `Vec`s, growth-chained map — all transient, freed before returning),
+    /// then a compaction into exactly-sized storage: one group map allocated
+    /// at final capacity and one contiguous dup array. A *retained* index —
     /// the lake-wide cache holds hundreds — therefore pins two uniform heap
     /// blocks instead of thousands of growth-sized ones. The earlier layout
     /// (an owned `Vec` per duplicated key, map kept at its grown capacity)
@@ -173,6 +217,104 @@ impl JoinIndex {
         // Resilience-test hook: an armed `panic_on_row` fault simulates a
         // poisoned table mid-build. One relaxed atomic load when disarmed.
         let panic_row = crate::faults::lookup(right.name()).and_then(|f| f.panic_on_row);
+        if let Some(dict) = right.key_dict_for(right_key) {
+            return Self::build_coded(right, Arc::clone(dict), panic_row);
+        }
+        Self::build_hashed(right, right_key, panic_row)
+    }
+
+    /// Counting-sort build over a dictionary-carrying column: one histogram
+    /// pass over the precomputed `u32` row codes sizes every group, a second
+    /// pass scatters rows (and, for duplicated keys, their fingerprints)
+    /// into exactly-sized storage. Per-key duplicate lists come out in row
+    /// order — the same order the hashed build's insertion produces — and
+    /// fingerprints reuse the ingest-built row fingerprints when fresh, so
+    /// the resulting index is **bit-identical** to a hashed build of the
+    /// same data (asserted by the `coded_*` tests below).
+    fn build_coded(right: &Table, dict: Arc<KeyDict>, panic_row: Option<usize>) -> JoinIndex {
+        let codes = dict.row_codes();
+        let n_keys = dict.len();
+        // Pass 1: rows per code (the counting-sort histogram).
+        let mut counts = vec![0u32; n_keys];
+        for (row, &c) in codes.iter().enumerate() {
+            if panic_row == Some(row) {
+                panic!(
+                    "injected fault: panic_on_row {row} building index for table `{}`",
+                    right.name()
+                );
+            }
+            if c != NULL_CODE {
+                counts[c as usize] += 1;
+            }
+        }
+        // Lay out groups: unique codes resolve in place, duplicated codes
+        // reserve disjoint ranges of the shared dup array.
+        let mut groups = vec![KeyGroup::Unique(ABSENT_ROW); n_keys];
+        let mut cursor = vec![0u32; n_keys];
+        let mut n_dup_rows = 0usize;
+        for (code, &cnt) in counts.iter().enumerate() {
+            if cnt >= 2 {
+                cursor[code] = n_dup_rows as u32;
+                groups[code] = KeyGroup::Dups { start: n_dup_rows as u32, len: cnt };
+                n_dup_rows += cnt as usize;
+            }
+        }
+        // Pass 2: scatter rows. Fingerprints are only needed for duplicated
+        // keys; with fresh ingest-built per-row fingerprints the index just
+        // shares the table's vector (`Arc` clone, zero copies) and stores
+        // row ids alone. The cell-hashing fallback (stale fingerprints,
+        // fresh dictionary) copies per-dup fingerprints as before.
+        let n_rows = codes.len();
+        if let Some(fps_arc) = right.row_fps_arc() {
+            let mut dup_rows = vec![0u32; n_dup_rows];
+            for (row, &c) in codes.iter().enumerate() {
+                if c == NULL_CODE {
+                    continue;
+                }
+                let code = c as usize;
+                if counts[code] == 1 {
+                    groups[code] = KeyGroup::Unique(row as u32);
+                } else {
+                    dup_rows[cursor[code] as usize] = row as u32;
+                    cursor[code] += 1;
+                }
+            }
+            return JoinIndex {
+                groups: GroupMap::default(),
+                coded: Some(CodedGroups {
+                    dict,
+                    groups,
+                    dup_rows,
+                    row_fps: Some(Arc::clone(fps_arc)),
+                }),
+                dups: Vec::new(),
+                n_rows,
+            };
+        }
+        let mut dups = vec![(0u64, 0u32); n_dup_rows];
+        for (row, &c) in codes.iter().enumerate() {
+            if c == NULL_CODE {
+                continue;
+            }
+            let code = c as usize;
+            if counts[code] == 1 {
+                groups[code] = KeyGroup::Unique(row as u32);
+            } else {
+                dups[cursor[code] as usize] = (content_fingerprint(right, row), row as u32);
+                cursor[code] += 1;
+            }
+        }
+        JoinIndex {
+            groups: GroupMap::default(),
+            coded: Some(CodedGroups { dict, groups, dup_rows: Vec::new(), row_fps: None }),
+            dups,
+            n_rows,
+        }
+    }
+
+    /// The original hashed build, used for tables without key metadata
+    /// (join outputs, ad-hoc tables).
+    fn build_hashed(right: &Table, right_key: &Column, panic_row: Option<usize>) -> JoinIndex {
         let mut scratch: ScratchMap = ScratchMap::default();
         let mut n_dup_rows = 0usize;
         for row in 0..right_key.len() {
@@ -224,7 +366,7 @@ impl JoinIndex {
             };
             groups.insert(key, packed);
         }
-        JoinIndex { groups, dups, n_rows: right_key.len() }
+        JoinIndex { groups, coded: None, dups, n_rows: right_key.len() }
     }
 
     /// The representative row for `key` under `seed`, or `None` when the key
@@ -234,19 +376,42 @@ impl JoinIndex {
     /// row content, where any pick is value-equivalent; the lower row index
     /// breaks them for full in-table determinism).
     pub fn representative(&self, key: &Key, seed: u64) -> Option<usize> {
-        match self.groups.get(key)? {
+        let group = match &self.coded {
+            Some(c) => c.groups.get(c.dict.code(key)? as usize)?,
+            None => self.groups.get(key)?,
+        };
+        match group {
+            KeyGroup::Unique(ABSENT_ROW) => None,
             KeyGroup::Unique(row) => Some(*row as usize),
-            KeyGroup::Dups { start, len } => self.dups
-                [*start as usize..(*start + *len) as usize]
-                .iter()
-                .min_by_key(|&&(fp, row)| (mix_u64(seed, fp), row))
-                .map(|&(_, row)| row as usize),
+            KeyGroup::Dups { start, len } => {
+                let range = *start as usize..(*start + *len) as usize;
+                // Shared-fingerprint layout: row-only candidates, the mix
+                // reads the lake-owned fingerprint vector. Same `(mix, row)`
+                // minimization, hence the same pick to the bit.
+                if let Some((fps, dup_rows)) = self
+                    .coded
+                    .as_ref()
+                    .and_then(|c| c.row_fps.as_ref().map(|f| (f, &c.dup_rows)))
+                {
+                    return dup_rows[range]
+                        .iter()
+                        .min_by_key(|&&row| (mix_u64(seed, fps[row as usize]), row))
+                        .map(|&row| row as usize);
+                }
+                self.dups[range]
+                    .iter()
+                    .min_by_key(|&&(fp, row)| (mix_u64(seed, fp), row))
+                    .map(|&(_, row)| row as usize)
+            }
         }
     }
 
     /// Number of distinct non-null join keys.
     pub fn n_keys(&self) -> usize {
-        self.groups.len()
+        match &self.coded {
+            Some(c) => c.groups.len(),
+            None => self.groups.len(),
+        }
     }
 
     /// Number of right-table rows indexed (including null-key rows, which
@@ -255,10 +420,10 @@ impl JoinIndex {
         self.n_rows
     }
 
-    /// Number of rows belonging to duplicated keys (each carries a cached
-    /// fingerprint).
+    /// Number of rows belonging to duplicated keys (each resolvable to a
+    /// precomputed fingerprint — owned or shared, depending on layout).
     pub fn n_dup_rows(&self) -> usize {
-        self.dups.len()
+        self.dups.len() + self.coded.as_ref().map_or(0, |c| c.dup_rows.len())
     }
 
     /// Approximate heap footprint in bytes (keys + group table + dup array),
@@ -266,8 +431,19 @@ impl JoinIndex {
     /// what the allocations actually pin — with the compact build both
     /// capacities equal their lengths (modulo the map's load factor).
     pub fn resident_bytes(&self) -> usize {
-        let entry = std::mem::size_of::<(Key, KeyGroup)>();
-        self.groups.capacity() * entry + self.dups.capacity() * std::mem::size_of::<(u64, u32)>()
+        // The coded group table is a plain vec; the dictionary it probes
+        // through — and the shared fingerprint vector its duplicates read —
+        // are lake-owned, shared by every index/encode over the column, so
+        // they are charged to the lake (`Table::key_meta_bytes`), not to
+        // this index or the cache budget.
+        let own = match &self.coded {
+            Some(c) => {
+                c.groups.capacity() * std::mem::size_of::<KeyGroup>()
+                    + c.dup_rows.capacity() * std::mem::size_of::<u32>()
+            }
+            None => self.groups.capacity() * std::mem::size_of::<(Key, KeyGroup)>(),
+        };
+        own + self.dups.capacity() * std::mem::size_of::<(u64, u32)>()
     }
 }
 
@@ -354,51 +530,66 @@ pub fn left_join_with_index(
     let n = left.n_rows();
     obs::incr("join.calls");
     obs::add("join.left_rows", n as u64);
-    let mut indices: Vec<Option<usize>> = Vec::with_capacity(n);
-    let mut matched = 0usize;
-    for row in 0..n {
-        // Cooperative poll every 4096 rows: one thread-local read when no
-        // ambient control is installed, and never result-affecting — an
-        // interrupt abandons the join entirely rather than truncating it.
-        if row % 4096 == 0 {
-            if let Some(reason) = crate::control::ambient_interrupted() {
-                return Err(crate::error::DataError::Interrupted(reason));
+    // The row-match buffer is thread-local scratch reused across every join
+    // this thread performs (all the hops of one path evaluation, and every
+    // path a discovery worker evaluates): one warm allocation instead of a
+    // fresh `n`-slot vec per join. The borrow spans probe + assembly; no
+    // code below re-enters a join on the same thread.
+    PROBE_SCRATCH.with(|cell| {
+        let mut indices = cell.borrow_mut();
+        indices.clear();
+        indices.reserve(n);
+        let mut matched = 0usize;
+        for row in 0..n {
+            // Cooperative poll every 4096 rows: one thread-local read when no
+            // ambient control is installed, and never result-affecting — an
+            // interrupt abandons the join entirely rather than truncating it.
+            if row % 4096 == 0 {
+                if let Some(reason) = crate::control::ambient_interrupted() {
+                    return Err(crate::error::DataError::Interrupted(reason));
+                }
             }
+            let ix = lk.key(row).and_then(|k| index.representative(&k, seed));
+            if ix.is_some() {
+                matched += 1;
+            }
+            indices.push(ix);
         }
-        let ix = lk.key(row).and_then(|k| index.representative(&k, seed));
-        if ix.is_some() {
-            matched += 1;
+
+        // Assemble: all left columns, then all right columns (renamed). Left
+        // columns are Arc-backed, so the clones here are O(1) pointer bumps —
+        // the accumulated frontier is shared across hops, not deep-copied.
+        let mut cols: Vec<(String, Column)> = Vec::with_capacity(left.n_cols() + right.n_cols());
+        let mut taken: HashSet<String> = HashSet::with_capacity(left.n_cols() + right.n_cols());
+        for i in 0..left.n_cols() {
+            let name = left.field_at(i).name.clone();
+            taken.insert(name.clone());
+            cols.push((name, left.column_at(i).clone()));
         }
-        indices.push(ix);
-    }
+        let prefix_dot = format!("{prefix}.");
+        let mut right_columns = Vec::with_capacity(right.n_cols());
+        for i in 0..right.n_cols() {
+            let rname = &right.field_at(i).name;
+            let base = if rname.starts_with(&prefix_dot) {
+                rname.clone()
+            } else {
+                format!("{prefix_dot}{rname}")
+            };
+            let name = disambiguate(&base, &taken);
+            taken.insert(name.clone());
+            right_columns.push(name.clone());
+            cols.push((name, right.column_at(i).take_opt(&indices)));
+        }
 
-    // Assemble: all left columns, then all right columns (renamed). Left
-    // columns are Arc-backed, so the clones here are O(1) pointer bumps —
-    // the accumulated frontier is shared across hops, not deep-copied.
-    let mut cols: Vec<(String, Column)> = Vec::with_capacity(left.n_cols() + right.n_cols());
-    let mut taken: HashSet<String> = HashSet::with_capacity(left.n_cols() + right.n_cols());
-    for i in 0..left.n_cols() {
-        let name = left.field_at(i).name.clone();
-        taken.insert(name.clone());
-        cols.push((name, left.column_at(i).clone()));
-    }
-    let prefix_dot = format!("{prefix}.");
-    let mut right_columns = Vec::with_capacity(right.n_cols());
-    for i in 0..right.n_cols() {
-        let rname = &right.field_at(i).name;
-        let base = if rname.starts_with(&prefix_dot) {
-            rname.clone()
-        } else {
-            format!("{prefix_dot}{rname}")
-        };
-        let name = disambiguate(&base, &taken);
-        taken.insert(name.clone());
-        right_columns.push(name.clone());
-        cols.push((name, right.column_at(i).take_opt(&indices)));
-    }
+        let table = Table::new(left.name().to_string(), cols)?;
+        Ok(JoinOutput { table, matched, right_columns })
+    })
+}
 
-    let table = Table::new(left.name().to_string(), cols)?;
-    Ok(JoinOutput { table, matched, right_columns })
+thread_local! {
+    /// Per-thread probe/output scratch for [`left_join_with_index`].
+    static PROBE_SCRATCH: std::cell::RefCell<Vec<Option<usize>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 #[cfg(test)]
@@ -645,6 +836,87 @@ mod tests {
         assert_eq!(index.n_rows(), 4);
         assert_eq!(index.n_dup_rows(), 2);
         assert!(index.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn coded_index_is_bit_identical_to_hashed() {
+        // Many duplicates per key so representative picks actually exercise
+        // the fingerprint path, plus a null key row.
+        let n = 96i64;
+        let rkeys: Vec<Option<i64>> =
+            (0..n).map(|i| if i % 13 == 0 { None } else { Some(i / 6) }).collect();
+        let rvals: Vec<Option<i64>> = (0..n).map(Some).collect();
+        let plain = Table::new(
+            "ext",
+            vec![("key", Column::from_ints(rkeys)), ("v", Column::from_ints(rvals))],
+        )
+        .unwrap();
+        let keyed = plain.clone().with_key_dicts();
+        let hashed = JoinIndex::build(&plain, plain.column("key").unwrap());
+        let coded = JoinIndex::build(&keyed, keyed.column("key").unwrap());
+        assert_eq!(hashed.n_keys(), coded.n_keys());
+        assert_eq!(hashed.n_rows(), coded.n_rows());
+        assert_eq!(hashed.n_dup_rows(), coded.n_dup_rows());
+        for seed in [0u64, 1, 7, 42, 0xdead_beef] {
+            for k in 0..(n / 6 + 1) {
+                assert_eq!(
+                    hashed.representative(&Key::Num(k), seed),
+                    coded.representative(&Key::Num(k), seed),
+                    "key {k} seed {seed}"
+                );
+            }
+        }
+        let lkeys: Vec<Option<i64>> = (0..n / 6).map(Some).collect();
+        let l = Table::new("base", vec![("id", Column::from_ints(lkeys))]).unwrap();
+        for seed in [1u64, 2, 99] {
+            let a = left_join_with_index(&l, &plain, &hashed, "id", "ext", seed).unwrap();
+            let b = left_join_with_index(&l, &keyed, &coded, "id", "ext", seed).unwrap();
+            assert_eq!(a.table, b.table, "seed {seed}");
+            assert_eq!(a.matched, b.matched);
+        }
+    }
+
+    #[test]
+    fn coded_index_survives_row_permutation() {
+        let rkeys = [3i64, 1, 1, 9, 3, 1, 3, 9];
+        let rvals = [30i64, 10, 11, 90, 31, 12, 32, 91];
+        let make_right = |order: &[usize]| {
+            Table::new(
+                "ext",
+                vec![
+                    (
+                        "key",
+                        Column::from_ints(order.iter().map(|&i| Some(rkeys[i])).collect::<Vec<_>>()),
+                    ),
+                    (
+                        "feat",
+                        Column::from_ints(order.iter().map(|&i| Some(rvals[i])).collect::<Vec<_>>()),
+                    ),
+                ],
+            )
+            .unwrap()
+            .with_key_dicts()
+        };
+        let l = Table::new(
+            "base",
+            vec![("id", Column::from_ints([Some(1), Some(3), Some(9)]))],
+        )
+        .unwrap();
+        let identity: Vec<usize> = (0..rkeys.len()).collect();
+        let baseline =
+            left_join_normalized(&l, &make_right(&identity), "id", "key", "ext", 7).unwrap();
+        let perms: Vec<Vec<usize>> = vec![
+            identity.iter().rev().copied().collect(),
+            vec![4, 0, 6, 2, 5, 1, 7, 3],
+        ];
+        for p in perms {
+            let permuted =
+                left_join_normalized(&l, &make_right(&p), "id", "key", "ext", 7).unwrap();
+            assert_eq!(
+                baseline.table, permuted.table,
+                "row order {p:?} changed coded representative picks"
+            );
+        }
     }
 
     #[test]

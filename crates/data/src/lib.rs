@@ -9,6 +9,10 @@
 //!
 //! * typed, null-aware columns ([`Column`]) and tables ([`Table`]);
 //! * CSV ingestion with type inference ([`csv`]);
+//! * dictionary-encoded join-key domains built at ingest ([`keydict`]):
+//!   per-column dense `u32` codes with permutation-stable assignment, so
+//!   index builds and encodes run over code arithmetic instead of per-row
+//!   key hashing;
 //! * **left joins with join-cardinality normalization** (§IV-B of the paper:
 //!   group by the join column and pick a random representative row so the
 //!   base-table row count and label distribution are preserved) — [`join`];
@@ -44,6 +48,7 @@ pub mod error;
 pub mod faults;
 pub mod impute;
 pub mod join;
+pub mod keydict;
 pub mod ops;
 pub mod parallel;
 pub mod sample;
@@ -61,6 +66,7 @@ pub use column::Column;
 pub use control::{Interrupt, RunControl};
 pub use error::{DataError, Result};
 pub use faults::FaultDomain;
+pub use keydict::{KeyDict, NULL_CODE};
 pub use parallel::WorkerPool;
 pub use schema::{Field, Schema};
 pub use table::Table;

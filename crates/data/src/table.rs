@@ -1,10 +1,14 @@
 //! Tables: named collections of equal-length columns.
 
 use std::collections::HashMap;
+use std::hash::Hasher;
+use std::sync::Arc;
 
 use crate::column::Column;
 use crate::error::{DataError, Result};
+use crate::keydict::KeyDict;
 use crate::schema::{Field, Schema};
+use crate::stable_hash::StableHasher;
 use crate::value::Value;
 
 /// An immutable-by-convention, in-memory table.
@@ -12,12 +16,39 @@ use crate::value::Value;
 /// Column names are unique within a table. Most operations return new
 /// tables; columns are `Clone` (strings are `Arc`-backed) so projections are
 /// cheap.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// ## Key metadata
+///
+/// Lake-resident tables optionally carry **key metadata** built at ingest by
+/// [`Table::with_key_dicts`]: a per-column [`KeyDict`] (dense `u32` join-key
+/// codes) and precomputed per-row content fingerprints. Both are derived
+/// caches — equality ([`PartialEq`]) deliberately ignores them, so a table
+/// that carries metadata compares equal to one with identical data that does
+/// not. Operations that produce new columns or rows (`select`, `take`,
+/// `with_column`, `replace_column`, …) conservatively drop or invalidate the
+/// affected metadata; consumers re-validate freshness positionally via
+/// [`Table::key_dict_for`] before trusting a dictionary.
+#[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     fields: Vec<Field>,
     columns: Vec<Column>,
     index: HashMap<String, usize>,
+    /// Per-column join-key dictionaries (ingest-built; `None` = absent).
+    keyed: Vec<Option<Arc<KeyDict>>>,
+    /// Per-row content fingerprints over all columns, matching
+    /// `join::content_fingerprint` byte for byte. Invalidated (set to
+    /// `None`) whenever the column set or any column's data changes.
+    row_fps: Option<Arc<Vec<u64>>>,
+}
+
+impl PartialEq for Table {
+    /// Data equality: name, schema, and cell contents. Key metadata is a
+    /// derived cache and never participates — bit-identity assertions across
+    /// cached/uncached/dictionary-coded execution paths compare *data*.
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.fields == other.fields && self.columns == other.columns
+    }
 }
 
 impl Table {
@@ -52,7 +83,8 @@ impl Table {
             fields.push(Field::new(cname, col.dtype()));
             cols.push(col);
         }
-        Ok(Table { name, fields, columns: cols, index })
+        let keyed = vec![None; cols.len()];
+        Ok(Table { name, fields, columns: cols, index, keyed, row_fps: None })
     }
 
     /// An empty table (zero columns, zero rows).
@@ -62,7 +94,89 @@ impl Table {
             fields: Vec::new(),
             columns: Vec::new(),
             index: HashMap::new(),
+            keyed: Vec::new(),
+            row_fps: None,
         }
+    }
+
+    /// Build key metadata for every column: a per-column [`KeyDict`] and the
+    /// per-row content fingerprints the join layer's representative picks
+    /// use. Called once at ingest (CSV load, datagen) — the cost is one
+    /// hash pass over the table plus one dictionary build per column, paid
+    /// outside any join or scoring hot path.
+    pub fn with_key_dicts(mut self) -> Table {
+        let n = self.n_rows();
+        let mut fps = Vec::with_capacity(n);
+        for row in 0..n {
+            let mut h = StableHasher::new();
+            for c in &self.columns {
+                c.hash_cell_into(row, &mut h);
+            }
+            fps.push(h.finish());
+        }
+        self.row_fps = Some(Arc::new(fps));
+        self.keyed = self.columns.iter().map(|c| Some(Arc::new(KeyDict::build(c)))).collect();
+        self
+    }
+
+    /// Drop all key metadata (dictionaries and row fingerprints). The data
+    /// is untouched; subsequent joins fall back to the hashed key path.
+    pub fn strip_key_meta(mut self) -> Table {
+        self.keyed = vec![None; self.columns.len()];
+        self.row_fps = None;
+        self
+    }
+
+    /// Whether this table carries ingest-built key metadata (row
+    /// fingerprints; individual dictionaries may still be absent).
+    pub fn has_key_meta(&self) -> bool {
+        self.row_fps.is_some()
+    }
+
+    /// The key dictionary for `col`, resolved **positionally**: `col` must
+    /// be one of this table's columns (payload-pointer identity, not name
+    /// lookup, so a borrowed `&Column` from any accessor resolves). Returns
+    /// `None` when the column carries no dictionary or the dictionary is
+    /// stale (row count mismatch after a data-changing operation).
+    pub fn key_dict_for(&self, col: &Column) -> Option<&Arc<KeyDict>> {
+        let i = self.columns.iter().position(|c| c.shares_payload(col))?;
+        self.keyed.get(i)?.as_ref().filter(|d| d.n_rows() == col.len())
+    }
+
+    /// The key dictionary of the column at position `i`, if fresh.
+    pub fn key_dict_at(&self, i: usize) -> Option<&Arc<KeyDict>> {
+        self.keyed.get(i)?.as_ref().filter(|d| d.n_rows() == self.columns[i].len())
+    }
+
+    /// Ingest-built per-row content fingerprints (hash of every cell in
+    /// column order), or `None` when absent or invalidated.
+    pub fn row_fingerprints(&self) -> Option<&[u64]> {
+        self.row_fps.as_ref().map(|v| v.as_slice())
+    }
+
+    /// The shared fingerprint vector itself — coded join indexes hold an
+    /// `Arc` clone instead of copying fingerprints per duplicate row, so a
+    /// retained index stays small (the vector is charged to
+    /// [`key_meta_bytes`](Table::key_meta_bytes), not the cache budget).
+    pub(crate) fn row_fps_arc(&self) -> Option<&Arc<Vec<u64>>> {
+        self.row_fps.as_ref()
+    }
+
+    /// Approximate heap footprint of the key metadata in bytes, for
+    /// lake-level observability (dictionaries are lake-owned and shared, so
+    /// they are accounted here, not against the join-index cache budget).
+    pub fn key_meta_bytes(&self) -> usize {
+        let dicts: usize = self
+            .keyed
+            .iter()
+            .flatten()
+            .map(|d| d.resident_bytes())
+            .sum();
+        let fps = self
+            .row_fps
+            .as_ref()
+            .map_or(0, |v| v.capacity() * std::mem::size_of::<u64>());
+        dicts + fps
     }
 
     /// Table name.
@@ -165,6 +279,11 @@ impl Table {
         t.index.insert(name.clone(), t.columns.len());
         t.fields.push(Field::new(name, col.dtype()));
         t.columns.push(col);
+        // Existing dictionaries stay valid (their payloads are unchanged),
+        // but row fingerprints cover every cell of a row — a new column
+        // changes them, so they must be recomputed, not reused.
+        t.keyed.push(None);
+        t.row_fps = None;
         Ok(t)
     }
 
@@ -258,6 +377,8 @@ impl Table {
         let mut t = self.clone();
         t.fields[i].dtype = col.dtype();
         t.columns[i] = col;
+        t.keyed[i] = None;
+        t.row_fps = None;
         Ok(t)
     }
 }
@@ -467,6 +588,44 @@ mod tests {
         let s = t.to_string();
         assert!(s.contains('…'));
         assert!(s.contains("more rows"));
+    }
+
+    #[test]
+    fn key_meta_builds_and_is_ignored_by_equality() {
+        let plain = sample();
+        let keyed = sample().with_key_dicts();
+        assert!(keyed.has_key_meta());
+        assert!(!plain.has_key_meta());
+        assert_eq!(plain, keyed, "key metadata must not affect data equality");
+        assert_eq!(keyed.row_fingerprints().unwrap().len(), 3);
+        assert!(keyed.key_meta_bytes() > 0);
+        let id = keyed.column("id").unwrap();
+        let dict = keyed.key_dict_for(id).expect("id column has a dictionary");
+        assert_eq!(dict.len(), 3);
+        // A column from a different table never resolves.
+        assert!(keyed.key_dict_for(plain.column("id").unwrap()).is_none());
+        assert!(!keyed.clone().strip_key_meta().has_key_meta());
+    }
+
+    #[test]
+    fn data_changes_invalidate_key_meta() {
+        let keyed = sample().with_key_dicts();
+        let widened = keyed
+            .with_column("y", Column::from_ints([Some(1), Some(2), Some(3)]))
+            .unwrap();
+        // Fingerprints cover every cell of a row: gone after adding a column.
+        assert!(widened.row_fingerprints().is_none());
+        // Untouched columns keep their (payload-identical) dictionaries.
+        assert!(widened.key_dict_for(widened.column("id").unwrap()).is_some());
+        assert!(widened.key_dict_for(widened.column("y").unwrap()).is_none());
+        let replaced = keyed
+            .replace_column("id", Column::from_ints([Some(7), Some(8), Some(9)]))
+            .unwrap();
+        assert!(replaced.key_dict_for(replaced.column("id").unwrap()).is_none());
+        // Renames touch no data: metadata survives.
+        let renamed = keyed.rename_column("id", "key").unwrap();
+        assert!(renamed.has_key_meta());
+        assert!(renamed.key_dict_for(renamed.column("key").unwrap()).is_some());
     }
 
     #[test]

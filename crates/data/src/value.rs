@@ -166,7 +166,11 @@ impl<T: Into<Value>> From<Option<T>> for Value {
 /// Integral values (ints and integral floats) share the [`Key::Num`] variant
 /// so that `5` joins with `5.0`, which is common when CSV type inference
 /// disagrees between two files describing the same entity.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The derived total order (variant tag, then payload) carries no semantic
+/// meaning; it exists so dictionary encoding can break stable-hash ties
+/// deterministically when assigning permutation-stable codes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Key {
     /// Integral numeric key.
     Num(i64),

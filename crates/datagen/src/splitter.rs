@@ -259,7 +259,9 @@ pub fn split(gt: &GroundTruth, config: &SnowflakeConfig) -> Snowflake {
             cols.push((f.clone(), col));
             placement.insert(f.clone(), name.clone());
         }
-        satellites.push(Table::new(name.clone(), cols).expect("unique column names"));
+        satellites.push(
+            Table::new(name.clone(), cols).expect("unique column names").with_key_dicts(),
+        );
         // KFK edge to the parent.
         let parent_name = match parent[k] {
             None => "base".to_string(),
@@ -296,7 +298,7 @@ pub fn split(gt: &GroundTruth, config: &SnowflakeConfig) -> Snowflake {
         label_col.push(label_src.get(i)).expect("same dtype");
     }
     cols.push((gt.label.clone(), label_col));
-    let base = Table::new("base", cols).expect("unique column names");
+    let base = Table::new("base", cols).expect("unique column names").with_key_dicts();
 
     let mut depth = HashMap::new();
     depth.insert("base".to_string(), 0usize);

@@ -38,13 +38,28 @@ impl Discretized {
     }
 }
 
-/// Count of distinct finite values, capped at `cap + 1` for early exit.
-fn distinct_capped(values: &[f64], cap: usize) -> Vec<f64> {
-    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+/// The distinct finite values, sorted ascending — or `None` as soon as more
+/// than `cap` distinct values have been seen. The early exit is the point:
+/// high-cardinality columns (the common case for continuous features) bail
+/// after scanning at most `cap + 1` distinct values instead of paying a full
+/// sort + dedup of the column, and the quantile path then performs the only
+/// sort. `-0.0` is normalized to `0.0` before hashing, matching the numeric
+/// comparison semantics of the sorted-dedup this replaces.
+fn distinct_capped(values: &[f64], cap: usize) -> Option<Vec<f64>> {
+    let mut seen: std::collections::HashSet<u64> =
+        std::collections::HashSet::with_capacity(cap.saturating_add(1));
+    for &x in values {
+        if !x.is_finite() {
+            continue;
+        }
+        let bits = if x == 0.0 { 0.0f64 } else { x }.to_bits();
+        if seen.insert(bits) && seen.len() > cap {
+            return None;
+        }
+    }
+    let mut v: Vec<f64> = seen.into_iter().map(f64::from_bits).collect();
     v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
-    v.dedup();
-    let _ = cap;
-    v
+    Some(v)
 }
 
 /// Equal-frequency (quantile) binning into at most `n_bins` bins.
@@ -54,11 +69,14 @@ fn distinct_capped(values: &[f64], cap: usize) -> Vec<f64> {
 /// bin (boundaries never split ties).
 pub fn discretize_equal_frequency(values: &[f64], n_bins: u32) -> Discretized {
     assert!(n_bins >= 1, "n_bins must be >= 1");
-    let distinct = distinct_capped(values, n_bins as usize);
-    if distinct.is_empty() {
-        return Discretized { codes: vec![None; values.len()], n_bins: 0 };
-    }
-    if distinct.len() <= n_bins as usize {
+    let distinct = match distinct_capped(values, n_bins as usize) {
+        None => None, // more distinct values than bins: quantile path
+        Some(d) if d.is_empty() => {
+            return Discretized { codes: vec![None; values.len()], n_bins: 0 };
+        }
+        Some(d) => Some(d),
+    };
+    if let Some(distinct) = distinct {
         // Already discrete: direct value → bin mapping.
         let codes = values
             .iter()
@@ -154,6 +172,37 @@ mod tests {
         let d = discretize_equal_frequency(&[f64::NAN, f64::NAN], 4);
         assert_eq!(d.n_bins, 0);
         assert!(d.codes.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn distinct_capped_early_exits_over_cap() {
+        // More than `cap` distinct values: the helper must bail with None
+        // (previously the cap was ignored and the full column was sorted).
+        let many: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        assert_eq!(distinct_capped(&many, 10), None);
+        // At or below the cap: the sorted distinct values come back, with
+        // duplicates collapsed and non-finite values skipped.
+        let few = [3.0, 1.0, f64::NAN, 3.0, -0.0, 0.0, f64::INFINITY, 2.0];
+        assert_eq!(distinct_capped(&few, 10), Some(vec![0.0, 1.0, 2.0, 3.0]));
+        // Exactly cap distinct values does not trigger the exit.
+        assert_eq!(distinct_capped(&[5.0, 4.0], 2), Some(vec![4.0, 5.0]));
+        assert_eq!(distinct_capped(&[5.0, 4.0, 3.0], 2), None);
+        assert_eq!(distinct_capped(&[f64::NAN], 2), Some(vec![]));
+    }
+
+    #[test]
+    fn capped_and_quantile_paths_agree_at_the_boundary() {
+        // 5 distinct values: discrete path with 5+ bins, quantile with 4.
+        let values = [4.0, 0.0, 2.0, 1.0, 3.0, 2.0, 0.0];
+        let discrete = discretize_equal_frequency(&values, 5);
+        assert_eq!(discrete.n_bins, 5);
+        let quantile = discretize_equal_frequency(&values, 4);
+        assert!(quantile.n_bins <= 4);
+        // Both must keep equal values in one bin and stay monotone.
+        for d in [&discrete, &quantile] {
+            assert_eq!(d.codes[2], d.codes[5]);
+            assert_eq!(d.codes[1], d.codes[6]);
+        }
     }
 
     #[test]

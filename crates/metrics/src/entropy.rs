@@ -53,16 +53,22 @@ pub fn joint_entropy(x: &Discretized, y: &Discretized) -> f64 {
 /// where both features are present (so the identity holds exactly).
 pub fn conditional_entropy(x: &Discretized, y: &Discretized) -> f64 {
     assert_eq!(x.codes.len(), y.codes.len(), "feature length mismatch");
-    // Recompute H(Y) over the *joint* support for consistency.
-    let present: Vec<usize> = (0..x.codes.len())
-        .filter(|&i| x.codes[i].is_some() && y.codes[i].is_some())
-        .collect();
-    let mut y_counts = vec![0usize; y.n_bins as usize];
-    for &i in &present {
-        y_counts[y.codes[i].expect("present") as usize] += 1;
+    // One pass fills both tables; H(Y) is computed over the *joint* support
+    // so the identity holds exactly. (Previously this materialised the list
+    // of jointly-present row indices and re-scanned the rows twice.)
+    let ny = y.n_bins as usize;
+    let mut joint = vec![0usize; x.n_bins as usize * ny];
+    let mut y_counts = vec![0usize; ny];
+    let mut total = 0usize;
+    for (cx, cy) in x.codes.iter().zip(&y.codes) {
+        if let (Some(a), Some(b)) = (cx, cy) {
+            joint[*a as usize * ny + *b as usize] += 1;
+            y_counts[*b as usize] += 1;
+            total += 1;
+        }
     }
-    let h_y = h_from_counts(y_counts, present.len());
-    joint_entropy(x, y) - h_y
+    let h_y = h_from_counts(y_counts, total);
+    h_from_counts(joint, total) - h_y
 }
 
 #[cfg(test)]

@@ -9,16 +9,19 @@ use crate::discretize::Discretized;
 
 const LN_2: f64 = std::f64::consts::LN_2;
 
-/// Mutual information `I(X;Y)` in bits. Symmetric; zero for independent
-/// features; never negative (up to floating-point noise, which is clamped).
-pub fn mutual_information(x: &Discretized, y: &Discretized) -> f64 {
-    assert_eq!(x.codes.len(), y.codes.len(), "feature length mismatch");
-    let nx = x.n_bins as usize;
-    let ny = y.n_bins as usize;
-    if nx == 0 || ny == 0 {
-        return 0.0;
-    }
-    let mut joint = vec![0usize; nx * ny];
+/// Flat contingency counts of one (sub)population: `joint[a*ny + b]` plus
+/// the marginals and sample count derived from it. All counts are exact
+/// integers, so every estimator computing from the same counts produces the
+/// same floating-point result regardless of which code path filled them.
+struct JointCounts {
+    joint: Vec<u32>,
+    mx: Vec<usize>,
+    my: Vec<usize>,
+    total: usize,
+}
+
+fn joint_counts(x: &Discretized, y: &Discretized, nx: usize, ny: usize) -> JointCounts {
+    let mut joint = vec![0u32; nx * ny];
     let mut mx = vec![0usize; nx];
     let mut my = vec![0usize; ny];
     let mut total = 0usize;
@@ -30,13 +33,18 @@ pub fn mutual_information(x: &Discretized, y: &Discretized) -> f64 {
             total += 1;
         }
     }
-    if total == 0 {
-        return 0.0;
-    }
+    JointCounts { joint, mx, my, total }
+}
+
+/// Plug-in MI in bits from a flat contingency slice. The accumulation order
+/// (x-major, skipping empty rows/cells) is the contract every caller —
+/// direct MI, per-stratum CMI, the fused estimator — relies on for
+/// bit-identical results.
+fn mi_from_counts(joint: &[u32], mx: &[usize], my: &[usize], total: usize, ny: usize) -> f64 {
     let n = total as f64;
     let mut mi = 0.0;
-    for a in 0..nx {
-        if mx[a] == 0 {
+    for (a, &ma) in mx.iter().enumerate() {
+        if ma == 0 {
             continue;
         }
         for b in 0..ny {
@@ -45,12 +53,37 @@ pub fn mutual_information(x: &Discretized, y: &Discretized) -> f64 {
                 continue;
             }
             let pxy = c as f64 / n;
-            let px = mx[a] as f64 / n;
+            let px = ma as f64 / n;
             let py = my[b] as f64 / n;
             mi += pxy * (pxy / (px * py)).ln();
         }
     }
     (mi / LN_2).max(0.0)
+}
+
+/// Miller-Madow first-order bias for a contingency slice: occupied-bin
+/// counts come straight from the marginals (a bin is occupied iff its
+/// marginal is non-zero over the same rows).
+fn miller_madow_bias(mx: &[usize], my: &[usize], total: usize) -> f64 {
+    let kx = mx.iter().filter(|&&v| v > 0).count().max(1) as f64;
+    let ky = my.iter().filter(|&&v| v > 0).count().max(1) as f64;
+    (kx - 1.0) * (ky - 1.0) / (2.0 * total as f64 * LN_2)
+}
+
+/// Mutual information `I(X;Y)` in bits. Symmetric; zero for independent
+/// features; never negative (up to floating-point noise, which is clamped).
+pub fn mutual_information(x: &Discretized, y: &Discretized) -> f64 {
+    assert_eq!(x.codes.len(), y.codes.len(), "feature length mismatch");
+    let nx = x.n_bins as usize;
+    let ny = y.n_bins as usize;
+    if nx == 0 || ny == 0 {
+        return 0.0;
+    }
+    let c = joint_counts(x, y, nx, ny);
+    if c.total == 0 {
+        return 0.0;
+    }
+    mi_from_counts(&c.joint, &c.mx, &c.my, c.total, ny)
 }
 
 /// Miller-Madow bias-corrected mutual information.
@@ -61,28 +94,30 @@ pub fn mutual_information(x: &Discretized, y: &Discretized) -> f64 {
 /// features look redundant. This subtracts that first-order correction
 /// (clamped at zero). The redundancy criteria use it for every term so weak
 /// fresh features are not spuriously rejected.
+///
+/// One contingency pass serves both the raw estimate and the occupied-bin
+/// counts (previously a second full scan of the rows).
 pub fn mutual_information_corrected(x: &Discretized, y: &Discretized) -> f64 {
     assert_eq!(x.codes.len(), y.codes.len(), "feature length mismatch");
-    let raw = mutual_information(x, y);
-    // Occupied bins and sample count over the joint support.
-    let mut bx = vec![false; x.n_bins as usize];
-    let mut by = vec![false; y.n_bins as usize];
-    let mut n = 0usize;
-    for (cx, cy) in x.codes.iter().zip(&y.codes) {
-        if let (Some(a), Some(b)) = (cx, cy) {
-            bx[*a as usize] = true;
-            by[*b as usize] = true;
-            n += 1;
-        }
-    }
-    if n == 0 {
+    let nx = x.n_bins as usize;
+    let ny = y.n_bins as usize;
+    if nx == 0 || ny == 0 {
         return 0.0;
     }
-    let kx = bx.iter().filter(|&&v| v).count().max(1) as f64;
-    let ky = by.iter().filter(|&&v| v).count().max(1) as f64;
-    let bias = (kx - 1.0) * (ky - 1.0) / (2.0 * n as f64 * LN_2);
-    (raw - bias).max(0.0)
+    let c = joint_counts(x, y, nx, ny);
+    if c.total == 0 {
+        return 0.0;
+    }
+    let raw = mi_from_counts(&c.joint, &c.mx, &c.my, c.total, ny);
+    (raw - miller_madow_bias(&c.mx, &c.my, c.total)).max(0.0)
 }
+
+/// Cell budget for the flat `nz × nx × ny` conditional contingency array
+/// (16 MiB of `u32`s). Within budget the whole CMI is one row pass plus
+/// cheap per-stratum slice loops; beyond it the gather-per-stratum fallback
+/// keeps memory bounded. Both produce identical counts, hence identical
+/// floats.
+const FLAT_CMI_MAX_CELLS: usize = 1 << 22;
 
 /// Conditional mutual information `I(X;Y|Z) = Σ_z p(z)·I(X;Y|Z=z)` in bits.
 pub fn conditional_mutual_information(
@@ -90,37 +125,7 @@ pub fn conditional_mutual_information(
     y: &Discretized,
     z: &Discretized,
 ) -> f64 {
-    assert_eq!(x.codes.len(), y.codes.len(), "feature length mismatch");
-    assert_eq!(x.codes.len(), z.codes.len(), "feature length mismatch");
-    let nz = z.n_bins as usize;
-    if nz == 0 {
-        return 0.0;
-    }
-    // Partition rows by z, then sum weighted per-stratum MI.
-    let mut strata: Vec<Vec<usize>> = vec![Vec::new(); nz];
-    let mut total = 0usize;
-    for i in 0..x.codes.len() {
-        if let (Some(_), Some(_), Some(c)) = (&x.codes[i], &y.codes[i], &z.codes[i]) {
-            strata[*c as usize].push(i);
-            total += 1;
-        }
-    }
-    if total == 0 {
-        return 0.0;
-    }
-    let mut cmi = 0.0;
-    for rows in &strata {
-        if rows.is_empty() {
-            continue;
-        }
-        let sub = |d: &Discretized| Discretized {
-            codes: rows.iter().map(|&i| d.codes[i]).collect(),
-            n_bins: d.n_bins,
-        };
-        let w = rows.len() as f64 / total as f64;
-        cmi += w * mutual_information(&sub(x), &sub(y));
-    }
-    cmi.max(0.0)
+    cmi_impl(x, y, z, false)
 }
 
 /// Miller-Madow-corrected conditional MI: the per-stratum estimates carry
@@ -131,12 +136,71 @@ pub fn conditional_mutual_information_corrected(
     y: &Discretized,
     z: &Discretized,
 ) -> f64 {
+    cmi_impl(x, y, z, true)
+}
+
+fn cmi_impl(x: &Discretized, y: &Discretized, z: &Discretized, corrected: bool) -> f64 {
     assert_eq!(x.codes.len(), y.codes.len(), "feature length mismatch");
     assert_eq!(x.codes.len(), z.codes.len(), "feature length mismatch");
+    let nx = x.n_bins as usize;
+    let ny = y.n_bins as usize;
     let nz = z.n_bins as usize;
-    if nz == 0 {
+    if nx == 0 || ny == 0 || nz == 0 {
         return 0.0;
     }
+    let fits_flat = nx
+        .checked_mul(ny)
+        .and_then(|v| v.checked_mul(nz))
+        .is_some_and(|cells| cells <= FLAT_CMI_MAX_CELLS);
+    if !fits_flat {
+        return cmi_gather(x, y, z, corrected);
+    }
+
+    // One pass fills the full 3-way contingency; each z-stratum is then a
+    // contiguous slice — no per-stratum row gathering or re-counting.
+    let mut counts = vec![0u32; nz * nx * ny];
+    let mut z_totals = vec![0usize; nz];
+    let mut total = 0usize;
+    for i in 0..x.codes.len() {
+        if let (Some(a), Some(b), Some(c)) = (x.codes[i], y.codes[i], z.codes[i]) {
+            counts[(c as usize * nx + a as usize) * ny + b as usize] += 1;
+            z_totals[c as usize] += 1;
+            total += 1;
+        }
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    let mut mx = vec![0usize; nx];
+    let mut my = vec![0usize; ny];
+    let mut cmi = 0.0;
+    for (zc, &n_z) in z_totals.iter().enumerate() {
+        if n_z == 0 {
+            continue;
+        }
+        let slice = &counts[zc * nx * ny..(zc + 1) * nx * ny];
+        mx.iter_mut().for_each(|v| *v = 0);
+        my.iter_mut().for_each(|v| *v = 0);
+        for a in 0..nx {
+            for b in 0..ny {
+                let c = slice[a * ny + b] as usize;
+                mx[a] += c;
+                my[b] += c;
+            }
+        }
+        let mut mi_z = mi_from_counts(slice, &mx, &my, n_z, ny);
+        if corrected {
+            mi_z = (mi_z - miller_madow_bias(&mx, &my, n_z)).max(0.0);
+        }
+        cmi += (n_z as f64 / total as f64) * mi_z;
+    }
+    cmi.max(0.0)
+}
+
+/// Fallback CMI for pathological bin counts: partition rows by z and score
+/// each stratum from gathered sub-codes (the original implementation).
+fn cmi_gather(x: &Discretized, y: &Discretized, z: &Discretized, corrected: bool) -> f64 {
+    let nz = z.n_bins as usize;
     let mut strata: Vec<Vec<usize>> = vec![Vec::new(); nz];
     let mut total = 0usize;
     for i in 0..x.codes.len() {
@@ -158,9 +222,109 @@ pub fn conditional_mutual_information_corrected(
             n_bins: d.n_bins,
         };
         let w = rows.len() as f64 / total as f64;
-        cmi += w * mutual_information_corrected(&sub(x), &sub(y));
+        let mi_z = if corrected {
+            mutual_information_corrected(&sub(x), &sub(y))
+        } else {
+            mutual_information(&sub(x), &sub(y))
+        };
+        cmi += w * mi_z;
     }
     cmi.max(0.0)
+}
+
+/// Fused `(I(X;Y), I(X;Y|Z))` — the pair every conditional redundancy
+/// criterion (CIFE, JMI, CMIM) evaluates per already-selected feature.
+///
+/// One 3-way contingency pass replaces the two separate row scans: the MI
+/// marginal joint is recovered as the z-sum of the conditional counts plus
+/// the rows where x and y are present but z is missing, so both results are
+/// **bit-identical** to calling [`mutual_information`] and
+/// [`conditional_mutual_information`] separately (the same integer counts
+/// feed the same accumulation loops).
+pub fn mi_and_cmi(x: &Discretized, y: &Discretized, z: &Discretized) -> (f64, f64) {
+    assert_eq!(x.codes.len(), y.codes.len(), "feature length mismatch");
+    assert_eq!(x.codes.len(), z.codes.len(), "feature length mismatch");
+    let nx = x.n_bins as usize;
+    let ny = y.n_bins as usize;
+    let nz = z.n_bins as usize;
+    if nx == 0 || ny == 0 {
+        return (0.0, 0.0);
+    }
+    let fits_flat = nz > 0
+        && nx
+            .checked_mul(ny)
+            .and_then(|v| v.checked_mul(nz))
+            .is_some_and(|cells| cells <= FLAT_CMI_MAX_CELLS);
+    if !fits_flat {
+        return (
+            mutual_information(x, y),
+            conditional_mutual_information(x, y, z),
+        );
+    }
+
+    let mut counts = vec![0u32; nz * nx * ny];
+    // Rows with x,y present but z missing: they count toward MI, not CMI.
+    let mut extra = vec![0u32; nx * ny];
+    let mut z_totals = vec![0usize; nz];
+    let mut cmi_total = 0usize;
+    let mut mi_total = 0usize;
+    for i in 0..x.codes.len() {
+        if let (Some(a), Some(b)) = (x.codes[i], y.codes[i]) {
+            mi_total += 1;
+            match z.codes[i] {
+                Some(c) => {
+                    counts[(c as usize * nx + a as usize) * ny + b as usize] += 1;
+                    z_totals[c as usize] += 1;
+                    cmi_total += 1;
+                }
+                None => extra[a as usize * ny + b as usize] += 1,
+            }
+        }
+    }
+    if mi_total == 0 {
+        return (0.0, 0.0);
+    }
+
+    // MI over all xy-present rows: joint = Σ_z conditional + z-missing.
+    let mut joint = extra;
+    for zc in 0..nz {
+        let slice = &counts[zc * nx * ny..(zc + 1) * nx * ny];
+        for (j, &c) in joint.iter_mut().zip(slice) {
+            *j += c;
+        }
+    }
+    let mut mx = vec![0usize; nx];
+    let mut my = vec![0usize; ny];
+    for a in 0..nx {
+        for b in 0..ny {
+            let c = joint[a * ny + b] as usize;
+            mx[a] += c;
+            my[b] += c;
+        }
+    }
+    let mi = mi_from_counts(&joint, &mx, &my, mi_total, ny);
+
+    if cmi_total == 0 {
+        return (mi, 0.0);
+    }
+    let mut cmi = 0.0;
+    for (zc, &n_z) in z_totals.iter().enumerate() {
+        if n_z == 0 {
+            continue;
+        }
+        let slice = &counts[zc * nx * ny..(zc + 1) * nx * ny];
+        mx.iter_mut().for_each(|v| *v = 0);
+        my.iter_mut().for_each(|v| *v = 0);
+        for a in 0..nx {
+            for b in 0..ny {
+                let c = slice[a * ny + b] as usize;
+                mx[a] += c;
+                my[b] += c;
+            }
+        }
+        cmi += (n_z as f64 / cmi_total as f64) * mi_from_counts(slice, &mx, &my, n_z, ny);
+    }
+    (mi, cmi.max(0.0))
 }
 
 #[cfg(test)]
@@ -250,5 +414,61 @@ mod tests {
         let x = d(&[0, 1, 2, 3, 0, 2, 1, 3, 2, 0]);
         let y = d(&[1, 1, 0, 0, 1, 0, 1, 0, 1, 1]);
         assert!(mutual_information(&x, &y) >= 0.0);
+    }
+
+    /// Deterministic pseudo-random Discretized with missing values sprinkled
+    /// in — exercises the pairwise-present bookkeeping of every estimator.
+    fn noisy(seed: u64, n: usize, bins: i64) -> Discretized {
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        Discretized::from_codes((0..n).map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            if s.is_multiple_of(11) {
+                None
+            } else {
+                Some((s % bins as u64) as i64)
+            }
+        }))
+    }
+
+    #[test]
+    fn fused_mi_and_cmi_matches_separate_calls_bitwise() {
+        for seed in 1..=8u64 {
+            let x = noisy(seed, 97, 6);
+            let y = noisy(seed + 100, 97, 5);
+            let z = noisy(seed + 200, 97, 4);
+            let (mi, cmi) = mi_and_cmi(&x, &y, &z);
+            assert_eq!(mi.to_bits(), mutual_information(&x, &y).to_bits());
+            assert_eq!(
+                cmi.to_bits(),
+                conditional_mutual_information(&x, &y, &z).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn fused_handles_degenerate_condition() {
+        let x = noisy(3, 50, 4);
+        let y = noisy(7, 50, 4);
+        // z entirely missing: MI must still match, CMI is zero.
+        let z = Discretized::from_codes((0..50).map(|_| None));
+        let (mi, cmi) = mi_and_cmi(&x, &y, &z);
+        assert_eq!(mi.to_bits(), mutual_information(&x, &y).to_bits());
+        assert_eq!(cmi, 0.0);
+    }
+
+    #[test]
+    fn flat_cmi_matches_gather_fallback_bitwise() {
+        for seed in 1..=6u64 {
+            let x = noisy(seed, 120, 7);
+            let y = noisy(seed + 50, 120, 6);
+            let z = noisy(seed + 90, 120, 3);
+            for corrected in [false, true] {
+                let flat = cmi_impl(&x, &y, &z, corrected);
+                let gather = cmi_gather(&x, &y, &z, corrected);
+                assert_eq!(flat.to_bits(), gather.to_bits());
+            }
+        }
     }
 }

@@ -4,9 +4,23 @@
 /// mean of the ranks they span. `NaN`s receive `NaN` ranks and are excluded
 /// from the ranking of the rest.
 pub fn average_ranks(values: &[f64]) -> Vec<f64> {
-    let mut idx: Vec<usize> = (0..values.len()).filter(|&i| values[i].is_finite()).collect();
+    let mut idx = Vec::new();
+    let mut ranks = Vec::new();
+    average_ranks_into(values, &mut idx, &mut ranks);
+    ranks
+}
+
+/// [`average_ranks`] into caller-owned buffers: `idx` is sort scratch,
+/// `ranks` receives the result (both cleared and refilled). Hot loops that
+/// rank column after column (Spearman over every candidate feature) reuse
+/// two warm allocations instead of allocating per call. The math — sort
+/// order, tie averaging — is identical to [`average_ranks`].
+pub fn average_ranks_into(values: &[f64], idx: &mut Vec<usize>, ranks: &mut Vec<f64>) {
+    idx.clear();
+    idx.extend((0..values.len()).filter(|&i| values[i].is_finite()));
     idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
-    let mut ranks = vec![f64::NAN; values.len()];
+    ranks.clear();
+    ranks.resize(values.len(), f64::NAN);
     let mut i = 0;
     while i < idx.len() {
         let mut j = i;
@@ -20,7 +34,6 @@ pub fn average_ranks(values: &[f64]) -> Vec<f64> {
         }
         i = j + 1;
     }
-    ranks
 }
 
 #[cfg(test)]
@@ -55,5 +68,24 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(average_ranks(&[]).is_empty());
+    }
+
+    #[test]
+    fn into_variant_reuses_buffers_and_matches() {
+        let mut idx = vec![99usize; 8];
+        let mut ranks = vec![1.0f64; 8];
+        for vals in [
+            vec![3.0, 1.0, 2.0, 2.0],
+            vec![f64::NAN, 5.0],
+            vec![],
+            vec![7.0, 7.0, 7.0],
+        ] {
+            average_ranks_into(&vals, &mut idx, &mut ranks);
+            let fresh = average_ranks(&vals);
+            assert_eq!(ranks.len(), fresh.len());
+            for (a, b) in ranks.iter().zip(&fresh) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 }

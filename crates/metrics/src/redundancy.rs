@@ -17,9 +17,7 @@
 //! duplicates and is considered non-redundant.
 
 use crate::discretize::{discretize_equal_frequency, Discretized};
-use crate::mi::{
-    conditional_mutual_information, mutual_information, mutual_information_corrected as mi_est,
-};
+use crate::mi::{mi_and_cmi, mutual_information, mutual_information_corrected as mi_est};
 use crate::relevance::DEFAULT_BINS;
 
 /// The redundancy criteria compared in §V-D.
@@ -143,11 +141,16 @@ impl RedundancyScorer {
                     .sum();
                 rel - red / selected.len() as f64
             }
+            // The conditional criteria evaluate the I(X_j;X_k) and
+            // I(X_j;X_k|Y) pair per selected feature; `mi_and_cmi` fills one
+            // shared contingency pass for both (bit-identical to the two
+            // separate estimator calls).
             RedundancyMethod::Cife => {
                 let mut j = rel;
                 for s in selected {
-                    j -= mutual_information(s, candidate);
-                    j += conditional_mutual_information(s, candidate, labels);
+                    let (mi, cmi) = mi_and_cmi(s, candidate, labels);
+                    j -= mi;
+                    j += cmi;
                 }
                 j
             }
@@ -155,8 +158,9 @@ impl RedundancyScorer {
                 let inv = 1.0 / selected.len() as f64;
                 let mut j = rel;
                 for s in selected {
-                    j -= inv * mutual_information(s, candidate);
-                    j += inv * conditional_mutual_information(s, candidate, labels);
+                    let (mi, cmi) = mi_and_cmi(s, candidate, labels);
+                    j -= inv * mi;
+                    j += inv * cmi;
                 }
                 j
             }
@@ -164,8 +168,8 @@ impl RedundancyScorer {
                 let worst = selected
                     .iter()
                     .map(|s| {
-                        mutual_information(s, candidate)
-                            - conditional_mutual_information(s, candidate, labels)
+                        let (mi, cmi) = mi_and_cmi(s, candidate, labels);
+                        mi - cmi
                     })
                     .fold(f64::NEG_INFINITY, f64::max);
                 rel - worst.max(0.0)

@@ -9,7 +9,7 @@
 use crate::discretize::{discretize_equal_frequency, Discretized};
 use crate::entropy::entropy;
 use crate::mi::mutual_information;
-use crate::ranks::average_ranks;
+use crate::ranks::average_ranks_into;
 
 /// Number of bins used when discretizing continuous features for the
 /// information-theoretic measures.
@@ -56,31 +56,48 @@ impl RelevanceMethod {
     /// Score every feature against the labels. `features[j]` is the j-th
     /// feature's values with `NaN` for missing; `labels` are integer class
     /// codes.
+    /// The label-side work (discretization, label entropy, the numeric cast)
+    /// is identical for every feature, so it is hoisted out of the loop here
+    /// rather than recomputed per column as the single-feature
+    /// [`Relevance::score`] implementations do. Scores are bit-identical to
+    /// calling `score` per feature.
     pub fn scores(self, features: &[Vec<f64>], labels: &[i64]) -> Vec<f64> {
         match self {
             RelevanceMethod::InformationGain => {
-                per_feature(features, labels, |x, y| InformationGain.score(x, y))
+                let dy = label_codes(labels);
+                features
+                    .iter()
+                    .map(|x| {
+                        mutual_information(&discretize_equal_frequency(x, DEFAULT_BINS), &dy)
+                    })
+                    .collect()
             }
             RelevanceMethod::SymmetricalUncertainty => {
-                per_feature(features, labels, |x, y| SymmetricalUncertainty.score(x, y))
+                let dy = label_codes(labels);
+                let hy = entropy(&dy);
+                features
+                    .iter()
+                    .map(|x| {
+                        let dx = discretize_equal_frequency(x, DEFAULT_BINS);
+                        let hx = entropy(&dx);
+                        if hx + hy == 0.0 {
+                            return 0.0;
+                        }
+                        (2.0 * mutual_information(&dx, &dy) / (hx + hy)).clamp(0.0, 1.0)
+                    })
+                    .collect()
             }
             RelevanceMethod::Pearson => {
-                per_feature(features, labels, |x, y| Pearson.score(x, y))
+                let y: Vec<f64> = labels.iter().map(|&l| l as f64).collect();
+                features.iter().map(|x| pearson_correlation(x, &y).abs()).collect()
             }
             RelevanceMethod::Spearman => {
-                per_feature(features, labels, |x, y| Spearman.score(x, y))
+                let y: Vec<f64> = labels.iter().map(|&l| l as f64).collect();
+                features.iter().map(|x| spearman_correlation(x, &y).abs()).collect()
             }
             RelevanceMethod::Relief => Relief::default().scores(features, labels),
         }
     }
-}
-
-fn per_feature(
-    features: &[Vec<f64>],
-    labels: &[i64],
-    f: impl Fn(&[f64], &[i64]) -> f64,
-) -> Vec<f64> {
-    features.iter().map(|x| f(x, labels)).collect()
 }
 
 /// Per-feature relevance scoring.
@@ -128,25 +145,37 @@ pub struct Pearson;
 
 /// Pearson correlation of two numeric slices, skipping rows where either is
 /// non-finite. Returns 0 when degenerate (constant input or < 2 rows).
+///
+/// Allocation-free: the pairwise-present rows are visited twice (means, then
+/// moments) instead of being materialised. Each accumulator sums the same
+/// values in the same order as the old collected-pairs version, so results
+/// are bit-identical.
 pub fn pearson_correlation(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "length mismatch");
-    let pairs: Vec<(f64, f64)> = x
-        .iter()
-        .zip(y)
-        .filter(|(a, b)| a.is_finite() && b.is_finite())
-        .map(|(&a, &b)| (a, b))
-        .collect();
-    let n = pairs.len();
+    let present = || {
+        x.iter()
+            .zip(y)
+            .filter(|(a, b)| a.is_finite() && b.is_finite())
+            .map(|(&a, &b)| (a, b))
+    };
+    let mut n = 0usize;
+    let mut sum_x = 0.0;
+    let mut sum_y = 0.0;
+    for (a, b) in present() {
+        n += 1;
+        sum_x += a;
+        sum_y += b;
+    }
     if n < 2 {
         return 0.0;
     }
     let nf = n as f64;
-    let mean_x = pairs.iter().map(|p| p.0).sum::<f64>() / nf;
-    let mean_y = pairs.iter().map(|p| p.1).sum::<f64>() / nf;
+    let mean_x = sum_x / nf;
+    let mean_y = sum_y / nf;
     let mut sxx = 0.0;
     let mut syy = 0.0;
     let mut sxy = 0.0;
-    for (a, b) in pairs {
+    for (a, b) in present() {
         let dx = a - mean_x;
         let dy = b - mean_y;
         sxx += dx * dx;
@@ -172,18 +201,45 @@ impl Relevance for Pearson {
 pub struct Spearman;
 
 /// Signed Spearman correlation of two numeric slices.
+///
+/// The gathered columns and both rank buffers live in thread-local scratch:
+/// ranking every candidate feature against the label reuses five warm
+/// allocations instead of paying five fresh ones per call. Ranks and the
+/// final Pearson are computed exactly as before.
 pub fn spearman_correlation(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "length mismatch");
-    // Pairwise deletion first so the ranks are computed on the common rows.
-    let keep: Vec<usize> = (0..x.len())
-        .filter(|&i| x[i].is_finite() && y[i].is_finite())
-        .collect();
-    if keep.len() < 2 {
-        return 0.0;
-    }
-    let xs: Vec<f64> = keep.iter().map(|&i| x[i]).collect();
-    let ys: Vec<f64> = keep.iter().map(|&i| y[i]).collect();
-    pearson_correlation(&average_ranks(&xs), &average_ranks(&ys))
+    SPEARMAN_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        // Pairwise deletion first so the ranks are computed on the common rows.
+        scratch.xs.clear();
+        scratch.ys.clear();
+        for (a, b) in x.iter().zip(y) {
+            if a.is_finite() && b.is_finite() {
+                scratch.xs.push(*a);
+                scratch.ys.push(*b);
+            }
+        }
+        if scratch.xs.len() < 2 {
+            return 0.0;
+        }
+        average_ranks_into(&scratch.xs, &mut scratch.idx, &mut scratch.rx);
+        average_ranks_into(&scratch.ys, &mut scratch.idx, &mut scratch.ry);
+        pearson_correlation(&scratch.rx, &scratch.ry)
+    })
+}
+
+#[derive(Default)]
+struct SpearmanScratch {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    idx: Vec<usize>,
+    rx: Vec<f64>,
+    ry: Vec<f64>,
+}
+
+thread_local! {
+    static SPEARMAN_SCRATCH: std::cell::RefCell<SpearmanScratch> =
+        std::cell::RefCell::new(SpearmanScratch::default());
 }
 
 impl Relevance for Spearman {

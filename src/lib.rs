@@ -72,8 +72,8 @@ pub mod prelude {
         ResilienceStats, SearchContext, ServiceStats, TrainOutcome, TruncationReason,
     };
     pub use autofeat_data::{
-        CacheRecorder, CacheStats, Column, DType, FaultDomain, Interrupt, LakeIndexCache,
-        RunControl, Table, Value,
+        CacheRecorder, CacheStats, Column, DType, FaultDomain, Interrupt, KeyDict,
+        LakeIndexCache, RunControl, Table, Value,
     };
     pub use autofeat_discovery::{MatcherConfig, SchemaMatcher};
     pub use autofeat_graph::{Drg, DrgBuilder, JoinPath};

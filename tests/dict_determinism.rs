@@ -1,0 +1,113 @@
+//! The tentpole guarantee of the dictionary-encoded key domain: attaching
+//! (or dropping) per-column [`KeyDict`]s changes **how** join indexes are
+//! built — counting-sort over dense `u32` codes vs. hashing full keys —
+//! but never **what** discovery produces. Results must be bit-identical
+//! between the coded and hashed paths, across physical row permutations,
+//! worker-thread counts, and cached vs. uncached execution; and code
+//! assignment itself must be a pure function of column *content*, not
+//! layout.
+
+use autofeat::prelude::*;
+
+mod common;
+use common::{assert_bit_identical, dictless_twin, lake_ctx_permuted};
+
+fn discover(ctx: &SearchContext, seed: u64, threads: usize, cache: bool) -> DiscoveryResult {
+    AutoFeat::new(
+        AutoFeatConfig::default()
+            .with_seed(seed)
+            .with_threads(threads)
+            .with_cache(cache),
+    )
+    .discover(ctx)
+    .unwrap()
+}
+
+#[test]
+fn dict_codes_are_permutation_stable() {
+    // The same multiset of keys in three physical orders must get the same
+    // value → code mapping: codes are assigned by content (stable hash with
+    // a total-order tiebreak), not by first appearance.
+    let vals: Vec<Option<i64>> = (0..120).map(|i| Some(i % 37)).collect();
+    let strides = [1usize, 7, 113];
+    let dicts: Vec<KeyDict> = strides
+        .iter()
+        .map(|&s| {
+            let permuted: Vec<Option<i64>> =
+                (0..vals.len()).map(|i| vals[(i * s) % vals.len()]).collect();
+            let t = Table::new("t", vec![("k", Column::from_ints(permuted))])
+                .unwrap()
+                .with_key_dicts();
+            t.key_dict_at(0).unwrap().as_ref().clone()
+        })
+        .collect();
+    for d in &dicts[1..] {
+        assert_eq!(d.len(), dicts[0].len(), "distinct-key count must match");
+        for code in 0..dicts[0].len() as u32 {
+            assert_eq!(
+                d.key_at(code),
+                dicts[0].key_at(code),
+                "code {code} must map to the same key in every layout"
+            );
+        }
+    }
+}
+
+#[test]
+fn ingest_attaches_metadata_and_twin_strips_it() {
+    let ctx = lake_ctx_permuted(120, 1);
+    for name in ctx.table_names() {
+        let t = ctx.table(name).unwrap();
+        assert!(t.has_key_meta(), "{name}: from_kfk must attach key metadata");
+        assert!(t.key_meta_bytes() > 0, "{name}: metadata must be accounted");
+    }
+    let twin = dictless_twin(&ctx);
+    for name in twin.table_names() {
+        let t = twin.table(name).unwrap();
+        assert!(!t.has_key_meta(), "{name}: twin must have no key metadata");
+        assert_eq!(t.key_meta_bytes(), 0, "{name}: stripped meta costs nothing");
+    }
+}
+
+#[test]
+fn coded_and_hashed_discovery_are_bit_identical() {
+    // Strides are odd ⇒ coprime to the satellite row counts: distinct
+    // physical layouts of the same logical lake. The hashed single-thread
+    // uncached run is the reference; every coded configuration must match.
+    for stride in [1usize, 7, 113] {
+        let ctx = lake_ctx_permuted(120, stride);
+        let hashed = dictless_twin(&ctx);
+        for seed in [7u64, 42] {
+            let reference = discover(&hashed, seed, 1, false);
+            assert!(
+                !reference.ranked.is_empty(),
+                "stride {stride}, seed {seed}: search must rank paths for the \
+                 comparison to mean anything"
+            );
+            for threads in [1usize, 4] {
+                for cache in [false, true] {
+                    let coded = discover(&ctx, seed, threads, cache);
+                    assert_bit_identical(
+                        &reference,
+                        &coded,
+                        &format!(
+                            "stride {stride}, seed {seed}, {threads} thread(s), \
+                             cache={cache}, coded vs hashed"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn coded_results_are_layout_independent() {
+    // Same logical lake, different physical row orders, dicts attached:
+    // the coded path must be as layout-blind as the hashed one.
+    let reference = discover(&lake_ctx_permuted(120, 1), 42, 2, true);
+    for stride in [7usize, 113] {
+        let permuted = discover(&lake_ctx_permuted(120, stride), 42, 2, true);
+        assert_bit_identical(&reference, &permuted, &format!("stride {stride}, coded"));
+    }
+}
