@@ -296,6 +296,13 @@ impl SearchContext {
         &self.cache
     }
 
+    /// An owning handle to the lake cache, for consumers that outlive any
+    /// one borrow of the context — e.g. the service's background stats
+    /// listener, which refreshes cache gauges at scrape time.
+    pub fn lake_cache_arc(&self) -> Arc<LakeIndexCache> {
+        Arc::clone(&self.cache)
+    }
+
     /// The context-wide run-lifecycle control, shared (via `Arc`) by every
     /// clone of this context. Cancelling it — from any thread — winds down
     /// whatever pipeline stage is currently running against this context

@@ -56,13 +56,19 @@ pub use autofeat::{
     AutoFeat, DiscoveryResult, PathFailure, Phase, RankedPath, ResilienceStats, TruncationReason,
 };
 pub use autofeat_data::{Interrupt, RunControl};
-pub use autofeat_obs::{RunTrace, Tracer, TRACE_SCHEMA_VERSION};
+pub use autofeat_obs::{
+    MetricsRegistry, MetricsSnapshot, RunTrace, StatsListener, Tracer, METRICS_SCHEMA_VERSION,
+    TRACE_SCHEMA_VERSION,
+};
 pub use config::{AutoFeatConfig, DegradeConfig};
 pub use context::{load_lake_dir, LakeLoadReport, QuarantinedTable, SearchContext};
 pub use executor::materialize_path;
 pub use ranking::compute_score;
 pub use report::{discovery_health_report, MethodResult};
 pub use seeding::{hop_seed, join_seed};
-pub use service::{DiscoveryRequest, DiscoveryService, PreparedRequest, ServiceStats};
+pub use service::{
+    DiscoveryRequest, DiscoveryService, PreparedRequest, RequestLogRecord, RequestOutcome,
+    ServiceStats, REQUEST_LOG_CAP,
+};
 pub use train::{train_top_k, TrainOutcome};
 pub use tuning::{tune, TuningGrid, TuningOutcome};

@@ -22,18 +22,61 @@
 //!
 //! Requests are served on the caller's thread (plus the shared fan-out
 //! worker pool in `autofeat_data::parallel`); the service itself spawns
-//! nothing. Identical requests are **bit-identical** whether run solo or
-//! concurrently with any mix of other requests — determinism is per-hop
-//! seeded and shared state is read-only or content-addressed (DESIGN.md
-//! §3i).
+//! nothing (except an optional stats listener, below). Identical requests
+//! are **bit-identical** whether run solo or concurrently with any mix of
+//! other requests — determinism is per-hop seeded and shared state is
+//! read-only or content-addressed (DESIGN.md §3i).
+//!
+//! ## Telemetry
+//!
+//! The service carries an always-on [`MetricsRegistry`]
+//! (`autofeat_obs::metrics`) — process-lifetime counters, gauges, and
+//! latency histograms, never reset by request lifecycle and entirely
+//! separate from the per-run `Tracer` (DESIGN.md §3k). Every completed
+//! request records its wall time, outcome (`ok` / `truncated` /
+//! `cancelled` / `error`), degradation rungs, and caught worker panics;
+//! scrape-time refreshes re-export the shared cache's governance counters
+//! and the worker pool's queue/utilization gauges. Read it three ways:
+//!
+//! * [`stats`](DiscoveryService::stats) — the cheap in-process struct,
+//!   now split by outcome with a `peak_in_flight` high-water mark;
+//! * [`metrics_snapshot`](DiscoveryService::metrics_snapshot) /
+//!   [`metrics_text`](DiscoveryService::metrics_text) /
+//!   [`metrics_json`](DiscoveryService::metrics_json) — the full registry
+//!   as a struct, Prometheus-style text, or stable-schema JSON
+//!   (`metrics.schema.json`);
+//! * [`serve_metrics`](DiscoveryService::serve_metrics) — an optional
+//!   std-only TCP listener serving `GET /metrics`, `/metrics.json`, and
+//!   `/healthz` from a background thread (the first brick of the
+//!   roadmap's network front-end), shut down with the service.
+//!
+//! A bounded in-memory request log (ring of the last
+//! [`REQUEST_LOG_CAP`] [`RequestLogRecord`]s) is queryable via
+//! [`request_log`](DiscoveryService::request_log) and dumped on
+//! [`shutdown`](DiscoveryService::shutdown) when `AUTOFEAT_REQUEST_LOG`
+//! names a file path (or `-`/`stderr` for standard error).
+//!
+//! Telemetry must never perturb results: instrumented serving is asserted
+//! bit-identical to unmetered serving, and its throughput overhead is
+//! gated below 3% (`serve_throughput`'s `metrics_overhead` gate). The
+//! [`new_unmetered`](DiscoveryService::new_unmetered) constructor exists
+//! for that baseline measurement — production callers should always use
+//! [`new`](DiscoveryService::new).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use autofeat_data::cache::LakeIndexCache;
+use autofeat_data::parallel::shared_pool;
 use autofeat_data::{CacheStats, Result, RunControl};
+use autofeat_obs::{
+    render_json, render_prometheus, Counter, Histogram, MetricsRegistry, MetricsSnapshot,
+    StatsListener, StatsSource,
+};
 
-use crate::autofeat::{AutoFeat, DiscoveryResult};
+use crate::autofeat::{AutoFeat, DiscoveryResult, TruncationReason};
 use crate::config::AutoFeatConfig;
 use crate::context::SearchContext;
 
@@ -86,15 +129,398 @@ impl DiscoveryRequest {
     }
 }
 
+/// How one completed request ended, from an operator's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Ran to completion, untruncated.
+    Ok,
+    /// Stopped early by a budget gate (deadline or `max_joins`) but
+    /// returned a valid ranked partial.
+    Truncated,
+    /// Interrupted by a cancel (per-request or service shutdown); still a
+    /// valid ranked partial (anytime semantics).
+    Cancelled,
+    /// Returned an error after starting to run.
+    Error,
+}
+
+impl RequestOutcome {
+    /// Stable lower-case label (`"ok"`, `"truncated"`, …), used in the
+    /// request log and metric names.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RequestOutcome::Ok => "ok",
+            RequestOutcome::Truncated => "truncated",
+            RequestOutcome::Cancelled => "cancelled",
+            RequestOutcome::Error => "error",
+        }
+    }
+
+    fn classify(result: &Result<DiscoveryResult>) -> RequestOutcome {
+        match result {
+            Err(_) => RequestOutcome::Error,
+            Ok(r) => match r.truncation {
+                None => RequestOutcome::Ok,
+                Some(TruncationReason::Cancelled) => RequestOutcome::Cancelled,
+                Some(_) => RequestOutcome::Truncated,
+            },
+        }
+    }
+}
+
 /// Service-level counters, for operators of a resident deployment.
+///
+/// Completions are split by [`RequestOutcome`]; `requests_served` is their
+/// sum. A request that fails validation in
+/// [`prepare`](DiscoveryService::prepare) (unknown base/target) never runs
+/// and is counted in `requests_rejected`, not in `requests_served`.
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceStats {
-    /// Requests that have completed (successfully or with an error).
+    /// Requests that have completed (`ok + truncated + cancelled + error`).
     pub requests_served: u64,
+    /// Completed untruncated.
+    pub requests_ok: u64,
+    /// Completed early on a budget gate with a valid partial.
+    pub requests_truncated: u64,
+    /// Interrupted by a cancel with a valid partial.
+    pub requests_cancelled: u64,
+    /// Completed with an error after starting to run.
+    pub requests_error: u64,
+    /// Rejected at validation, before running.
+    pub requests_rejected: u64,
     /// Requests currently executing.
     pub in_flight: u64,
+    /// High-water mark of `in_flight` over the service lifetime.
+    pub peak_in_flight: u64,
     /// The shared cache's global counters (all requests combined).
     pub cache: CacheStats,
+}
+
+/// Capacity of the in-memory structured request log: once full, the oldest
+/// record is dropped per new completion (the drop count is exported as
+/// `autofeat_request_log_dropped_total`).
+pub const REQUEST_LOG_CAP: usize = 256;
+
+/// One completed request, as recorded in the bounded request log.
+#[derive(Debug, Clone)]
+pub struct RequestLogRecord {
+    /// Monotonically increasing completion id (1-based, service-lifetime).
+    pub id: u64,
+    /// Base table the request ran against.
+    pub base: String,
+    /// Target column the request ranked for.
+    pub target: String,
+    /// When the request finished, as an offset from service creation.
+    pub finished_at: Duration,
+    /// Request wall time (submit → result), as measured by the service.
+    pub duration: Duration,
+    /// How it ended.
+    pub outcome: RequestOutcome,
+    /// The error message, for [`RequestOutcome::Error`] completions.
+    pub error: Option<String>,
+    /// Cache hits attributed to this request (per-request recorder delta).
+    pub cache_hits: u64,
+    /// Cache misses (index builds triggered) attributed to this request.
+    pub cache_misses: u64,
+    /// Index build time attributed to this request.
+    pub cache_build_time: Duration,
+    /// Degradation-ladder rungs this request engaged.
+    pub degradations: usize,
+    /// Worker panics caught and isolated while serving this request.
+    pub worker_panics: usize,
+}
+
+impl RequestLogRecord {
+    /// One-line rendering for the shutdown dump / operator logs.
+    pub fn render_line(&self) -> String {
+        format!(
+            "req {} {}→{} {} in {:.3}ms (cache {}h/{}m, {} degradations, {} panics){}",
+            self.id,
+            self.base,
+            self.target,
+            self.outcome.as_str(),
+            self.duration.as_secs_f64() * 1e3,
+            self.cache_hits,
+            self.cache_misses,
+            self.degradations,
+            self.worker_panics,
+            match &self.error {
+                Some(e) => format!(": {e}"),
+                None => String::new(),
+            },
+        )
+    }
+}
+
+/// The always-on atomics behind [`ServiceStats`]. Separate from the
+/// optional registry layer so even an unmetered service keeps exact
+/// outcome accounting.
+#[derive(Debug, Default)]
+struct ServiceCounters {
+    ok: AtomicU64,
+    truncated: AtomicU64,
+    cancelled: AtomicU64,
+    error: AtomicU64,
+    rejected: AtomicU64,
+    in_flight: AtomicU64,
+    peak_in_flight: AtomicU64,
+}
+
+impl ServiceCounters {
+    fn outcome(&self, o: RequestOutcome) -> &AtomicU64 {
+        match o {
+            RequestOutcome::Ok => &self.ok,
+            RequestOutcome::Truncated => &self.truncated,
+            RequestOutcome::Cancelled => &self.cancelled,
+            RequestOutcome::Error => &self.error,
+        }
+    }
+
+    fn served(&self) -> u64 {
+        self.ok.load(Ordering::Relaxed)
+            + self.truncated.load(Ordering::Relaxed)
+            + self.cancelled.load(Ordering::Relaxed)
+            + self.error.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct RequestLog {
+    records: VecDeque<RequestLogRecord>,
+    dropped: u64,
+}
+
+/// The registry layer: hot-path handles plus the request-log ring. Lives
+/// in an `Arc` so the background stats listener can outlive any one
+/// borrow of the service.
+#[derive(Debug)]
+struct Telemetry {
+    registry: Arc<MetricsRegistry>,
+    started: Instant,
+    latency: Histogram,
+    requests_ok: Counter,
+    requests_truncated: Counter,
+    requests_cancelled: Counter,
+    requests_error: Counter,
+    requests_rejected: Counter,
+    degradations: Counter,
+    worker_panics: Counter,
+    log: Mutex<RequestLog>,
+    next_id: AtomicU64,
+    log_dumped: AtomicBool,
+}
+
+impl Telemetry {
+    fn new() -> Telemetry {
+        let registry = MetricsRegistry::new();
+        Telemetry {
+            latency: registry.histogram(
+                "autofeat_request_latency_seconds",
+                "Per-request wall time (submit to result), all outcomes.",
+            ),
+            requests_ok: registry.counter(
+                "autofeat_requests_ok_total",
+                "Requests completed untruncated.",
+            ),
+            requests_truncated: registry.counter(
+                "autofeat_requests_truncated_total",
+                "Requests stopped early by a budget gate (valid partial returned).",
+            ),
+            requests_cancelled: registry.counter(
+                "autofeat_requests_cancelled_total",
+                "Requests interrupted by a cancel (valid partial returned).",
+            ),
+            requests_error: registry.counter(
+                "autofeat_requests_error_total",
+                "Requests that returned an error after starting to run.",
+            ),
+            requests_rejected: registry.counter(
+                "autofeat_requests_rejected_total",
+                "Requests rejected at validation, before running.",
+            ),
+            degradations: registry.counter(
+                "autofeat_degradations_total",
+                "Degradation-ladder rungs engaged across all requests.",
+            ),
+            worker_panics: registry.counter(
+                "autofeat_worker_panics_total",
+                "Worker panics caught and isolated across all requests.",
+            ),
+            registry,
+            started: Instant::now(),
+            log: Mutex::new(RequestLog::default()),
+            next_id: AtomicU64::new(0),
+            log_dumped: AtomicBool::new(false),
+        }
+    }
+
+    /// Record one completed request into the histogram, outcome counters,
+    /// and the bounded request log.
+    fn record_request(
+        &self,
+        base: &str,
+        target: &str,
+        duration: Duration,
+        outcome: RequestOutcome,
+        result: &Result<DiscoveryResult>,
+    ) {
+        self.latency.observe(duration);
+        match outcome {
+            RequestOutcome::Ok => self.requests_ok.incr(),
+            RequestOutcome::Truncated => self.requests_truncated.incr(),
+            RequestOutcome::Cancelled => self.requests_cancelled.incr(),
+            RequestOutcome::Error => self.requests_error.incr(),
+        }
+        let (cache, degradations, worker_panics, error) = match result {
+            Ok(r) => (
+                r.cache,
+                r.resilience.degradations.len(),
+                r.resilience.worker_panics,
+                None,
+            ),
+            Err(e) => (None, 0, 0, Some(e.to_string())),
+        };
+        self.degradations.add(degradations as u64);
+        self.worker_panics.add(worker_panics as u64);
+        let record = RequestLogRecord {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed) + 1,
+            base: base.to_string(),
+            target: target.to_string(),
+            finished_at: self.started.elapsed(),
+            duration,
+            outcome,
+            error,
+            cache_hits: cache.as_ref().map_or(0, |c| c.hits),
+            cache_misses: cache.as_ref().map_or(0, |c| c.misses),
+            cache_build_time: cache.as_ref().map_or(Duration::ZERO, |c| c.build_time),
+            degradations,
+            worker_panics,
+        };
+        if let Ok(mut log) = self.log.lock() {
+            if log.records.len() >= REQUEST_LOG_CAP {
+                log.records.pop_front();
+                log.dropped += 1;
+            }
+            log.records.push_back(record);
+        }
+    }
+
+    /// Re-export externally owned state (service gauges, cache governance
+    /// counters, pool pressure) into the registry. Called just before
+    /// every snapshot, so scrapes are point-in-time without any push-side
+    /// coupling between those subsystems and the registry.
+    fn refresh_gauges(&self, counters: &ServiceCounters, cache: &LakeIndexCache) {
+        let reg = &self.registry;
+        reg.gauge("autofeat_uptime_seconds", "Seconds since the service was created.")
+            .set(self.started.elapsed().as_secs_f64());
+        reg.gauge("autofeat_in_flight", "Requests currently executing.")
+            .set(counters.in_flight.load(Ordering::Relaxed) as f64);
+        reg.gauge("autofeat_peak_in_flight", "High-water mark of in-flight requests.")
+            .set(counters.peak_in_flight.load(Ordering::Relaxed) as f64);
+        if let Ok(log) = self.log.lock() {
+            reg.counter(
+                "autofeat_request_log_dropped_total",
+                "Request-log records evicted after the ring filled.",
+            )
+            .record_total(log.dropped);
+        }
+
+        let c = cache.stats();
+        reg.counter("autofeat_cache_hits_total", "Joins served from an already-built index.")
+            .record_total(c.hits);
+        reg.counter("autofeat_cache_misses_total", "Joins that had to build the index first.")
+            .record_total(c.misses);
+        reg.counter("autofeat_cache_evictions_total", "Indexes evicted by the byte budget.")
+            .record_total(c.evictions);
+        reg.counter("autofeat_cache_rejections_total", "Builds denied retention by the budget.")
+            .record_total(c.rejections);
+        reg.counter(
+            "autofeat_cache_lock_recoveries_total",
+            "Operations that found the governor lock poisoned and degraded.",
+        )
+        .record_total(c.lock_recoveries);
+        reg.counter("autofeat_cache_build_panics_total", "Index builds that panicked (isolated).")
+            .record_total(c.build_panics);
+        reg.gauge("autofeat_cache_resident_bytes", "Heap footprint of retained indexes.")
+            .set(c.resident_bytes as f64);
+        reg.gauge(
+            "autofeat_cache_peak_resident_bytes",
+            "High-water mark of resident bytes in the current budget epoch.",
+        )
+        .set(c.peak_resident_bytes as f64);
+        reg.gauge("autofeat_cache_entries", "Number of resident (table, column) indexes.")
+            .set(c.entries as f64);
+        reg.gauge("autofeat_cache_budget_bytes", "Byte budget in force (0 = unbounded).")
+            .set(c.budget_bytes.unwrap_or(0) as f64);
+        let touches = c.hits + c.misses;
+        reg.gauge("autofeat_cache_hit_ratio", "hits / (hits + misses) since process start.")
+            .set(if touches == 0 { 0.0 } else { c.hits as f64 / touches as f64 });
+        reg.gauge("autofeat_cache_build_seconds_total", "Total wall time spent building indexes.")
+            .set(c.build_time.as_secs_f64());
+
+        if let Some(pool) = shared_pool() {
+            reg.gauge("autofeat_pool_size", "Worker threads in the shared fan-out pool.")
+                .set(pool.size() as f64);
+            reg.gauge("autofeat_pool_queue_depth", "Jobs queued but not yet picked up.")
+                .set(pool.queue_depth() as f64);
+            reg.gauge("autofeat_pool_busy_workers", "Workers currently executing a job.")
+                .set(pool.busy_workers() as f64);
+        }
+    }
+
+    fn snapshot(&self, counters: &ServiceCounters, cache: &LakeIndexCache) -> MetricsSnapshot {
+        self.refresh_gauges(counters, cache);
+        self.registry.snapshot()
+    }
+
+    /// Dump the request log to the sink named by `AUTOFEAT_REQUEST_LOG`
+    /// (a file path, or `-`/`stderr` for standard error); unset = no dump.
+    /// At most once per service, no matter how often shutdown is called.
+    fn dump_request_log(&self) {
+        let Ok(sink) = std::env::var("AUTOFEAT_REQUEST_LOG") else { return };
+        if sink.is_empty() || self.log_dumped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let Ok(log) = self.log.lock() else { return };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "request log at shutdown: {} records ({} dropped)\n",
+            log.records.len(),
+            log.dropped
+        ));
+        for r in &log.records {
+            out.push_str(&r.render_line());
+            out.push('\n');
+        }
+        if sink == "-" || sink == "stderr" {
+            eprint!("{out}");
+        } else if let Err(e) = std::fs::write(&sink, &out) {
+            eprintln!("failed to write request log to {sink}: {e}");
+        }
+    }
+}
+
+/// The listener's view of the service: enough `Arc`s to render a fresh
+/// scrape without borrowing the `DiscoveryService` itself.
+struct ServiceMetricsSource {
+    telemetry: Arc<Telemetry>,
+    counters: Arc<ServiceCounters>,
+    cache: Arc<LakeIndexCache>,
+    control: Arc<RunControl>,
+}
+
+impl StatsSource for ServiceMetricsSource {
+    fn metrics_text(&self) -> String {
+        render_prometheus(&self.telemetry.snapshot(&self.counters, &self.cache))
+    }
+
+    fn metrics_json(&self) -> String {
+        render_json(&self.telemetry.snapshot(&self.counters, &self.cache))
+    }
+
+    fn healthy(&self) -> bool {
+        !self.control.is_cancelled()
+    }
 }
 
 /// A long-lived discovery service over one loaded lake. See the module
@@ -109,17 +535,39 @@ pub struct DiscoveryService {
     /// This is the context's own handle, so `ctx.cancel()` and
     /// [`shutdown`](DiscoveryService::shutdown) are the same lever.
     control: Arc<RunControl>,
-    served: AtomicU64,
-    in_flight: AtomicU64,
+    counters: Arc<ServiceCounters>,
+    /// The always-on registry layer; `None` only for the unmetered
+    /// overhead-baseline constructor.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl DiscoveryService {
     /// Wrap a loaded lake context into a resident service. `base_config`
     /// is the default configuration for requests that do not carry their
-    /// own.
+    /// own. Telemetry is always on; see
+    /// [`new_unmetered`](DiscoveryService::new_unmetered) for the
+    /// benchmark baseline.
     pub fn new(ctx: SearchContext, base_config: AutoFeatConfig) -> DiscoveryService {
+        DiscoveryService::build(ctx, base_config, true)
+    }
+
+    /// A service without the registry/histogram/request-log layer. Exists
+    /// so `serve_throughput` can measure the overhead of telemetry against
+    /// a true baseline; outcome counting ([`stats`](DiscoveryService::stats))
+    /// stays exact either way. Not for production use.
+    pub fn new_unmetered(ctx: SearchContext, base_config: AutoFeatConfig) -> DiscoveryService {
+        DiscoveryService::build(ctx, base_config, false)
+    }
+
+    fn build(ctx: SearchContext, base_config: AutoFeatConfig, metered: bool) -> DiscoveryService {
         let control = Arc::clone(ctx.control());
-        DiscoveryService { ctx, base_config, control, served: AtomicU64::new(0), in_flight: AtomicU64::new(0) }
+        DiscoveryService {
+            ctx,
+            base_config,
+            control,
+            counters: Arc::new(ServiceCounters::default()),
+            telemetry: metered.then(|| Arc::new(Telemetry::new())),
+        }
     }
 
     /// The underlying lake context (shared state: tables, DRG, cache).
@@ -142,8 +590,12 @@ impl DiscoveryService {
     /// Cancel the service-wide control: every in-flight request winds down
     /// to a valid ranked partial (anytime semantics, DESIGN.md §3h), and
     /// every later submit returns immediately with a cancelled truncation.
+    /// Dumps the request log when `AUTOFEAT_REQUEST_LOG` is set.
     pub fn shutdown(&self) {
         self.control.cancel();
+        if let Some(tel) = &self.telemetry {
+            tel.dump_request_log();
+        }
     }
 
     /// Has [`shutdown`](DiscoveryService::shutdown) been requested?
@@ -151,24 +603,112 @@ impl DiscoveryService {
         self.control.is_cancelled()
     }
 
-    /// Point-in-time service counters.
+    /// Point-in-time service counters, split by outcome.
     pub fn stats(&self) -> ServiceStats {
+        let c = &self.counters;
         ServiceStats {
-            requests_served: self.served.load(Ordering::Relaxed),
-            in_flight: self.in_flight.load(Ordering::Relaxed),
+            requests_served: c.served(),
+            requests_ok: c.ok.load(Ordering::Relaxed),
+            requests_truncated: c.truncated.load(Ordering::Relaxed),
+            requests_cancelled: c.cancelled.load(Ordering::Relaxed),
+            requests_error: c.error.load(Ordering::Relaxed),
+            requests_rejected: c.rejected.load(Ordering::Relaxed),
+            in_flight: c.in_flight.load(Ordering::Relaxed),
+            peak_in_flight: c.peak_in_flight.load(Ordering::Relaxed),
             cache: self.ctx.lake_cache().stats(),
         }
+    }
+
+    /// A fresh snapshot of the full metrics registry (service counters and
+    /// latency histogram, cache governance, pool pressure). Empty for an
+    /// [unmetered](DiscoveryService::new_unmetered) service.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        match &self.telemetry {
+            Some(tel) => tel.snapshot(&self.counters, self.ctx.lake_cache()),
+            None => MetricsSnapshot::default(),
+        }
+    }
+
+    /// [`metrics_snapshot`](DiscoveryService::metrics_snapshot) rendered as
+    /// Prometheus-style text exposition.
+    pub fn metrics_text(&self) -> String {
+        render_prometheus(&self.metrics_snapshot())
+    }
+
+    /// [`metrics_snapshot`](DiscoveryService::metrics_snapshot) rendered as
+    /// the stable JSON layout (`metrics.schema.json`).
+    pub fn metrics_json(&self) -> String {
+        render_json(&self.metrics_snapshot())
+    }
+
+    /// The bounded structured request log, oldest first (up to
+    /// [`REQUEST_LOG_CAP`] records). Empty for an unmetered service.
+    pub fn request_log(&self) -> Vec<RequestLogRecord> {
+        match &self.telemetry {
+            Some(tel) => tel
+                .log
+                .lock()
+                .map(|l| l.records.iter().cloned().collect())
+                .unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Request-log records evicted after the ring filled.
+    pub fn request_log_dropped(&self) -> u64 {
+        self.telemetry
+            .as_ref()
+            .and_then(|tel| tel.log.lock().ok().map(|l| l.dropped))
+            .unwrap_or(0)
+    }
+
+    /// Start the std-only TCP stats listener on `addr` (use
+    /// `"127.0.0.1:0"` for an ephemeral port), serving `GET /metrics`
+    /// (Prometheus text), `/metrics.json`, and `/healthz` (503 once the
+    /// service is shut down) from a background thread. Stop it with
+    /// [`StatsListener::stop`] or by dropping the listener; it holds
+    /// `Arc`s, not borrows, so it may outlive any one borrow of `self`.
+    /// Errors with `Unsupported` on an unmetered service.
+    pub fn serve_metrics(&self, addr: impl std::net::ToSocketAddrs) -> std::io::Result<StatsListener> {
+        let Some(tel) = &self.telemetry else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "metrics listener requires a metered service (DiscoveryService::new)",
+            ));
+        };
+        let source = ServiceMetricsSource {
+            telemetry: Arc::clone(tel),
+            counters: Arc::clone(&self.counters),
+            cache: self.ctx.lake_cache_arc(),
+            control: Arc::clone(&self.control),
+        };
+        StatsListener::serve(addr, Arc::new(source))
     }
 
     /// Validate `req` and bind it to a request-scoped context view and a
     /// fresh scoped control, without running it yet. Use the returned
     /// handle's [`control`](PreparedRequest::control) to cancel this one
     /// request from another thread, then [`run`](PreparedRequest::run) it.
+    ///
+    /// A validation failure (unknown base/target) is counted as a
+    /// *rejected* request — it never ran, so it appears in
+    /// `requests_rejected`, not `requests_served`.
     pub fn prepare(&self, req: &DiscoveryRequest) -> Result<PreparedRequest<'_>> {
         let config = req.config.clone().unwrap_or_else(|| self.base_config.clone());
         let base = req.base.as_deref().unwrap_or_else(|| self.ctx.base_name());
         let target = req.target.as_deref().unwrap_or_else(|| self.ctx.label());
-        let view = self.ctx.with_base_label(base, target)?;
+        let view = match self.ctx.with_base_label(base, target) {
+            Ok(view) => view,
+            Err(e) => {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                if let Some(tel) = &self.telemetry {
+                    tel.requests_rejected.incr();
+                }
+                return Err(e);
+            }
+        };
+        let base = base.to_string();
+        let target = target.to_string();
         // Fresh scoped control per request: a cancel or deadline here is
         // invisible to sibling requests, a service-wide cancel reaches
         // every child, and no reset-reuse hazard exists because nothing is
@@ -176,7 +716,7 @@ impl DiscoveryService {
         let deadline = req.time_budget.and_then(|b| Instant::now().checked_add(b));
         let control = self.control.scoped(deadline);
         let ctx = view.with_request_control(Arc::clone(&control));
-        Ok(PreparedRequest { service: self, ctx, config, control })
+        Ok(PreparedRequest { service: self, ctx, config, control, base, target })
     }
 
     /// Serve one request to completion on the calling thread. Concurrent
@@ -195,6 +735,8 @@ pub struct PreparedRequest<'a> {
     ctx: SearchContext,
     config: AutoFeatConfig,
     control: Arc<RunControl>,
+    base: String,
+    target: String,
 }
 
 impl PreparedRequest<'_> {
@@ -212,16 +754,28 @@ impl PreparedRequest<'_> {
 
     /// Run the request on the calling thread.
     pub fn run(self) -> Result<DiscoveryResult> {
-        struct InFlight<'s>(&'s DiscoveryService);
+        let counters = &self.service.counters;
+        let was = counters.in_flight.fetch_add(1, Ordering::Relaxed);
+        counters.peak_in_flight.fetch_max(was + 1, Ordering::Relaxed);
+        // The guard only tracks occupancy; outcome accounting happens on
+        // the normal return path below (a panic escapes uncounted — the
+        // caller is losing the thread anyway).
+        struct InFlight<'s>(&'s ServiceCounters);
         impl Drop for InFlight<'_> {
             fn drop(&mut self) {
                 self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
-                self.0.served.fetch_add(1, Ordering::Relaxed);
             }
         }
-        self.service.in_flight.fetch_add(1, Ordering::Relaxed);
-        let _guard = InFlight(self.service);
-        AutoFeat::new(self.config).discover(&self.ctx)
+        let _guard = InFlight(counters);
+        let started = Instant::now();
+        let result = AutoFeat::new(self.config).discover(&self.ctx);
+        let duration = started.elapsed();
+        let outcome = RequestOutcome::classify(&result);
+        counters.outcome(outcome).fetch_add(1, Ordering::Relaxed);
+        if let Some(tel) = &self.service.telemetry {
+            tel.record_request(&self.base, &self.target, duration, outcome, &result);
+        }
+        result
     }
 }
 
@@ -283,8 +837,11 @@ mod tests {
         let service = DiscoveryService::new(service_ctx(40), cfg);
         let via_service = service.submit(&DiscoveryRequest::new()).unwrap();
         assert_same_ranking(&solo, &via_service);
-        assert_eq!(service.stats().requests_served, 1);
-        assert_eq!(service.stats().in_flight, 0);
+        let stats = service.stats();
+        assert_eq!(stats.requests_served, 1);
+        assert_eq!(stats.requests_ok, 1);
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.peak_in_flight, 1, "one request peaked at one in flight");
     }
 
     #[test]
@@ -292,7 +849,15 @@ mod tests {
         let service = DiscoveryService::new(service_ctx(20), AutoFeatConfig::default());
         assert!(service.submit(&DiscoveryRequest::new().with_base("ghost")).is_err());
         assert!(service.submit(&DiscoveryRequest::new().with_target("ghost")).is_err());
-        assert_eq!(service.stats().requests_served, 0, "rejected before running");
+        let stats = service.stats();
+        assert_eq!(stats.requests_served, 0, "rejected before running");
+        assert_eq!(stats.requests_rejected, 2);
+        assert_eq!(
+            service.metrics_snapshot().counter("autofeat_requests_rejected_total"),
+            Some(2),
+            "registry agrees with ServiceStats"
+        );
+        assert!(service.request_log().is_empty(), "rejections never reach the log");
     }
 
     #[test]
@@ -302,6 +867,7 @@ mod tests {
         assert!(service.is_shut_down());
         let r = service.submit(&DiscoveryRequest::new()).unwrap();
         assert_eq!(r.truncation, Some(TruncationReason::Cancelled), "anytime semantics");
+        assert_eq!(service.stats().requests_cancelled, 1);
     }
 
     #[test]
@@ -318,6 +884,10 @@ mod tests {
         let healthy = service.submit(&DiscoveryRequest::new()).unwrap();
         assert_eq!(healthy.truncation, None, "sibling unaffected by expired deadline");
         assert!(!healthy.ranked.is_empty());
+        let stats = service.stats();
+        assert_eq!(stats.requests_truncated, 1);
+        assert_eq!(stats.requests_ok, 1);
+        assert_eq!(stats.requests_served, 2);
     }
 
     #[test]
@@ -340,5 +910,57 @@ mod tests {
         let narrow =
             service.submit(&DiscoveryRequest::new().with_config(narrow_cfg)).unwrap();
         assert!(narrow.ranked.len() <= 1, "request config wins");
+    }
+
+    #[test]
+    fn request_log_records_completions_in_order() {
+        let service = DiscoveryService::new(service_ctx(40), AutoFeatConfig::default());
+        service.submit(&DiscoveryRequest::new()).unwrap();
+        service
+            .submit(&DiscoveryRequest::new().with_time_budget(Duration::ZERO))
+            .unwrap();
+        let log = service.request_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].id, 1);
+        assert_eq!(log[0].outcome, RequestOutcome::Ok);
+        assert_eq!(log[0].base, "base");
+        assert_eq!(log[0].target, "target");
+        assert!(log[0].error.is_none());
+        assert_eq!(log[1].id, 2);
+        assert_eq!(log[1].outcome, RequestOutcome::Truncated);
+        assert!(log[1].finished_at >= log[0].finished_at, "completion order");
+        assert_eq!(service.request_log_dropped(), 0);
+        assert!(log[0].render_line().contains("req 1 base→target ok"));
+    }
+
+    #[test]
+    fn metrics_snapshot_exports_latency_outcomes_and_cache() {
+        let service = DiscoveryService::new(service_ctx(40), AutoFeatConfig::default());
+        for _ in 0..3 {
+            service.submit(&DiscoveryRequest::new()).unwrap();
+        }
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.counter("autofeat_requests_ok_total"), Some(3));
+        let latency = snap.histogram("autofeat_request_latency_seconds").unwrap();
+        assert_eq!(latency.count, 3, "one latency observation per completion");
+        assert!(latency.quantile(0.99) > 0.0);
+        assert!(snap.gauge("autofeat_cache_resident_bytes").is_some());
+        assert!(snap.gauge("autofeat_uptime_seconds").unwrap() >= 0.0);
+        let text = service.metrics_text();
+        assert!(text.contains("autofeat_request_latency_seconds_p50"));
+        assert!(text.contains("autofeat_requests_ok_total 3"));
+        let json = service.metrics_json();
+        assert!(json.contains("\"schema_version\""));
+    }
+
+    #[test]
+    fn unmetered_service_counts_but_exports_nothing() {
+        let service = DiscoveryService::new_unmetered(service_ctx(30), AutoFeatConfig::default());
+        service.submit(&DiscoveryRequest::new()).unwrap();
+        assert_eq!(service.stats().requests_ok, 1, "outcome accounting stays exact");
+        assert!(service.metrics_snapshot().metrics.is_empty());
+        assert!(service.request_log().is_empty());
+        let err = service.serve_metrics("127.0.0.1:0").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Unsupported);
     }
 }

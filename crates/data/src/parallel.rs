@@ -27,7 +27,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use crossbeam::thread;
@@ -305,6 +305,9 @@ struct PoolShared {
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     shutdown: AtomicBool,
+    /// Workers currently executing a job (not parked, not popping) — the
+    /// instantaneous utilization numerator exported by the service metrics.
+    busy: AtomicUsize,
 }
 
 thread_local! {
@@ -323,6 +326,7 @@ impl WorkerPool {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            busy: AtomicUsize::new(0),
         });
         let handles = (0..size.max(1))
             .map(|i| {
@@ -339,6 +343,19 @@ impl WorkerPool {
     /// Number of worker threads.
     pub fn size(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Jobs queued but not yet picked up by a worker. Point-in-time; only
+    /// meaningful as a pressure gauge (a scrape-rate signal, not a count
+    /// to act on per-value).
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.lock().map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// Workers currently executing a job. Point-in-time;
+    /// `busy_workers() / size()` is the pool's instantaneous utilization.
+    pub fn busy_workers(&self) -> usize {
+        self.inner.busy.load(Ordering::Relaxed)
     }
 
     fn submit(&self, job: Job) {
@@ -431,7 +448,9 @@ fn worker_loop(shared: &PoolShared) {
                 q = shared.available.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
+        shared.busy.fetch_add(1, Ordering::Relaxed);
         job();
+        shared.busy.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -693,6 +712,46 @@ mod tests {
             }
         });
         assert_eq!(total.load(Ordering::SeqCst), 100, "4 concurrent clients × 25 tasks");
+    }
+
+    #[test]
+    fn pool_gauges_track_busy_and_return_to_idle() {
+        use std::sync::atomic::AtomicBool;
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.queue_depth(), 0);
+        assert_eq!(pool.busy_workers(), 0);
+        let release = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let task = |_w: usize| {
+                    while !release.load(Ordering::SeqCst) {
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                    }
+                };
+                pool.scatter(1, &task);
+            });
+            // The job is running (parked on `release`), so the busy gauge
+            // must observe it.
+            let mut seen_busy = false;
+            for _ in 0..1000 {
+                if pool.busy_workers() > 0 {
+                    seen_busy = true;
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+            release.store(true, Ordering::SeqCst);
+            assert!(seen_busy, "busy gauge observes an in-flight job");
+        });
+        // The busy decrement races scatter's return by a few instructions.
+        for _ in 0..1000 {
+            if pool.busy_workers() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        assert_eq!(pool.busy_workers(), 0, "gauge returns to idle");
+        assert_eq!(pool.queue_depth(), 0);
     }
 
     #[test]

@@ -34,11 +34,30 @@
 //! into discovery decisions, and the instrumented pipeline is asserted
 //! bit-identical traced vs untraced.
 
+mod expose;
+mod metrics;
 mod tracer;
 mod trace;
 
+pub use expose::{
+    render_json, render_prometheus, StatsListener, StatsSource, EXPOSED_QUANTILES,
+    METRICS_SCHEMA_VERSION,
+};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricData, MetricKind, MetricValue,
+    MetricsRegistry, MetricsSnapshot, N_HIST_BUCKETS,
+};
 pub use trace::{DistSummary, PhaseNode, RunTrace, TraceEvent, TRACE_SCHEMA_VERSION};
 pub use tracer::{ScopeGuard, Span, TraceScope, Tracer};
+
+/// Upper bounds (seconds) of the shared log₂ histogram grid used by both
+/// tracer distributions and metrics-registry histograms: bucket `i` covers
+/// observations ≤ `1µs × 2^i`, spanning 1µs … ~134s over
+/// [`N_HIST_BUCKETS`] buckets. The last bucket additionally absorbs
+/// anything larger (it renders as `+Inf` in Prometheus exposition).
+pub fn dist_bucket_bounds_secs() -> Vec<f64> {
+    (0..tracer::N_DIST_BUCKETS).map(tracer::bucket_le_secs).collect()
+}
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -217,6 +217,17 @@ impl RunTrace {
             s.push_str(&format!("\n    \"{}\": {v}", escape_json(name)));
         }
         s.push_str(if self.counters.is_empty() { "},\n" } else { "\n  },\n" });
+        // The full histogram grid, so distributions are plottable without
+        // reading tracer.rs: per-distribution buckets only list non-empty
+        // bins, but every `le_secs` they mention appears in this array.
+        s.push_str("  \"dist_bucket_bounds_secs\": [");
+        for (i, le) in crate::dist_bucket_bounds_secs().iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{le:.9}"));
+        }
+        s.push_str("],\n");
         s.push_str("  \"distributions\": {");
         for (i, (name, d)) in self.dists.iter().enumerate() {
             if i > 0 {
@@ -347,6 +358,7 @@ mod tests {
             "\"wall_secs\"",
             "\"phases\"",
             "\"counters\"",
+            "\"dist_bucket_bounds_secs\"",
             "\"distributions\"",
             "\"events\"",
             "\"events_dropped\"",
@@ -355,6 +367,24 @@ mod tests {
         }
         assert!(json.contains("\"discover.joins_evaluated\": 7"));
         assert!(json.contains("\"path\": \"discover.level.eval\""));
+    }
+
+    #[test]
+    fn bucket_bounds_cover_every_emitted_bucket() {
+        let bounds = crate::dist_bucket_bounds_secs();
+        assert_eq!(bounds.len(), crate::N_HIST_BUCKETS);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        let t = sample_trace();
+        for (name, d) in &t.dists {
+            for &(le, _) in &d.buckets {
+                assert!(
+                    bounds.iter().any(|&b| (b - le).abs() < 1e-15),
+                    "{name}: bucket bound {le} missing from grid"
+                );
+            }
+        }
+        let json = t.to_json();
+        assert!(json.contains("\"dist_bucket_bounds_secs\": [0.000001000, "));
     }
 
     #[test]

@@ -46,8 +46,10 @@ impl DistAcc {
     }
 }
 
-/// The histogram bucket for an observation of `secs`.
-fn bucket_index(secs: f64) -> usize {
+/// The histogram bucket for an observation of `secs`. Shared with the
+/// always-on metrics registry so tracer distributions and service
+/// histograms land on the same grid.
+pub(crate) fn bucket_index(secs: f64) -> usize {
     if secs.is_nan() || secs <= 1e-6 {
         return 0; // ≤ 1µs, NaN, and negative all land in bucket 0
     }

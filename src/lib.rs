@@ -69,7 +69,8 @@ pub mod prelude {
         discovery_health_report, load_lake_dir, train_top_k, AutoFeat, AutoFeatConfig,
         DegradeConfig, DiscoveryRequest, DiscoveryResult, DiscoveryService, LakeLoadReport,
         MethodResult, PathFailure, Phase, PreparedRequest, QuarantinedTable, RankedPath,
-        ResilienceStats, SearchContext, ServiceStats, TrainOutcome, TruncationReason,
+        RequestLogRecord, RequestOutcome, ResilienceStats, SearchContext, ServiceStats,
+        TrainOutcome, TruncationReason, REQUEST_LOG_CAP,
     };
     pub use autofeat_data::{
         CacheRecorder, CacheStats, Column, DType, FaultDomain, Interrupt, KeyDict,
