@@ -1,0 +1,261 @@
+//! DRG construction at scale: all-pairs schema matching vs the hybrid
+//! LSH + name-pass candidate generator, and full rebuilds vs incremental
+//! maintenance ([`DrgMaintainer`]).
+//!
+//! Three synthetic lake tiers — 50, 200, and 800 total columns (~400 rows
+//! per table, 5 columns per table) — are generated with the structure that
+//! makes candidate pruning honest:
+//!
+//! * tables come in **families of 5** sharing a join-key name and an
+//!   overlapping key domain, so real edges exist and the name pass (not
+//!   LSH luck) guarantees them deterministically;
+//! * feature columns carry **table-disjoint float domains** (no value
+//!   collisions to prune — LSH must discover that cheaply) under two-word
+//!   names drawn from a 40-word vocabulary, so pairwise name similarity
+//!   stays below the τ = 0.75 name-candidate gate except for genuine
+//!   repeats.
+//!
+//! Per tier, the all-pairs reference ([`Drg::from_discovery`]) and the
+//! hybrid build ([`DrgMaintainer::build`] + `assemble`) are timed and
+//! their edge multisets compared **bit-for-bit** (the recall gate: hybrid
+//! candidate generation must lose no edge, including name-driven edges
+//! whose value overlap is too thin for reliable LSH collision). Then one
+//! extra table is added to each tier's maintainer and timed against a
+//! full hybrid rebuild over the enlarged lake — incremental splicing must
+//! win, and its latency must stay flat as the lake grows 16×.
+//!
+//! Emits `BENCH_drg.json` (hand-rolled JSON — no serde in this
+//! workspace). Exit codes gate the contract: 2 = edge-parity violation,
+//! 3 = LSH speedup below 3× at the 800-column tier, 4 = incremental add
+//! not faster than rebuild at the top tier, 5 = add latency grew with
+//! lake size (not flat).
+//!
+//! Usage: `drg_scale [--out PATH]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use autofeat_data::{Column, Table};
+use autofeat_discovery::SchemaMatcher;
+use autofeat_graph::{Drg, DrgMaintainer};
+
+/// 40 mutually dissimilar words (distinct leading characters dominate, so
+/// Jaro-Winkler prefix boosts stay rare) for synthetic column names.
+const WORDS: [&str; 40] = [
+    "orbit", "plasma", "krypton", "meadow", "glacier", "ember", "tundra", "quartz", "viola",
+    "zephyr", "anchor", "bramble", "cinder", "dynamo", "eagle", "falcon", "garnet", "harbor",
+    "ingot", "jigsaw", "kelp", "lantern", "mosaic", "nectar", "onyx", "prism", "quiver", "ridge",
+    "sable", "thicket", "umber", "vortex", "walnut", "xenon", "yarrow", "zeal", "basalt", "cobalt",
+    "drift", "fjord",
+];
+
+const ROWS: usize = 400;
+const COLS_PER_TABLE: usize = 5;
+const FAMILY: usize = 5;
+
+/// Table `t` of a tier: one int join key shared (name + overlapping
+/// domain) with its family, plus float features in a domain no other
+/// table touches.
+fn lake_table(t: usize) -> Table {
+    let fam = t / FAMILY;
+    let key_name = format!("key_{}", WORDS[fam % WORDS.len()]);
+    // Family domain base + per-table shift: adjacent family members
+    // overlap ~75% of their keys (a real, high-scoring join edge).
+    let base = (fam as i64) * 1_000_000 + (t % FAMILY) as i64 * (ROWS as i64 / 4);
+    let key = Column::from_ints((0..ROWS as i64).map(|i| Some(base + i)).collect::<Vec<_>>());
+    let mut cols = vec![(key_name, key)];
+    for j in 1..COLS_PER_TABLE {
+        let name = format!(
+            "{}_{}",
+            WORDS[(t * 7 + j * 3) % WORDS.len()],
+            WORDS[(t * 11 + j * 5 + 13) % WORDS.len()]
+        );
+        let vals = (0..ROWS)
+            .map(|i| Some((t * 10_000 + j * 500) as f64 + i as f64 * 0.37))
+            .collect::<Vec<_>>();
+        cols.push((name, Column::from_floats(vals)));
+    }
+    let named: Vec<(&str, Column)> = cols.iter().map(|(n, c)| (n.as_str(), c.clone())).collect();
+    Table::new(format!("t{t:03}"), named).expect("lake table builds")
+}
+
+fn lake(n_tables: usize) -> Vec<Table> {
+    (0..n_tables).map(lake_table).collect()
+}
+
+/// Canonical edge multiset — endpoints by table *name* (node ids depend
+/// on insertion order), weights by bit pattern.
+fn canonical_edges(drg: &Drg) -> Vec<(String, String, String, String, u64)> {
+    let mut out: Vec<_> = drg
+        .edges()
+        .iter()
+        .map(|e| {
+            (
+                drg.table_name(e.a).to_string(),
+                e.a_column.clone(),
+                drg.table_name(e.b).to_string(),
+                e.b_column.clone(),
+                e.weight.to_bits(),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+struct Tier {
+    columns: usize,
+    tables: usize,
+    edges: usize,
+    all_pairs_ms: f64,
+    hybrid_ms: f64,
+    speedup: f64,
+    parity: bool,
+    add_ms: f64,
+    rebuild_ms: f64,
+}
+
+fn measure_tier(n_tables: usize, matcher: &SchemaMatcher) -> Tier {
+    let tables = lake(n_tables);
+    let refs: Vec<&Table> = tables.iter().collect();
+
+    let t0 = Instant::now();
+    let all_pairs = Drg::from_discovery(&refs, matcher);
+    let all_pairs_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let maintainer = DrgMaintainer::build(&refs, matcher);
+    let hybrid = maintainer.assemble();
+    let hybrid_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let parity = canonical_edges(&all_pairs) == canonical_edges(&hybrid);
+
+    // Incremental add of one fresh table (own family ⇒ key edges to
+    // nobody; features disjoint like every other table) vs rebuilding the
+    // enlarged lake from scratch through the same hybrid path.
+    let newcomer = lake_table(n_tables + FAMILY); // fresh family index
+    let mut incremental = maintainer.clone();
+    let t0 = Instant::now();
+    incremental.add_table(&newcomer);
+    let _spliced = incremental.assemble();
+    let add_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut enlarged: Vec<&Table> = refs.clone();
+    enlarged.push(&newcomer);
+    let t0 = Instant::now();
+    let rebuilt = DrgMaintainer::build(&enlarged, matcher).assemble();
+    let rebuild_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let add_parity = canonical_edges(&incremental.assemble()) == canonical_edges(&rebuilt);
+
+    Tier {
+        columns: n_tables * COLS_PER_TABLE,
+        tables: n_tables,
+        edges: hybrid.n_edges(),
+        all_pairs_ms,
+        hybrid_ms,
+        speedup: all_pairs_ms / hybrid_ms.max(1e-6),
+        parity: parity && add_parity,
+        add_ms,
+        rebuild_ms,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_drg.json".to_string());
+
+    let matcher = SchemaMatcher::paper_default();
+    let tiers: Vec<Tier> = [10usize, 40, 160]
+        .iter()
+        .map(|&n| {
+            eprintln!("measuring tier: {n} tables ({} columns)...", n * COLS_PER_TABLE);
+            measure_tier(n, &matcher)
+        })
+        .collect();
+
+    let recall_parity = tiers.iter().all(|t| t.parity);
+    let top = tiers.last().expect("at least one tier");
+    let first = tiers.first().expect("at least one tier");
+    let lsh_speedup_ok = top.speedup >= 3.0;
+    let incremental_faster_than_rebuild = top.add_ms < top.rebuild_ms;
+    // Flatness: a 16× larger lake may not blow up the add latency — the
+    // splice is O(tables) with a tiny constant, never O(tables²).
+    let add_latency_flat = top.add_ms <= first.add_ms * 4.0 + 5.0;
+
+    println!(
+        "{:>8} {:>7} {:>6} {:>13} {:>11} {:>8} {:>7} {:>9} {:>11}",
+        "columns", "tables", "edges", "all_pairs_ms", "hybrid_ms", "speedup", "parity", "add_ms",
+        "rebuild_ms"
+    );
+    for t in &tiers {
+        println!(
+            "{:>8} {:>7} {:>6} {:>13.2} {:>11.2} {:>7.2}x {:>7} {:>9.3} {:>11.2}",
+            t.columns, t.tables, t.edges, t.all_pairs_ms, t.hybrid_ms, t.speedup, t.parity,
+            t.add_ms, t.rebuild_ms
+        );
+    }
+    println!(
+        "gates: recall_parity={recall_parity} lsh_speedup_ok={lsh_speedup_ok} \
+         incremental_faster_than_rebuild={incremental_faster_than_rebuild} \
+         add_latency_flat={add_latency_flat}"
+    );
+
+    let mut json = String::from("{\n  \"tiers\": [\n");
+    for (i, t) in tiers.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"columns\": {}, \"tables\": {}, \"edges\": {}, \"all_pairs_ms\": {:.3}, \
+             \"hybrid_ms\": {:.3}, \"speedup\": {:.3}, \"parity\": {}, \"add_ms\": {:.4}, \
+             \"rebuild_ms\": {:.3}}}{}",
+            t.columns,
+            t.tables,
+            t.edges,
+            t.all_pairs_ms,
+            t.hybrid_ms,
+            t.speedup,
+            t.parity,
+            t.add_ms,
+            t.rebuild_ms,
+            if i + 1 < tiers.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  ],\n  \"recall_parity\": {recall_parity},\n  \"lsh_speedup_ok\": {lsh_speedup_ok},\n  \
+         \"incremental_faster_than_rebuild\": {incremental_faster_than_rebuild},\n  \
+         \"add_latency_flat\": {add_latency_flat}\n}}"
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_drg.json");
+    eprintln!("wrote {out_path}");
+
+    if !recall_parity {
+        eprintln!("RECALL PARITY VIOLATION: hybrid candidate generation lost or altered edges");
+        std::process::exit(2);
+    }
+    if !lsh_speedup_ok {
+        eprintln!(
+            "SPEEDUP GATE FAILED: hybrid only {:.2}x faster at {} columns (need >= 3x)",
+            top.speedup, top.columns
+        );
+        std::process::exit(3);
+    }
+    if !incremental_faster_than_rebuild {
+        eprintln!(
+            "INCREMENTAL GATE FAILED: add {:.3}ms vs rebuild {:.3}ms",
+            top.add_ms, top.rebuild_ms
+        );
+        std::process::exit(4);
+    }
+    if !add_latency_flat {
+        eprintln!(
+            "FLATNESS GATE FAILED: add {:.3}ms at {} columns vs {:.3}ms at {} columns",
+            top.add_ms, top.columns, first.add_ms, first.columns
+        );
+        std::process::exit(5);
+    }
+}

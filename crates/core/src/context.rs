@@ -3,13 +3,13 @@
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use autofeat_data::csv::{read_csv_opts, CsvReadOptions, IngestDiagnostics};
 use autofeat_data::{DataError, FaultDomain, LakeIndexCache, Result, RunControl, Table};
 use autofeat_obs as obs;
-use autofeat_discovery::SchemaMatcher;
-use autofeat_graph::{Drg, DrgBuilder};
+use autofeat_discovery::{ColumnProfile, SchemaMatcher};
+use autofeat_graph::{Drg, DrgBuilder, DrgMaintainer};
 
 /// A lake file that could not be turned into a table, with the reason it was
 /// set aside (kept so runs can report *why* coverage is partial).
@@ -100,6 +100,21 @@ fn fs_read_dir(dir: &Path) -> Result<Vec<std::path::PathBuf>> {
     Ok(out)
 }
 
+/// The mutable-lake authority shared by every clone of a discovery-built
+/// context: the current table set, the DRG assembled from it, and the
+/// incremental maintainer (profiles + LSH index + match lists) that splices
+/// the DRG on mutation. Readers take O(1) `Arc` snapshots under the read
+/// lock; [`SearchContext::add_table`]/[`SearchContext::remove_table`] swap
+/// in new snapshots under the write lock, so in-flight requests keep the
+/// exact lake they started with while new requests (which snapshot via
+/// [`SearchContext::with_base_label`]) observe the mutation.
+#[derive(Debug)]
+struct LakeState {
+    tables: Arc<HashMap<String, Table>>,
+    drg: Arc<Drg>,
+    maintainer: DrgMaintainer,
+}
+
 /// Everything a discovery run needs: the dataset collection, the base table
 /// with its label column, the joinability graph, and the lake-wide join-index
 /// cache shared (via `Arc` — clones of the context share one cache) by
@@ -110,6 +125,15 @@ fn fs_read_dir(dir: &Path) -> Result<Vec<std::path::PathBuf>> {
 /// [`with_base_label`](SearchContext::with_base_label)) is O(1) and never
 /// copies a table. Only `base`/`label` (the request's viewpoint) and the
 /// `control` handle are per-clone.
+///
+/// Discovery-built contexts ([`from_discovery`](SearchContext::from_discovery))
+/// additionally own mutable lake state: [`add_table`](SearchContext::add_table)
+/// and [`remove_table`](SearchContext::remove_table) splice the DRG
+/// incrementally (profiling only the mutated table) and invalidate only that
+/// table's join-index cache entries. A context's `tables`/`drg` fields are a
+/// *snapshot*; [`latest`](SearchContext::latest) and
+/// [`with_base_label`](SearchContext::with_base_label) re-snapshot from the
+/// shared authority.
 #[derive(Debug, Clone)]
 pub struct SearchContext {
     tables: Arc<HashMap<String, Table>>,
@@ -122,6 +146,9 @@ pub struct SearchContext {
     /// fire only for runs over *this* lake instance, so same-named tables
     /// in other contexts stay unaffected (see `autofeat_data::faults`).
     faults: Arc<FaultDomain>,
+    /// Mutable-lake authority; `None` for explicit-DRG/KFK contexts, whose
+    /// lakes are immutable (mutation calls error).
+    lake: Option<Arc<RwLock<LakeState>>>,
 }
 
 /// Attach ingest-built key metadata (dictionaries + row fingerprints) to
@@ -162,15 +189,38 @@ impl SearchContext {
             cache: Arc::new(LakeIndexCache::new()),
             control: Arc::new(RunControl::new()),
             faults: FaultDomain::new(),
+            lake: None,
         })
     }
 
-    /// A per-request view of the same lake: shares the tables, DRG, cache,
-    /// and fault domain (all O(1) `Arc` clones), but looks at `base`/`label`
-    /// instead — validated exactly like [`SearchContext::new`]. The control
-    /// handle is shared too; use
-    /// [`with_request_control`](SearchContext::with_request_control) to give
-    /// the view its own.
+    /// Re-snapshot `tables`/`drg` from the shared lake authority, if this
+    /// context has one. No-op for immutable (KFK/explicit-DRG) contexts.
+    fn refresh(&mut self) {
+        if let Some(cell) = &self.lake {
+            // A poisoned lock means a mutator panicked; its write never
+            // landed (snapshots swap atomically), so the resident state is
+            // still consistent — recover and read it.
+            let state = cell.read().unwrap_or_else(|e| e.into_inner());
+            self.tables = Arc::clone(&state.tables);
+            self.drg = Arc::clone(&state.drg);
+        }
+    }
+
+    /// The current lake as a fresh snapshot view: same base/label/control,
+    /// but `tables`/`drg` reflect every mutation applied so far. For
+    /// immutable contexts this is a plain clone.
+    pub fn latest(&self) -> SearchContext {
+        let mut view = self.clone();
+        view.refresh();
+        view
+    }
+
+    /// A per-request view of the same lake: shares the cache and fault
+    /// domain (O(1) `Arc` clones), re-snapshots the current tables/DRG from
+    /// the lake authority, and looks at `base`/`label` instead — validated
+    /// exactly like [`SearchContext::new`]. The control handle is shared
+    /// too; use [`with_request_control`](SearchContext::with_request_control)
+    /// to give the view its own.
     pub fn with_base_label(
         &self,
         base: impl Into<String>,
@@ -178,13 +228,14 @@ impl SearchContext {
     ) -> Result<SearchContext> {
         let base = base.into();
         let label = label.into();
-        let base_table = self.tables.get(&base).ok_or_else(|| {
+        let mut view = self.clone();
+        view.refresh();
+        let base_table = view.tables.get(&base).ok_or_else(|| {
             DataError::Invalid(format!("base table `{base}` not in the collection"))
         })?;
         if !base_table.has_column(&label) {
             return Err(DataError::ColumnNotFound { table: base, column: label });
         }
-        let mut view = self.clone();
         view.base = base;
         view.label = label;
         Ok(view)
@@ -224,7 +275,18 @@ impl SearchContext {
     }
 
     /// Build the *data-lake setting* context: run dataset discovery over
-    /// every table pair (the label column is hidden from the matcher).
+    /// the table collection (the label column is hidden from the matcher).
+    ///
+    /// Candidate generation goes through the hybrid LSH + name-similarity
+    /// index ([`DrgMaintainer`]) rather than the all-pairs matcher — same
+    /// edges (gated by the `drg_scale` bench), sub-quadratic scoring — and
+    /// the maintainer stays resident as the context's mutable-lake state,
+    /// so [`add_table`](SearchContext::add_table)/
+    /// [`remove_table`](SearchContext::remove_table) splice incrementally.
+    /// Its footprint is owned lake metadata (charged like
+    /// [`Table::key_meta_bytes`], see
+    /// [`lake_index_bytes`](SearchContext::lake_index_bytes)), not cache
+    /// occupancy.
     pub fn from_discovery(
         tables: Vec<Table>,
         matcher: &SchemaMatcher,
@@ -244,8 +306,115 @@ impl SearchContext {
             })
             .collect();
         let refs: Vec<&Table> = stripped.iter().collect();
-        let drg = Drg::from_discovery(&refs, matcher);
-        SearchContext::new(ensure_key_meta(tables), drg, base, label)
+        let maintainer = DrgMaintainer::build(&refs, matcher);
+        let drg = maintainer.assemble();
+        let mut ctx = SearchContext::new(ensure_key_meta(tables), drg, base, label)?;
+        ctx.lake = Some(Arc::new(RwLock::new(LakeState {
+            tables: Arc::clone(&ctx.tables),
+            drg: Arc::clone(&ctx.drg),
+            maintainer,
+        })));
+        Ok(ctx)
+    }
+
+    /// Whether this context owns mutable lake state (built via
+    /// [`from_discovery`](SearchContext::from_discovery)).
+    pub fn is_mutable(&self) -> bool {
+        self.lake.is_some()
+    }
+
+    /// Resident footprint of the lake's discovery metadata (column
+    /// profiles, LSH index, name-sim cache), in bytes. Zero for immutable
+    /// contexts. Like [`Table::key_meta_bytes`], this is owned lake state —
+    /// it is *not* governed by (or counted against) the join-index cache
+    /// budget.
+    pub fn lake_index_bytes(&self) -> usize {
+        self.lake.as_ref().map_or(0, |cell| {
+            cell.read().unwrap_or_else(|e| e.into_inner()).maintainer.resident_bytes()
+        })
+    }
+
+    fn lake_cell(&self) -> Result<&Arc<RwLock<LakeState>>> {
+        self.lake.as_ref().ok_or_else(|| {
+            DataError::Invalid(
+                "lake mutation requires a discovery-built context \
+                 (SearchContext::from_discovery); KFK/explicit-DRG lakes are immutable"
+                    .into(),
+            )
+        })
+    }
+
+    /// Add a table to the lake. Profiles only the new table (outside the
+    /// lake lock), splices DRG edges incrementally via the resident
+    /// [`DrgMaintainer`], and swaps in a new snapshot — concurrent requests
+    /// keep the snapshot they started with; requests prepared afterwards
+    /// (via [`with_base_label`](SearchContext::with_base_label) or
+    /// [`latest`](SearchContext::latest)) see the new table. Cache entries
+    /// of other tables are untouched.
+    ///
+    /// Errors if this context is immutable or a table of that name is
+    /// already resident (remove it first — replacement must be explicit).
+    pub fn add_table(&self, table: Table) -> Result<()> {
+        let cell = self.lake_cell()?;
+        let _span = obs::span("lake_add_table");
+        let table = if table.has_key_meta() { table } else { table.with_key_dicts() };
+        let name = table.name().to_string();
+        // The expensive part — profiling the new columns — happens before
+        // the write lock, so concurrent request preparation never stalls
+        // behind it.
+        let profiles = ColumnProfile::build_all(&table);
+        {
+            let mut state = cell.write().unwrap_or_else(|e| e.into_inner());
+            if state.tables.contains_key(&name) {
+                return Err(DataError::Invalid(format!(
+                    "table `{name}` is already in the lake; remove it first"
+                )));
+            }
+            state.maintainer.add_profiles(&name, profiles);
+            let mut tables = (*state.tables).clone();
+            tables.insert(name.clone(), table);
+            state.tables = Arc::new(tables);
+            state.drg = Arc::new(state.maintainer.assemble());
+        }
+        // Release any slots a removed same-named predecessor left behind.
+        // (Slot verification is by column data identity, so the new version
+        // could never *hit* them — this is memory hygiene, not correctness.)
+        self.cache.invalidate_table(&name);
+        obs::incr("lake.tables_added");
+        Ok(())
+    }
+
+    /// Remove a table from the lake: un-splices its DRG edges via the
+    /// resident [`DrgMaintainer`] and invalidates exactly its join-index
+    /// cache entries — never a full rebuild, never a full cache flush.
+    /// Snapshot semantics match [`add_table`](SearchContext::add_table):
+    /// in-flight requests over the old snapshot are unaffected (their
+    /// `Arc`s keep the table and any cached indexes alive).
+    ///
+    /// Errors if this context is immutable, the table is absent, or it is
+    /// this view's base table.
+    pub fn remove_table(&self, name: &str) -> Result<()> {
+        let cell = self.lake_cell()?;
+        let _span = obs::span("lake_remove_table");
+        if name == self.base {
+            return Err(DataError::Invalid(format!(
+                "cannot remove `{name}`: it is this context's base table"
+            )));
+        }
+        {
+            let mut state = cell.write().unwrap_or_else(|e| e.into_inner());
+            if !state.tables.contains_key(name) {
+                return Err(DataError::Invalid(format!("table `{name}` not in the lake")));
+            }
+            state.maintainer.remove_table(name);
+            let mut tables = (*state.tables).clone();
+            tables.remove(name);
+            state.tables = Arc::new(tables);
+            state.drg = Arc::new(state.maintainer.assemble());
+        }
+        self.cache.invalidate_table(name);
+        obs::incr("lake.tables_removed");
+        Ok(())
     }
 
     /// The base table.
@@ -456,6 +625,102 @@ mod tests {
         assert!(ctx.drg().n_edges() >= 1);
         // Label survives in the stored base table.
         assert!(ctx.base_table().has_column("target"));
+    }
+
+    fn extra_table(name: &str, shift: i64) -> Table {
+        Table::new(
+            name,
+            vec![
+                ("k", Column::from_ints((shift..shift + 20).map(Some).collect::<Vec<_>>())),
+                ("x", Column::from_ints((400..420).map(Some).collect::<Vec<_>>())),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn add_table_is_visible_to_new_views_not_old_snapshots() {
+        let ctx = SearchContext::from_discovery(
+            tables(),
+            &SchemaMatcher::paper_default(),
+            "base",
+            "target",
+        )
+        .unwrap();
+        assert!(ctx.is_mutable());
+        let snapshot = ctx.clone();
+        ctx.add_table(extra_table("extra", 0)).unwrap();
+        assert_eq!(snapshot.n_tables(), 2, "pre-mutation snapshot unchanged");
+        assert_eq!(ctx.n_tables(), 2, "the handle itself is a snapshot too");
+        let fresh = ctx.latest();
+        assert_eq!(fresh.n_tables(), 3);
+        assert!(fresh.table("extra").is_some());
+        assert!(
+            fresh.drg().node("extra").is_some(),
+            "new table spliced into the DRG: {:?}",
+            fresh.drg().edges()
+        );
+        let view = ctx.with_base_label("extra", "x").unwrap();
+        assert_eq!(view.n_tables(), 3, "views re-snapshot the latest lake");
+        // And removal takes it back out.
+        ctx.remove_table("extra").unwrap();
+        assert_eq!(ctx.latest().n_tables(), 2);
+        assert!(ctx.latest().drg().node("extra").is_none());
+    }
+
+    #[test]
+    fn mutated_lake_matches_fresh_discovery_bit_for_bit() {
+        let matcher = SchemaMatcher::paper_default();
+        let ctx =
+            SearchContext::from_discovery(tables(), &matcher, "base", "target").unwrap();
+        ctx.add_table(extra_table("extra", 5)).unwrap();
+        ctx.add_table(extra_table("other", 10)).unwrap();
+        ctx.remove_table("extra").unwrap();
+        let mutated = ctx.latest();
+        let mut final_tables = tables();
+        final_tables.push(extra_table("other", 10));
+        let fresh =
+            SearchContext::from_discovery(final_tables, &matcher, "base", "target").unwrap();
+        let (a, b) = (mutated.drg(), fresh.drg());
+        assert_eq!(a.n_nodes(), b.n_nodes());
+        assert_eq!(a.n_edges(), b.n_edges());
+        for (x, y) in a.edges().iter().zip(b.edges()) {
+            assert_eq!(a.table_name(x.a), b.table_name(y.a));
+            assert_eq!(a.table_name(x.b), b.table_name(y.b));
+            assert_eq!((&x.a_column, &x.b_column), (&y.a_column, &y.b_column));
+            assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+        }
+    }
+
+    #[test]
+    fn immutable_contexts_reject_mutation() {
+        let ctx = SearchContext::from_kfk(
+            tables(),
+            &[("base".into(), "k".into(), "ext".into(), "k".into())],
+            "base",
+            "target",
+        )
+        .unwrap();
+        assert!(!ctx.is_mutable());
+        assert_eq!(ctx.lake_index_bytes(), 0);
+        assert!(ctx.add_table(extra_table("extra", 0)).is_err());
+        assert!(ctx.remove_table("ext").is_err());
+    }
+
+    #[test]
+    fn mutation_guards_base_duplicates_and_missing() {
+        let ctx = SearchContext::from_discovery(
+            tables(),
+            &SchemaMatcher::paper_default(),
+            "base",
+            "target",
+        )
+        .unwrap();
+        assert!(ctx.remove_table("base").is_err(), "base is not removable");
+        assert!(ctx.remove_table("ghost").is_err(), "missing table");
+        let dup = Table::new("ext", vec![("z", Column::from_ints([Some(1)]))]).unwrap();
+        assert!(ctx.add_table(dup).is_err(), "duplicate name must be explicit");
+        assert!(ctx.lake_index_bytes() > 0, "discovery metadata is charged");
     }
 
     fn temp_lake(tag: &str) -> std::path::PathBuf {

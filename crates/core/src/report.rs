@@ -206,6 +206,8 @@ mod tests {
                 budget_bytes: None,
                 lock_recoveries: 0,
                 build_panics: 0,
+                invalidations: 0,
+                invalidated_bytes: 0,
             }),
             trace: None,
             resilience: Default::default(),
@@ -319,6 +321,8 @@ join-index cache: 8 hit(s), 2 miss(es), 3ms build time, 2 index(es) resident (40
             budget_bytes: Some(10240),
             lock_recoveries: 0,
             build_panics: 0,
+            invalidations: 0,
+            invalidated_bytes: 0,
         });
         let r = discovery_health_report(&d);
         let expected = "\

@@ -70,7 +70,7 @@ use std::time::{Duration, Instant};
 
 use autofeat_data::cache::LakeIndexCache;
 use autofeat_data::parallel::shared_pool;
-use autofeat_data::{CacheStats, Result, RunControl};
+use autofeat_data::{CacheStats, Result, RunControl, Table};
 use autofeat_obs::{
     render_json, render_prometheus, Counter, Histogram, MetricsRegistry, MetricsSnapshot,
     StatsListener, StatsSource,
@@ -305,6 +305,8 @@ struct Telemetry {
     requests_rejected: Counter,
     degradations: Counter,
     worker_panics: Counter,
+    tables_added: Counter,
+    tables_removed: Counter,
     log: Mutex<RequestLog>,
     next_id: AtomicU64,
     log_dumped: AtomicBool,
@@ -345,6 +347,14 @@ impl Telemetry {
             worker_panics: registry.counter(
                 "autofeat_worker_panics_total",
                 "Worker panics caught and isolated across all requests.",
+            ),
+            tables_added: registry.counter(
+                "autofeat_tables_added_total",
+                "Tables added to the live lake (incremental DRG splice).",
+            ),
+            tables_removed: registry.counter(
+                "autofeat_tables_removed_total",
+                "Tables removed from the live lake (incremental DRG splice).",
             ),
             registry,
             started: Instant::now(),
@@ -725,6 +735,35 @@ impl DiscoveryService {
     pub fn submit(&self, req: &DiscoveryRequest) -> Result<DiscoveryResult> {
         self.prepare(req)?.run()
     }
+
+    /// Add `table` to the live lake without draining in-flight requests:
+    /// the new table is profiled outside the lake lock, spliced into the
+    /// DRG incrementally ([`SearchContext::add_table`]), and visible to
+    /// every request prepared after this call returns. Requests already
+    /// running keep their pre-mutation snapshot — never a torn view.
+    /// Errors if the service was built from an immutable (KFK /
+    /// explicit-DRG) context or the name is already present.
+    pub fn add_table(&self, table: Table) -> Result<()> {
+        self.ctx.add_table(table)?;
+        if let Some(tel) = &self.telemetry {
+            tel.tables_added.incr();
+        }
+        Ok(())
+    }
+
+    /// Remove `name` from the live lake: its DRG edges are spliced out
+    /// incrementally and only its own cache entries are invalidated
+    /// ([`SearchContext::remove_table`]); the rest of the cache survives.
+    /// In-flight requests holding the pre-mutation snapshot finish
+    /// unperturbed. Errors on the base table, unknown names, or an
+    /// immutable context.
+    pub fn remove_table(&self, name: &str) -> Result<()> {
+        self.ctx.remove_table(name)?;
+        if let Some(tel) = &self.telemetry {
+            tel.tables_removed.incr();
+        }
+        Ok(())
+    }
 }
 
 /// A validated, bound, not-yet-running request from
@@ -818,6 +857,75 @@ mod tests {
             "target",
         )
         .unwrap()
+    }
+
+    /// Same lake shape as [`service_ctx`], but discovery-built so the
+    /// service can mutate it.
+    fn mutable_ctx(n: i64) -> SearchContext {
+        let base = Table::new(
+            "base",
+            vec![
+                ("k", Column::from_ints((0..n).map(Some).collect::<Vec<_>>())),
+                (
+                    "target",
+                    Column::from_ints((0..n).map(|i| Some(i % 2)).collect::<Vec<_>>()),
+                ),
+            ],
+        )
+        .unwrap();
+        let sat = Table::new(
+            "sat",
+            vec![
+                ("k", Column::from_ints((0..n).map(Some).collect::<Vec<_>>())),
+                (
+                    "f",
+                    Column::from_floats(
+                        (0..n).map(|i| Some(((i % 2) * 100 + i) as f64)).collect::<Vec<_>>(),
+                    ),
+                ),
+            ],
+        )
+        .unwrap();
+        SearchContext::from_discovery(
+            vec![base, sat],
+            &autofeat_discovery::SchemaMatcher::paper_default(),
+            "base",
+            "target",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn live_mutation_changes_later_requests_and_counts() {
+        let n = 40i64;
+        let service = DiscoveryService::new(mutable_ctx(n), AutoFeatConfig::default());
+        let before = service.submit(&DiscoveryRequest::new()).unwrap();
+        let extra = Table::new(
+            "extra",
+            vec![
+                ("k", Column::from_ints((0..n).map(Some).collect::<Vec<_>>())),
+                (
+                    "g",
+                    Column::from_floats((0..n).map(|i| Some(i as f64 * 3.0)).collect::<Vec<_>>()),
+                ),
+            ],
+        )
+        .unwrap();
+        service.add_table(extra).unwrap();
+        let after = service.submit(&DiscoveryRequest::new()).unwrap();
+        assert!(
+            after.ranked.len() > before.ranked.len(),
+            "the added joinable table yields new candidate paths ({} vs {})",
+            after.ranked.len(),
+            before.ranked.len()
+        );
+        service.remove_table("extra").unwrap();
+        let reverted = service.submit(&DiscoveryRequest::new()).unwrap();
+        assert_same_ranking(&before, &reverted);
+        assert!(service.remove_table("base").is_err(), "base stays protected");
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.counter("autofeat_tables_added_total"), Some(1));
+        assert_eq!(snap.counter("autofeat_tables_removed_total"), Some(1));
     }
 
     fn assert_same_ranking(a: &DiscoveryResult, b: &DiscoveryResult) {

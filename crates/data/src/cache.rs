@@ -89,6 +89,7 @@ use std::time::{Duration, Instant};
 
 use autofeat_obs as obs;
 
+use crate::column::Column;
 use crate::control;
 use crate::error::{DataError, Result};
 use crate::join::{left_join_with_index, JoinIndex, JoinOutput};
@@ -169,6 +170,12 @@ pub struct CacheStats {
     /// surfaced to its caller as a structured error; the empty slot was
     /// dropped so later touches retry.
     pub build_panics: u64,
+    /// Slots dropped by targeted invalidation
+    /// ([`LakeIndexCache::invalidate_table`]) — the lake-mutation path
+    /// removes exactly the mutated table's entries, never flushing the rest.
+    pub invalidations: u64,
+    /// Total resident bytes released by those invalidations.
+    pub invalidated_bytes: u64,
 }
 
 impl CacheStats {
@@ -191,6 +198,8 @@ impl CacheStats {
             budget_bytes: self.budget_bytes,
             lock_recoveries: self.lock_recoveries.saturating_sub(earlier.lock_recoveries),
             build_panics: self.build_panics.saturating_sub(earlier.build_panics),
+            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+            invalidated_bytes: self.invalidated_bytes.saturating_sub(earlier.invalidated_bytes),
         }
     }
 }
@@ -218,6 +227,8 @@ pub struct CacheRecorder {
     rejections: AtomicU64,
     lock_recoveries: AtomicU64,
     build_panics: AtomicU64,
+    invalidations: AtomicU64,
+    invalidated_bytes: AtomicU64,
 }
 
 impl CacheRecorder {
@@ -251,6 +262,8 @@ impl CacheRecorder {
             budget_bytes: occupancy.budget_bytes,
             lock_recoveries: self.lock_recoveries.load(Ordering::Relaxed),
             build_panics: self.build_panics.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            invalidated_bytes: self.invalidated_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -301,6 +314,13 @@ type Entry = Arc<OnceLock<Arc<JoinIndex>>>;
 struct Slot {
     table: String,
     column: String,
+    /// The key column this slot's index was (or will be) built from — a
+    /// cheap `Arc` clone held for *data-version identity*: probes verify
+    /// [`Column::same_data`] so a re-added table with the same name but
+    /// different contents gets a distinct slot instead of being served a
+    /// stale index (and in-flight requests over the old snapshot keep
+    /// hitting the old version's slot until it is invalidated).
+    key_col: Column,
     cell: Entry,
     /// Logical last-touch time (global probe clock); bumped on every probe,
     /// read by LRU eviction. Atomic so hits can touch it under the governor
@@ -334,6 +354,8 @@ struct Governor {
     evictions: u64,
     evicted_bytes: u64,
     rejections: u64,
+    invalidations: u64,
+    invalidated_bytes: u64,
     budget: Option<u64>,
 }
 
@@ -501,7 +523,7 @@ impl LakeIndexCache {
             return Err(DataError::Interrupted(reason));
         }
 
-        let entry = self.probe(table.name(), column);
+        let entry = self.probe(table.name(), column, key_col);
         let mut built = false;
         // Panic isolation: a poisoned table must fail *this* entry, not
         // abort the run. `OnceLock::get_or_init` leaves the cell
@@ -598,6 +620,47 @@ impl LakeIndexCache {
         left_join_with_index(left, right, &index, left_key, prefix, seed)
     }
 
+    /// Drop every slot belonging to `table` — built, denied-then-recreated,
+    /// or still unbuilt — releasing their resident bytes. The lake-mutation
+    /// path (`add_table`/`remove_table`) calls this so a mutated table's
+    /// stale indexes are released promptly while every other table's
+    /// entries stay warm; a full flush is never needed. In-flight joins
+    /// holding `Arc` clones of an invalidated index are unaffected.
+    ///
+    /// Returns the number of slots removed.
+    pub fn invalidate_table(&self, table: &str) -> u64 {
+        let Ok(mut gov) = self.gov.write() else {
+            self.note_lock_recovery();
+            return 0;
+        };
+        let mut removed = 0u64;
+        let mut bytes = 0u64;
+        gov.buckets.retain(|_, bucket| {
+            bucket.retain(|s| {
+                if s.table == table {
+                    removed += 1;
+                    bytes += s.bytes;
+                    false
+                } else {
+                    true
+                }
+            });
+            !bucket.is_empty()
+        });
+        if removed > 0 {
+            gov.resident -= bytes;
+            gov.invalidations += removed;
+            gov.invalidated_bytes += bytes;
+            obs::add("cache.invalidations", removed);
+            obs::add("cache.invalidated_bytes", bytes);
+            record(|r| {
+                r.invalidations.fetch_add(removed, Ordering::Relaxed);
+                r.invalidated_bytes.fetch_add(bytes, Ordering::Relaxed);
+            });
+        }
+        removed
+    }
+
     /// Point-in-time counter snapshot.
     pub fn stats(&self) -> CacheStats {
         let gov_snapshot = self.gov.read().map(|g| {
@@ -615,16 +678,27 @@ impl LakeIndexCache {
                 g.rejections,
                 g.peak_resident,
                 g.budget,
+                g.invalidations,
+                g.invalidated_bytes,
             )
         });
-        let (entries, resident, evictions, evicted_bytes, rejections, peak, budget) =
-            match gov_snapshot {
-                Ok(snap) => snap,
-                Err(_) => {
-                    self.note_lock_recovery();
-                    (0, 0, 0, 0, 0, 0, None)
-                }
-            };
+        let (
+            entries,
+            resident,
+            evictions,
+            evicted_bytes,
+            rejections,
+            peak,
+            budget,
+            invalidations,
+            invalidated_bytes,
+        ) = match gov_snapshot {
+            Ok(snap) => snap,
+            Err(_) => {
+                self.note_lock_recovery();
+                (0, 0, 0, 0, 0, 0, None, 0, 0)
+            }
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -638,6 +712,8 @@ impl LakeIndexCache {
             budget_bytes: budget,
             lock_recoveries: self.lock_recoveries.load(Ordering::Relaxed),
             build_panics: self.build_panics.load(Ordering::Relaxed),
+            invalidations,
+            invalidated_bytes,
         }
     }
 
@@ -645,16 +721,15 @@ impl LakeIndexCache {
     /// touch. Allocation-free on the hit path: the pair is FNV-hashed and
     /// verified by `&str` comparison inside the bucket; key `String`s are
     /// cloned only when a new slot is inserted.
-    fn probe(&self, table: &str, column: &str) -> Entry {
+    fn probe(&self, table: &str, column: &str, key_col: &Column) -> Entry {
         let h = slot_hash(table, column);
         let touch = || self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let verifies = |s: &Slot| {
+            s.table == table && s.column == column && s.key_col.same_data(key_col)
+        };
         // Fast path: shared read lock, atomic LRU touch.
         if let Ok(gov) = self.gov.read() {
-            if let Some(slot) = gov
-                .buckets
-                .get(&h)
-                .and_then(|b| b.iter().find(|s| s.table == table && s.column == column))
-            {
+            if let Some(slot) = gov.buckets.get(&h).and_then(|b| b.iter().find(|s| verifies(s))) {
                 slot.last_touch.store(touch(), Ordering::Relaxed);
                 return Arc::clone(&slot.cell);
             }
@@ -664,15 +739,14 @@ impl LakeIndexCache {
         match self.gov.write() {
             Ok(mut gov) => {
                 let bucket = gov.buckets.entry(h).or_default();
-                if let Some(slot) =
-                    bucket.iter().find(|s| s.table == table && s.column == column)
-                {
+                if let Some(slot) = bucket.iter().find(|s| verifies(s)) {
                     slot.last_touch.store(touch(), Ordering::Relaxed);
                     return Arc::clone(&slot.cell);
                 }
                 let slot = Slot {
                     table: table.to_string(),
                     column: column.to_string(),
+                    key_col: key_col.clone(),
                     cell: Entry::default(),
                     last_touch: AtomicU64::new(touch()),
                     bytes: 0,
@@ -908,6 +982,8 @@ mod tests {
             budget_bytes: Some(200),
             lock_recoveries: 1,
             build_panics: 0,
+            invalidations: 1,
+            invalidated_bytes: 30,
         };
         let later = CacheStats {
             hits: 10,
@@ -922,6 +998,8 @@ mod tests {
             budget_bytes: Some(400),
             lock_recoveries: 4,
             build_panics: 2,
+            invalidations: 5,
+            invalidated_bytes: 130,
         };
         let d = later.since(&earlier);
         assert_eq!(d.hits, 8);
@@ -936,6 +1014,57 @@ mod tests {
         assert_eq!(d.budget_bytes, Some(400));
         assert_eq!(d.lock_recoveries, 3);
         assert_eq!(d.build_panics, 2);
+        assert_eq!(d.invalidations, 4);
+        assert_eq!(d.invalidated_bytes, 100);
+    }
+
+    #[test]
+    fn invalidate_table_removes_only_that_tables_slots() {
+        let cache = LakeIndexCache::with_budget(None);
+        let l = base();
+        let a = lake_table("inv_a", 6);
+        let b = lake_table("inv_b", 6);
+        cache.left_join_normalized(&l, &a, "id", "key", "p", 1).unwrap();
+        cache.left_join_normalized(&l, &b, "id", "key", "p", 1).unwrap();
+        let before = cache.stats();
+        assert_eq!(before.entries, 2);
+        assert_eq!(cache.invalidate_table("inv_a"), 1);
+        let st = cache.stats();
+        assert_eq!(st.entries, 1, "only inv_a's slot dropped");
+        assert_eq!(st.invalidations, 1);
+        assert!(st.invalidated_bytes > 0);
+        assert_eq!(st.resident_bytes, before.resident_bytes - st.invalidated_bytes);
+        // The survivor still hits; the invalidated table rebuilds.
+        cache.left_join_normalized(&l, &b, "id", "key", "p", 2).unwrap();
+        cache.left_join_normalized(&l, &a, "id", "key", "p", 2).unwrap();
+        let st2 = cache.stats();
+        assert_eq!(st2.hits, before.hits + 1);
+        assert_eq!(st2.misses, before.misses + 1);
+        // Unknown tables are a counted-as-zero no-op.
+        assert_eq!(cache.invalidate_table("ghost"), 0);
+    }
+
+    #[test]
+    fn same_name_different_contents_gets_a_distinct_slot() {
+        // A re-added table keeps its name but carries new column payloads;
+        // slot verification is by data identity, so the new version must
+        // never be served the old version's index.
+        let cache = LakeIndexCache::with_budget(None);
+        let v1 = lake_table("versioned", 6);
+        let v2 = lake_table("versioned", 2); // same name, different contents
+        let i1 = cache.get_or_build(&v1, "key").unwrap();
+        let i2 = cache.get_or_build(&v2, "key").unwrap();
+        assert!(!Arc::ptr_eq(&i1, &i2), "distinct versions, distinct indexes");
+        let st = cache.stats();
+        assert_eq!((st.misses, st.entries), (2, 2), "both versions resident");
+        // A clone of v1 shares its payload → still hits v1's slot.
+        let v1_clone = v1.clone();
+        let i1_again = cache.get_or_build(&v1_clone, "key").unwrap();
+        assert!(Arc::ptr_eq(&i1, &i1_again));
+        assert_eq!(cache.stats().hits, 1);
+        // Invalidating the name drops *all* versions.
+        assert_eq!(cache.invalidate_table("versioned"), 2);
+        assert_eq!(cache.stats().entries, 0);
     }
 
     #[test]

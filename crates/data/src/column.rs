@@ -103,6 +103,22 @@ impl Column {
         }
     }
 
+    /// Whether two columns share one underlying payload allocation (O(1)
+    /// clones of the same column). Used as a cheap *data-version identity*:
+    /// two logically equal but separately built columns answer `false`,
+    /// which is exactly what version-sensitive consumers (the join-index
+    /// cache's slot verification) need. Copy-on-write mutation breaks the
+    /// sharing, so a `true` answer also implies equal contents.
+    pub fn same_data(&self, other: &Column) -> bool {
+        match (self, other) {
+            (Column::Int(a), Column::Int(b)) => Arc::ptr_eq(a, b),
+            (Column::Float(a), Column::Float(b)) => Arc::ptr_eq(a, b),
+            (Column::Str(a), Column::Str(b)) => Arc::ptr_eq(a, b),
+            (Column::Bool(a), Column::Bool(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         match self {

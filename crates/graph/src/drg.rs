@@ -258,53 +258,15 @@ impl Drg {
         drg
     }
 
-    /// LSH-accelerated discovery: instead of scoring all `O(C²)` column
-    /// pairs, only pairs colliding in the MinHash LSH index are scored.
-    /// Name-only matches (high name similarity, little value overlap) can
-    /// be missed — the trade the Lazo-style systems make; on key-like
-    /// columns (the ones worth joining on) recall is near-perfect.
+    /// LSH-accelerated discovery: only column pairs that collide in the
+    /// recall-heavy MinHash LSH index **or** clear the name-candidacy
+    /// threshold get full similarity scoring — sub-quadratic in practice
+    /// with edge parity against [`from_discovery`](Self::from_discovery)
+    /// (the pure-LSH variant used to drop name-only matches; see
+    /// `crate::incremental` for the hybrid candidate model). Nodes are laid
+    /// out in sorted table-name order.
     pub fn from_discovery_lsh(tables: &[&Table], matcher: &SchemaMatcher) -> Drg {
-        use autofeat_discovery::LshIndex;
-        let _span = obs::span("drg_build");
-        let mut b = DrgBuilder::new();
-        for t in tables {
-            b.add_table(t.name());
-        }
-        // Flatten all column profiles with their table index.
-        let mut flat: Vec<(usize, ColumnProfile)> = Vec::new();
-        for (ti, t) in tables.iter().enumerate() {
-            for p in ColumnProfile::build_all(t) {
-                flat.push((ti, p));
-            }
-        }
-        let mut index = LshIndex::paper_default();
-        for (cid, (_, p)) in flat.iter().enumerate() {
-            index.insert(cid, p);
-        }
-        for (a, bb) in index.candidate_pairs() {
-            let (ta, pa) = &flat[a];
-            let (tb, pb) = &flat[bb];
-            if ta == tb {
-                continue;
-            }
-            obs::incr("match.pairs_scored");
-            let score = matcher.score_pair(pa, pb);
-            if score >= matcher.config().threshold {
-                // Keep a stable orientation: lower table index first.
-                let (ti, pi, tj, pj) = if ta < tb { (ta, pa, tb, pb) } else { (tb, pb, ta, pa) };
-                b.add_discovered(
-                    tables[*ti].name(),
-                    &pi.column,
-                    tables[*tj].name(),
-                    &pj.column,
-                    score,
-                );
-            }
-        }
-        let drg = b.build();
-        obs::add("graph.nodes", drg.n_nodes() as u64);
-        obs::add("graph.edges_added", drg.n_edges() as u64);
-        drg
+        crate::incremental::DrgMaintainer::build(tables, matcher).assemble()
     }
 }
 

@@ -15,10 +15,12 @@
 
 pub mod analysis;
 pub mod drg;
+pub mod incremental;
 pub mod path;
 pub mod traversal;
 
 pub use analysis::{connected_components, strongest_path, to_dot};
 pub use drg::{Drg, DrgBuilder, EdgeId, EdgeProvenance, JoinEdge, NodeId};
+pub use incremental::{DrgMaintainer, NAME_CANDIDATE_TAU};
 pub use path::{JoinHop, JoinPath};
 pub use traversal::{bfs_levels, enumerate_paths, join_all_path_count};
